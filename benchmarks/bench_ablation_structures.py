@@ -1,0 +1,164 @@
+"""Ablations of the §4 implementation optimizations.
+
+Paper measurements on the Twip benchmark:
+
+* subtables (§4.1): 1.55x faster, 1.17x more memory;
+* output hints (§4.2): 1.11x faster;
+* value sharing (§4.3): 1.14x less memory, no time cost.
+
+Each ablation runs the same workload with one optimization toggled and
+reports the runtime and memory ratios.  A final sensitivity check
+perturbs the cost model to show the Figure-7 ordering is not an
+artifact of the chosen constants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_block
+from repro.apps.twip import TwipApp
+from repro.bench.costmodel import CostModel, DEFAULT_MODEL
+from repro.bench.report import format_table
+
+#: Fan-out-realistic Twip: the paper's users average >100 followers and
+#: checks outnumber posts ~85:1, so §4's optimizations are measured
+#: where both post fan-out (hints, sharing) and timeline scans
+#: (subtables) carry realistic weight.
+FOLLOWERS = 120
+POSTS = 60
+CHECKS_PER_POST = 40
+TEXT = "a thoughtful tweet that is long enough to matter " * 4
+
+
+def run_variant(**app_kwargs):
+    app = TwipApp(**app_kwargs)
+    users = [f"u{i:03d}" for i in range(FOLLOWERS)]
+    for u in users:
+        app.subscribe(u, "star")
+        app.subscribe("star", u)  # some reverse edges for realism
+    for u in users:
+        app.timeline(u)  # materialize every follower's timeline
+    app.server.stats.reset()
+    for t in range(POSTS):
+        app.post("star", t, TEXT)
+        for i in range(CHECKS_PER_POST):
+            user = users[(t * CHECKS_PER_POST + i * 7) % FOLLOWERS]
+            app.timeline(user, since=max(0, t - 2))
+    return (
+        DEFAULT_MODEL.runtime_us(app.server.stats.snapshot()),
+        app.server.memory_bytes(),
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_variant()  # subtables + hints + sharing (the full system)
+
+
+def test_ablation_subtables(benchmark, baseline):
+    """§4.1: dropping the subtable hash index costs time, saves memory."""
+    time_full, mem_full = baseline
+    time_flat, mem_flat = benchmark.pedantic(
+        lambda: run_variant(subtables=False), rounds=1, iterations=1
+    )
+    speedup = time_flat / time_full
+    memory_ratio = mem_full / mem_flat
+    print_block(
+        format_table(
+            ["variant", "modeled us", "memory B"],
+            [("with subtables", time_full, mem_full),
+             ("without subtables", time_flat, mem_flat)],
+            title=f"§4.1 subtables: {speedup:.2f}x faster, {memory_ratio:.2f}x memory "
+                  "(paper: 1.55x faster, 1.17x memory)",
+        )
+    )
+    assert speedup > 1.05, "subtables must pay for themselves in time"
+    assert memory_ratio > 1.0, "subtables must cost bookkeeping memory"
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["memory_ratio"] = round(memory_ratio, 3)
+
+
+def test_ablation_output_hints(benchmark, baseline):
+    """§4.2: output hints avoid tree descents on appends."""
+    time_full, _ = baseline
+    time_nohints, _ = benchmark.pedantic(
+        lambda: run_variant(enable_hints=False), rounds=1, iterations=1
+    )
+    speedup = time_nohints / time_full
+    print_block(
+        format_table(
+            ["variant", "modeled us"],
+            [("with hints", time_full), ("without hints", time_nohints)],
+            title=f"§4.2 output hints: {speedup:.3f}x faster (paper: 1.11x)",
+        )
+    )
+    assert speedup > 1.0
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+
+
+def test_ablation_value_sharing(benchmark, baseline):
+    """§4.3: value sharing reduces memory with no time regression."""
+    time_full, mem_full = baseline
+    time_noshare, mem_noshare = benchmark.pedantic(
+        lambda: run_variant(enable_sharing=False), rounds=1, iterations=1
+    )
+    memory_ratio = mem_noshare / mem_full
+    print_block(
+        format_table(
+            ["variant", "modeled us", "memory B"],
+            [("with sharing", time_full, mem_full),
+             ("without sharing", time_noshare, mem_noshare)],
+            title=f"§4.3 value sharing: {memory_ratio:.3f}x less memory "
+                  "(paper: 1.14x)",
+        )
+    )
+    assert memory_ratio > 1.0
+    assert time_noshare > time_full * 0.9  # sharing must not cost time
+    benchmark.extra_info["memory_ratio"] = round(memory_ratio, 3)
+
+
+def test_cost_model_sensitivity(benchmark):
+    """The Figure-7 ordering is not an artifact of the constants.
+
+    Under ±25% perturbations of the two most influential unit costs the
+    full paper ordering holds.  Under an extreme adverse compound
+    perturbation (RPC cost halved *and* tree costs 1.5x — a 3x swing in
+    their ratio) the pequod/redis gap narrows and may flip within ~10%,
+    which matches the paper's own attribution of Pequod's advantage to
+    avoided RPCs; every other relation stays put.
+    """
+    from repro.bench.harness import run_figure7
+
+    def collect():
+        results = {}
+        for label, (scale_rpc, scale_tree) in {
+            "mild-a": (0.75, 1.25),
+            "mild-b": (1.25, 0.75),
+            "default": (1.0, 1.0),
+            "adverse": (0.5, 1.5),
+        }.items():
+            model = CostModel(overrides={
+                "rpcs": 2.0 * scale_rpc,
+                "tree_descent_cost": 0.07 * scale_tree,
+            })
+            runs = run_figure7(n_users=300, mean_follows=12, total_ops=6000,
+                               model=model)
+            results[label] = {r.name: r.modeled_us for r in runs}
+        return results
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    for label in ("mild-a", "mild-b", "default"):
+        m = results[label]
+        assert m["pequod"] < m["redis"] < m["client pequod"], label
+        assert m["redis"] < m["memcached"], label
+        assert m["postgresql"] == max(m.values()), label
+    adverse = results["adverse"]
+    assert 0.8 < adverse["redis"] / adverse["pequod"] < 1.6
+    assert adverse["redis"] < adverse["client pequod"]
+    assert adverse["postgresql"] == max(adverse.values())
+    print_block(
+        "cost-model sensitivity: full ordering stable under ±25% "
+        "perturbations; pequod/redis gap narrows only under a compound "
+        "3x adverse swing of the RPC:tree cost ratio"
+    )

@@ -1,0 +1,101 @@
+"""Celebrity cache joins (§2.3).
+
+Paper claim: "In our tests, celebrity timelines don't offer performance
+advantages, but they do save memory."  Copying a celebrity's posts into
+tens of millions of timelines costs memory proportional to fan-out; the
+pull join serves them from the single time-ordered ``ct|`` helper range
+at read time instead.
+
+This benchmark runs the same fan-heavy workload with and without the
+celebrity join set and reports the memory ratio and the (absence of a)
+runtime win.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_block
+from repro.apps.social_graph import generate_graph
+from repro.apps.twip import TwipApp
+from repro.bench.costmodel import DEFAULT_MODEL
+from repro.bench.report import format_table
+
+USERS = 150
+MEAN_FOLLOWS = 12
+POSTS_PER_USER = 2
+CHECKS = 3
+
+
+def run_config(celebrity_threshold):
+    graph = generate_graph(USERS, MEAN_FOLLOWS, seed=31)
+    app = TwipApp(celebrity_threshold=celebrity_threshold, graph=graph)
+    app.load_graph(graph)
+    time = 0
+    for user in graph.users:
+        for _ in range(POSTS_PER_USER):
+            app.post(user, time, f"tweet {time} from {user} " + "pad " * 8)
+            time += 1
+    app.server.stats.reset()
+    for _ in range(CHECKS):
+        for user in graph.users:
+            app.timeline(user)
+    return (
+        DEFAULT_MODEL.runtime_us(app.server.stats.snapshot()),
+        app.server.memory_bytes(),
+        app,
+        graph,
+    )
+
+
+@pytest.fixture(scope="module")
+def configs():
+    plain = run_config(None)
+    graph = plain[3]
+    threshold = max(5, graph.max_follower_count() // 3)
+    celeb = run_config(threshold)
+    return plain, celeb, threshold
+
+
+def test_celebrity_saves_memory(benchmark, configs):
+    plain, celeb, threshold = configs
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, plain_mem, plain_app, graph = plain
+    _, celeb_mem, celeb_app, _ = celeb
+    ratio = plain_mem / celeb_mem
+    print_block(
+        format_table(
+            ["configuration", "memory B"],
+            [("push-only timelines", plain_mem),
+             (f"celebrity pull (>{threshold} followers)", celeb_mem)],
+            title=f"§2.3 celebrity joins: {ratio:.2f}x less memory",
+        )
+    )
+    assert celeb_mem < plain_mem
+    benchmark.extra_info["memory_ratio"] = round(ratio, 3)
+
+
+def test_celebrity_offers_no_runtime_win(benchmark, configs):
+    """The paper: celebrity timelines don't offer performance
+    advantages — read-time recomputation offsets the avoided copies."""
+    plain, celeb, _ = configs
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plain_time = plain[0]
+    celeb_time = celeb[0]
+    print_block(
+        f"§2.3 celebrity joins runtime: plain {plain_time:.0f}us vs "
+        f"celebrity {celeb_time:.0f}us (paper: no performance advantage)"
+    )
+    assert celeb_time > plain_time * 0.8  # no significant speedup
+    benchmark.extra_info["celebrity_over_plain"] = round(
+        celeb_time / plain_time, 3
+    )
+
+
+def test_celebrity_results_identical(benchmark, configs):
+    plain, celeb, _ = configs
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, _, plain_app, graph = plain
+    _, _, celeb_app, _ = celeb
+    for user in graph.users[::10]:
+        assert plain_app.timeline(user) == celeb_app.timeline(user), user

@@ -1,0 +1,69 @@
+"""Figure 10: distributed Pequod throughput versus compute servers.
+
+Paper result (§5.5): growing the compute tier from 12 to 48 servers on
+a fixed Twip workload raised throughput 3x (1.42M -> 4.27M qps) — not
+4x, because base-data duplication and subscription maintenance grow
+with the fleet.  Base-server memory grew 290 -> 297 GB, compute memory
+1.2 -> 1.5 TB, and subscription maintenance rose from ~10% to ~16% of
+network bytes.
+
+The reproduction runs the same roles (base tier absorbing writes,
+compute tier executing the timeline join, per-user read affinity) on
+the deterministic simulated network and reports the same four series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_block
+from repro.bench.harness import run_figure10_point
+from repro.bench.report import format_table
+
+
+@pytest.mark.parametrize("servers", (3, 12))
+def test_fig10_point(benchmark, servers):
+    point = benchmark.pedantic(
+        lambda: run_figure10_point(servers, n_users=200, mean_follows=8,
+                                   total_ops=3000),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["throughput_qps"] = round(point.throughput_qps)
+    benchmark.extra_info["subscription_fraction"] = round(
+        point.subscription_fraction, 3
+    )
+
+
+def test_fig10_series(benchmark, fig10_points):
+    """Regenerate the Figure 10 table."""
+    points = fig10_points
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        (
+            p.compute_servers,
+            f"{p.throughput_qps / 1e6:.2f}M",
+            f"{p.base_memory / 1024:.0f}K",
+            f"{p.compute_memory / 1024:.0f}K",
+            f"{p.subscription_fraction * 100:.1f}%",
+        )
+        for p in points
+    ]
+    print_block(
+        format_table(
+            ["servers", "modeled qps", "base mem", "compute mem", "sub traffic"],
+            rows,
+            title=(
+                "Figure 10 — scalability "
+                "(paper: 1.42M->4.27M qps for 12->48 servers; sub traffic 10%->16%)"
+            ),
+        )
+    )
+    qps = [p.throughput_qps for p in points]
+    assert all(b > a for a, b in zip(qps, qps[1:])), "throughput must rise"
+    speedup = qps[-1] / qps[0]
+    servers = points[-1].compute_servers / points[0].compute_servers
+    assert speedup <= servers, "scaling must not exceed linear"
+    assert points[-1].subscription_fraction > points[0].subscription_fraction
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["server_ratio"] = servers

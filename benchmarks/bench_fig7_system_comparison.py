@@ -1,0 +1,78 @@
+"""Figure 7: time to process a Twip experiment to completion.
+
+Paper result (§5.2)::
+
+    System          Runtime
+    Pequod          197.06 s  (1.00x)
+    Redis           262.62 s  (1.33x)
+    Client Pequod   323.29 s  (1.64x)
+    memcached       784.43 s  (3.98x)
+    PostgreSQL     1882.78 s  (9.55x)
+
+This benchmark runs the same §5.1 workload (scaled) on all five
+reimplemented systems.  The pytest-benchmark timings measure Python
+wall-clock per system; the paper-comparable numbers are the modeled
+runtimes printed in the summary table and attached as extra_info.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_block
+from repro.apps.social_graph import generate_graph
+from repro.apps.workload import TwipWorkload
+from repro.bench.harness import figure7_backends
+from repro.bench.report import format_table, normalized
+
+SCALE = dict(n_users=300, mean_follows=10, total_ops=3000, seed=42)
+
+
+@pytest.fixture(scope="module")
+def workload_and_ops():
+    graph = generate_graph(SCALE["n_users"], SCALE["mean_follows"],
+                           seed=SCALE["seed"])
+    workload = TwipWorkload(graph, SCALE["total_ops"], seed=SCALE["seed"])
+    return graph, workload, workload.generate()
+
+
+@pytest.mark.parametrize("system", list(figure7_backends()))
+def test_fig7_system(benchmark, system, workload_and_ops):
+    graph, workload, ops = workload_and_ops
+    factory = figure7_backends()[system]
+
+    def run_once():
+        backend = factory()
+        workload.run(backend, ops=ops)
+        return backend
+
+    backend = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    from repro.bench.costmodel import DEFAULT_MODEL
+
+    benchmark.extra_info["modeled_us"] = DEFAULT_MODEL.runtime_us(
+        backend.meter.snapshot()
+    )
+    benchmark.extra_info["rpcs"] = backend.meter.get("rpcs")
+
+
+def test_fig7_table(benchmark, fig7_runs):
+    """Regenerate the Figure 7 table (modeled runtimes, full scale)."""
+    runs = fig7_runs
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    base = next(r.modeled_us for r in runs if r.name == "pequod")
+    rows = [
+        (r.name, f"{r.modeled_us / 1e6:.4f} s", normalized(r.modeled_us, base))
+        for r in runs
+    ]
+    print_block(
+        format_table(
+            ["System", "Modeled runtime", "Factor"],
+            rows,
+            title="Figure 7 — Twip system comparison (paper: 1.00/1.33/1.64/3.98/9.55)",
+        )
+    )
+    for r in runs:
+        benchmark.extra_info[r.name] = round(r.modeled_us)
+    names = [r.name for r in runs]
+    assert names[0] == "pequod"
+    assert names[-1] == "postgresql"

@@ -1,0 +1,57 @@
+"""Figure 9: Newp interleaved cache joins versus separate ranges.
+
+Paper result (§5.4): colocating article text, vote rank, comments, and
+commenter karma into one ``page|`` range makes article reads a single
+scan; the interleaved layout wins except when votes (writes) are very
+common — the curves meet around a 90% vote rate, where interleaving's
+write amplification overtakes the many-RPC read penalty it avoids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_block
+from repro.bench.harness import run_figure9_point
+from repro.bench.report import crossover_point, format_series
+
+
+@pytest.mark.parametrize("layout", ("interleaved", "separate"))
+@pytest.mark.parametrize("vote_rate", (0.1, 0.9))
+def test_fig9_point(benchmark, layout, vote_rate):
+    interleaved = layout == "interleaved"
+    run = benchmark.pedantic(
+        lambda: run_figure9_point(interleaved, vote_rate, scale=0.4),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["modeled_us"] = round(run.modeled_us)
+
+
+def test_fig9_series(benchmark, fig9_data):
+    """Regenerate the Figure 9 curves (modeled milliseconds)."""
+    rates, data = fig9_data
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    xs = [int(r * 100) for r in rates]
+    series = {
+        name: [r.modeled_us / 1e3 for r in runs] for name, runs in data.items()
+    }
+    print_block(
+        format_series(
+            "vote%",
+            xs,
+            series,
+            title="Figure 9 — Newp runtime (modeled ms): interleaved vs separate",
+        )
+    )
+    inter = series["interleaved"]
+    sep = series["non-interleaved"]
+    # Interleaving wins at low vote rates by a wide margin...
+    assert inter[0] < sep[0] / 2
+    # ...and the advantage shrinks substantially as writes grow: the
+    # cost ratio at 100% votes must be at least 3x closer than at 0%.
+    assert inter[-1] / sep[-1] > 3 * (inter[0] / sep[0])
+    cross = crossover_point(xs, inter, sep)
+    benchmark.extra_info["crossover_vote_pct"] = cross if cross else ">100"
+    benchmark.extra_info["advantage_at_0"] = round(sep[0] / inter[0], 2)
+    benchmark.extra_info["ratio_at_100"] = round(inter[-1] / sep[-1], 3)

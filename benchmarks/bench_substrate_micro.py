@@ -1,0 +1,107 @@
+"""Microbenchmarks of the substrate data structures.
+
+Not a paper figure — these measure the building blocks (red-black
+tree, interval tree, wire codec, join engine hot paths) so substrate
+regressions are visible independently of the experiment harness.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.server import PequodServer
+from repro.net.codec import decode, encode
+from repro.store.interval_tree import IntervalTree
+from repro.store.rbtree import RBTree
+
+KEYS = [f"p|user{i % 500:04d}|{i:06d}" for i in range(5000)]
+
+
+def test_micro_rbtree_insert(benchmark):
+    def build():
+        tree = RBTree()
+        for key in KEYS:
+            tree.insert(key, "value")
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == len(KEYS)
+
+
+def test_micro_rbtree_scan(benchmark):
+    tree = RBTree()
+    for key in KEYS:
+        tree.insert(key, "value")
+
+    def scan():
+        return sum(1 for _ in tree.nodes("p|user0100|", "p|user0200|"))
+
+    count = benchmark(scan)
+    assert count > 0
+
+
+def test_micro_interval_stab(benchmark):
+    tree = IntervalTree()
+    rng = random.Random(5)
+    for i in range(2000):
+        lo = f"{rng.randrange(1000):04d}"
+        hi = f"{int(lo) + rng.randrange(1, 50):04d}"
+        tree.add(lo, hi, i)
+
+    def stab_all():
+        return sum(len(tree.stab(f"{p:04d}")) for p in range(0, 1000, 37))
+
+    total = benchmark(stab_all)
+    assert total > 0
+
+
+def test_micro_codec_roundtrip(benchmark):
+    message = [7, "scan", [["t|ann|%06d|bob" % i, "tweet text %d" % i]
+                           for i in range(100)]]
+
+    def roundtrip():
+        return decode(encode(message))
+
+    out = benchmark(roundtrip)
+    assert out == message
+
+
+def test_micro_timeline_maintenance(benchmark):
+    """The hot write path: one post fanned out to 50 materialized
+    timelines through eager updaters."""
+    server = PequodServer(subtable_config={"t": 2})
+    server.add_join(
+        "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+    )
+    users = [f"u{i:03d}" for i in range(50)]
+    for u in users:
+        server.put(f"s|{u}|star", "1")
+        server.scan(f"t|{u}|", f"t|{u}}}")
+    counter = iter(range(10_000_000))
+
+    def one_post():
+        server.put(f"p|star|{next(counter):08d}", "fanout tweet")
+
+    benchmark(one_post)
+    assert server.store.count("t|", "t}") >= 50
+
+
+def test_micro_timeline_check(benchmark):
+    """The hot read path: an incremental timeline check over a valid
+    (already materialized) range."""
+    server = PequodServer(subtable_config={"t": 2})
+    server.add_join(
+        "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+    )
+    server.put("s|ann|bob", "1")
+    for i in range(200):
+        server.put(f"p|bob|{i:08d}", f"tweet {i}")
+    server.scan("t|ann|", "t|ann}")
+
+    def check():
+        return server.scan("t|ann|00000150", "t|ann}")
+
+    rows = benchmark(check)
+    assert len(rows) == 50

@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation (§5) at a laptop scale.  Wall-clock numbers are measured by
+pytest-benchmark; the paper-comparable *modeled* runtimes (see
+``repro.bench.costmodel``) are attached as ``extra_info`` and printed
+in tables at the end of each module's run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_block(text: str) -> None:
+    """Emit a report block that survives pytest's capture tersely."""
+    print("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def fig7_runs():
+    from repro.bench.harness import run_figure7
+
+    return run_figure7()
+
+
+@pytest.fixture(scope="session")
+def fig8_data():
+    from repro.bench.harness import run_figure8
+
+    pcts = (1, 10, 30, 50, 70, 90, 100)
+    return pcts, run_figure8(
+        n_users=200, mean_follows=8, posts=250, active_pcts=pcts
+    )
+
+
+@pytest.fixture(scope="session")
+def fig9_data():
+    from repro.bench.harness import run_figure9
+
+    rates = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+    return rates, run_figure9(vote_rates=rates, scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def fig10_points():
+    from repro.bench.harness import run_figure10
+
+    return run_figure10(
+        server_counts=(3, 6, 9, 12), n_users=300, mean_follows=10,
+        total_ops=6000,
+    )

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's §2 walkthrough on a live server.
+
+Installs the Twip timeline cache join, writes base data, and shows
+demand computation, eager incremental maintenance, lazy subscription
+handling, and aggregates — the core of what Pequod does.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PequodServer
+
+
+def show(title, rows):
+    print(f"\n== {title}")
+    for key, value in rows:
+        print(f"   {key}  ->  {value!r}")
+    if not rows:
+        print("   (empty)")
+
+
+def main() -> None:
+    srv = PequodServer(subtable_config={"t": 2})
+
+    # The paper's timeline cache join (§2.2): a timeline entry exists
+    # for every (subscription, post) pair that shares a poster.
+    srv.add_join(
+        "t|<user>|<time>|<poster> = "
+        "check s|<user>|<poster> copy p|<poster>|<time>"
+    )
+
+    # Base data: ann follows bob; bob tweets at time 0100.
+    srv.put("s|ann|bob", "1")
+    srv.put("p|bob|0100", "hello, world!")
+
+    # The first scan computes the timeline on demand and installs
+    # updaters that keep it fresh (dynamic materialization).
+    show("ann checks her timeline", srv.scan("t|ann|", "t|ann}"))
+
+    # New posts now flow in eagerly — no recomputation on read.
+    srv.put("p|bob|0120", "i'm hungry")
+    show("after bob tweets again", srv.scan("t|ann|", "t|ann}"))
+
+    # Subscription changes are handled lazily: the new followee's old
+    # tweets appear on the next read, shifted in by partial
+    # invalidation rather than eager copying (§3.2).
+    srv.put("p|liz|0050", "liz's old tweet")
+    srv.put("s|ann|liz", "1")
+    show("after ann follows liz", srv.scan("t|ann|", "t|ann}"))
+
+    # Unsubscribing retracts copied tweets (complete invalidation).
+    srv.remove("s|ann|liz")
+    show("after ann unfollows liz", srv.scan("t|ann|", "t|ann}"))
+
+    # Aggregates: karma counts votes and stays fresh incrementally.
+    srv.add_join("karma|<author> = count vote|<author>|<id>|<voter>")
+    srv.put("vote|bob|001|ann", "1")
+    srv.put("vote|bob|001|liz", "1")
+    print(f"\n== bob's karma: {srv.get('karma|bob')}")
+    srv.put("vote|bob|002|jim", "1")
+    print(f"== after another vote: {srv.get('karma|bob')}")
+
+    stats = srv.stats
+    print(
+        f"\nserver work: {stats.get('updaters_fired'):.0f} updaters fired, "
+        f"{stats.get('partial_invalidations'):.0f} partial / "
+        f"{stats.get('complete_invalidations'):.0f} complete invalidations, "
+        f"{stats.get('recomputations'):.0f} recomputations"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Pequod served over real TCP RPC (§5.1's client/server setup).
+
+Starts an asyncio RPC server on loopback, installs the timeline join
+over the wire, and drives it with a pipelined client that keeps many
+RPCs outstanding — the paper's event-driven client pattern.
+
+Run:  python examples/rpc_service.py
+"""
+
+import asyncio
+import time
+
+from repro import PequodServer
+from repro.apps.twip import TIMELINE_JOIN
+from repro.net.rpc_client import RpcClient
+from repro.net.rpc_server import RpcServer
+
+
+async def main() -> None:
+    server = RpcServer(PequodServer(subtable_config={"t": 2}))
+    await server.start()
+    print(f"pequod listening on 127.0.0.1:{server.port}")
+
+    client = RpcClient("127.0.0.1", server.port)
+    await client.connect()
+    print("client connected:", await client.ping())
+
+    installed = await client.add_join(TIMELINE_JOIN)
+    print("installed join:", installed[0])
+
+    # Pipelined writes: many RPCs in flight on one connection.
+    followers = [f"user{i:03d}" for i in range(50)]
+    start = time.perf_counter()
+    await client.call_many(
+        [("put", [f"s|{u}|star", "1"]) for u in followers]
+    )
+    await client.call_many(
+        [("put", [f"p|star|{t:06d}", f"broadcast {t}"]) for t in range(20)]
+    )
+    elapsed = time.perf_counter() - start
+    print(f"pipelined {len(followers) + 20} puts in {elapsed * 1e3:.1f} ms "
+          f"({client.requests_sent} requests on one connection)")
+
+    rows = await client.scan("t|user007|", "t|user007}")
+    print(f"user007's timeline has {len(rows)} tweets; first: {rows[0]}")
+
+    stats = await client.call("stats")
+    print(f"server processed {stats.get('op_put', 0):.0f} puts, "
+          f"{stats.get('updaters_fired', 0):.0f} updater firings")
+
+    await client.close()
+    await server.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; this shim enables ``pip install -e .
+--no-use-pep517 --no-build-isolation`` (setup.py develop), which needs
+no wheel building.  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

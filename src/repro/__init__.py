@@ -1,0 +1,79 @@
+"""repro: a reproduction of Pequod (NSDI '14), "Easy Freshness with
+Pequod Cache Joins".
+
+Pequod is a distributed application-level key-value cache supporting
+*cache joins*: declaratively defined, incrementally maintained,
+dynamic, partially materialized views.  This package implements the
+paper's system and every substrate it depends on, in pure Python:
+
+* ``repro.core`` — cache joins, query execution, incremental
+  maintenance, the single-node :class:`PequodServer`;
+* ``repro.store`` — the ordered store (red-black trees, interval
+  trees, tables/subtables, value sharing);
+* ``repro.backing`` — a backing database with change notifications and
+  cache deployments (write-around / write-through / lookaside);
+* ``repro.net`` — a binary RPC protocol over asyncio TCP and a
+  deterministic simulated network;
+* ``repro.distrib`` — distributed Pequod: partitioning, cross-server
+  subscriptions, clusters;
+* ``repro.baselines`` — the comparison systems of the paper's
+  evaluation (client-managed Pequod, Redis-like, memcached-like,
+  PostgreSQL-like);
+* ``repro.apps`` — the example applications Twip and Newp with
+  workload generators;
+* ``repro.bench`` — the experiment harness and cost model used to
+  regenerate the paper's figures.
+
+Quickstart::
+
+    from repro import PequodServer
+
+    srv = PequodServer()
+    srv.add_join("t|<user>|<time>|<poster> = "
+                 "check s|<user>|<poster> copy p|<poster>|<time>")
+    srv.put("s|ann|bob", "1")
+    srv.put("p|bob|0100", "hello, world!")
+    print(srv.scan_prefix("t|ann|"))
+"""
+
+from .core import (
+    AggValue,
+    CacheJoin,
+    ChangeKind,
+    GrammarError,
+    JoinError,
+    MaintenanceType,
+    Pattern,
+    PatternError,
+    PequodServer,
+    SimClock,
+    Source,
+    SystemClock,
+    parse_join,
+    parse_joins,
+)
+from .store import OrderedStore, SharedValue, StoreStats, prefix_upper_bound
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggValue",
+    "CacheJoin",
+    "ChangeKind",
+    "GrammarError",
+    "JoinError",
+    "MaintenanceType",
+    "OrderedStore",
+    "Pattern",
+    "PatternError",
+    "PequodServer",
+    "SharedValue",
+    "SimClock",
+    "Source",
+    "StoreStats",
+    "SystemClock",
+    "parse_join",
+    "parse_joins",
+    "prefix_upper_bound",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Example applications: Twip (§2.1) and Newp (§2.3), with workload
+generators and the synthetic social graph used by the evaluation."""
+
+from .newp import AGGREGATE_JOINS, INTERLEAVED_JOINS, ArticlePage, NewpApp
+from .social_graph import SocialGraph, degree_histogram, generate_graph
+from .twip import (
+    CELEBRITY_JOINS,
+    TIMELINE_JOIN,
+    PequodTwipBackend,
+    TwipApp,
+    format_time,
+)
+from .workload import (
+    DEFAULT_MIX,
+    OP_CHECK,
+    OP_LOGIN,
+    OP_POST,
+    OP_SUBSCRIBE,
+    NewpWorkload,
+    TwipOp,
+    TwipWorkload,
+    checks_and_posts_workload,
+)
+
+__all__ = [
+    "AGGREGATE_JOINS",
+    "ArticlePage",
+    "CELEBRITY_JOINS",
+    "DEFAULT_MIX",
+    "INTERLEAVED_JOINS",
+    "NewpApp",
+    "NewpWorkload",
+    "OP_CHECK",
+    "OP_LOGIN",
+    "OP_POST",
+    "OP_SUBSCRIBE",
+    "PequodTwipBackend",
+    "SocialGraph",
+    "TIMELINE_JOIN",
+    "TwipApp",
+    "TwipOp",
+    "TwipWorkload",
+    "checks_and_posts_workload",
+    "degree_histogram",
+    "format_time",
+    "generate_graph",
+]

@@ -1,0 +1,168 @@
+"""Newp: the Hacker-News-like example application with karma (§2.3).
+
+Users author articles, comment and vote on articles, and read article
+pages.  An article page shows the article text, its vote count, its
+comments, and each commenter's karma (votes received across the
+articles that commenter authored).
+
+Two configurations reproduce the Figure-9 experiment:
+
+* **interleaved** — the Figure-1 join set colocates article text, vote
+  rank, comments, and commenter karma into one ``page|`` range; a page
+  render is a single scan.
+* **separate** (non-interleaved) — karma and rank are still cache
+  joins, but live in their own ranges; a page render issues many gets
+  in two round trips (comments first, then each commenter's karma).
+
+Key schema:
+
+* ``article|<author>|<id>`` / ``comment|<author>|<id>|<cid>|<commenter>``
+  / ``vote|<author>|<id>|<voter>`` — base data
+* ``karma|<author>``, ``rank|<author>|<id>`` — aggregates
+* ``page|<author>|<id>|…`` — the interleaved output range
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.server import PequodServer
+from ..store.keys import prefix_upper_bound
+from ..store.stats import StoreStats
+
+AGGREGATE_JOINS = (
+    "karma|<author> = count vote|<author>|<id>|<voter>;"
+    "rank|<author>|<id> = count vote|<author>|<id>|<voter>"
+)
+
+INTERLEAVED_JOINS = (
+    "page|<author>|<id>|a = copy article|<author>|<id>;"
+    "page|<author>|<id>|r = copy rank|<author>|<id>;"
+    "page|<author>|<id>|c|<cid>|<commenter> = "
+    "copy comment|<author>|<id>|<cid>|<commenter>;"
+    "page|<author>|<id>|k|<cid>|<commenter> = "
+    "check comment|<author>|<id>|<cid>|<commenter> copy karma|<commenter>"
+)
+
+
+class ArticlePage:
+    """A rendered article: what the application shows a reader."""
+
+    __slots__ = ("author", "article_id", "text", "votes", "comments", "karma")
+
+    def __init__(self, author: str, article_id: str) -> None:
+        self.author = author
+        self.article_id = article_id
+        self.text: Optional[str] = None
+        self.votes = 0
+        #: [(cid, commenter, text)]
+        self.comments: List[Tuple[str, str, str]] = []
+        #: commenter -> karma
+        self.karma: Dict[str, int] = {}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArticlePage):
+            return NotImplemented
+        return (
+            self.author == other.author
+            and self.article_id == other.article_id
+            and self.text == other.text
+            and self.votes == other.votes
+            and sorted(self.comments) == sorted(other.comments)
+            and self.karma == other.karma
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ArticlePage {self.author}/{self.article_id} votes={self.votes} "
+            f"comments={len(self.comments)}>"
+        )
+
+
+class NewpApp:
+    """The Newp application over a Pequod server."""
+
+    def __init__(
+        self,
+        server: Optional[PequodServer] = None,
+        interleaved: bool = True,
+        **server_kwargs,
+    ) -> None:
+        if server is None:
+            server = PequodServer(**server_kwargs)
+        self.server = server
+        self.interleaved = interleaved
+        self.meter: StoreStats = server.stats
+        self.server.add_join(AGGREGATE_JOINS)
+        if interleaved:
+            self.server.add_join(INTERLEAVED_JOINS)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def author_article(self, author: str, article_id: str, text: str) -> None:
+        self.meter.add("rpcs")
+        self.server.put(f"article|{author}|{article_id}", text)
+
+    def comment(
+        self, author: str, article_id: str, cid: str, commenter: str, text: str
+    ) -> None:
+        self.meter.add("rpcs")
+        self.server.put(f"comment|{author}|{article_id}|{cid}|{commenter}", text)
+
+    def vote(self, author: str, article_id: str, voter: str) -> None:
+        self.meter.add("rpcs")
+        self.server.put(f"vote|{author}|{article_id}|{voter}", "1")
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read_article(self, author: str, article_id: str) -> ArticlePage:
+        if self.interleaved:
+            return self._read_interleaved(author, article_id)
+        return self._read_separate(author, article_id)
+
+    def _read_interleaved(self, author: str, article_id: str) -> ArticlePage:
+        """§2.3: one scan retrieves everything needed to render."""
+        page = ArticlePage(author, article_id)
+        prefix = f"page|{author}|{article_id}|"
+        self.meter.add("rpcs")
+        rows = self.server.scan(prefix, prefix_upper_bound(prefix))
+        for key, value in rows:
+            self.meter.add("bytes_moved", len(value))
+            parts = key.split("|")
+            tag = parts[3]
+            if tag == "a":
+                page.text = value
+            elif tag == "r":
+                page.votes = int(value)
+            elif tag == "c":
+                page.comments.append((parts[4], parts[5], value))
+            elif tag == "k":
+                page.karma[parts[5]] = int(value)
+        return page
+
+    def _read_separate(self, author: str, article_id: str) -> ArticlePage:
+        """Many gets in two round trips (§5.4's non-interleaved mode)."""
+        page = ArticlePage(author, article_id)
+        # Round trip 1: article text, vote rank, comments (3 RPCs).
+        self.meter.add("rpcs")
+        page.text = self.server.get(f"article|{author}|{article_id}")
+        if page.text is not None:
+            self.meter.add("bytes_moved", len(page.text))
+        self.meter.add("rpcs")
+        rank = self.server.get(f"rank|{author}|{article_id}")
+        page.votes = int(rank) if rank is not None else 0
+        prefix = f"comment|{author}|{article_id}|"
+        self.meter.add("rpcs")
+        for key, value in self.server.scan(prefix, prefix_upper_bound(prefix)):
+            self.meter.add("bytes_moved", len(value))
+            parts = key.split("|")
+            page.comments.append((parts[3], parts[4], value))
+        # Round trip 2: one karma get per distinct commenter.
+        for commenter in sorted({c[1] for c in page.comments}):
+            self.meter.add("rpcs")
+            karma = self.server.get(f"karma|{commenter}")
+            if karma is not None:
+                page.karma[commenter] = int(karma)
+        return page

@@ -1,0 +1,134 @@
+"""Twip: the paper's Twitter-like example application (§2.1).
+
+Users post tweets, follow other users, and check timelines.  The cache
+join below is the paper's central example; ``TwipApp`` wraps a
+:class:`PequodServer` (or a distributed cluster) with the application
+operations, and :class:`PequodTwipBackend` adapts it to the Figure-7
+comparison interface.
+
+Key schema (times zero-padded so lexicographic order is time order):
+
+* ``p|<poster>|<time>`` — posts (base data)
+* ``s|<user>|<poster>`` — subscriptions (base data)
+* ``t|<user>|<time>|<poster>`` — timelines (computed)
+* ``cp|…`` / ``ct|…`` — celebrity posts and the time-ordered helper
+  range (§2.3), enabled with ``celebrity_threshold``
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core.server import PequodServer
+from ..store.keys import prefix_upper_bound
+from ..baselines.base import Tweet, TwipBackend
+from .social_graph import SocialGraph
+
+TIME_WIDTH = 10
+
+TIMELINE_JOIN = (
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+)
+
+CELEBRITY_JOINS = (
+    "ct|<time>|<poster> = copy cp|<poster>|<time>;"
+    "t|<user>|<time>|<poster> = "
+    "pull check s|<user>|<poster> copy ct|<time>|<poster>"
+)
+
+
+def format_time(time: int) -> str:
+    return f"{time:0{TIME_WIDTH}d}"
+
+
+class TwipApp:
+    """The Twip application over a single Pequod server.
+
+    With ``celebrity_threshold`` set, users whose follower count
+    exceeds the threshold post into the ``cp|`` range served by the
+    pull join (§2.3) — saving per-follower timeline copies.
+    """
+
+    def __init__(
+        self,
+        server: Optional[PequodServer] = None,
+        celebrity_threshold: Optional[int] = None,
+        graph: Optional[SocialGraph] = None,
+        subtables: bool = True,
+        **server_kwargs,
+    ) -> None:
+        if server is None:
+            config = {"t": 2, "p": 2, "s": 2} if subtables else None
+            server = PequodServer(subtable_config=config, **server_kwargs)
+        self.server = server
+        self.server.add_join(TIMELINE_JOIN)
+        self.celebrity_threshold = celebrity_threshold
+        self.celebrities: Set[str] = set()
+        if celebrity_threshold is not None:
+            self.server.add_join(CELEBRITY_JOINS)
+            if graph is not None:
+                self.celebrities = set(graph.celebrities(celebrity_threshold))
+
+    # ------------------------------------------------------------------
+    def mark_celebrity(self, user: str) -> None:
+        self.celebrities.add(user)
+
+    def subscribe(self, user: str, poster: str) -> None:
+        self.server.put(f"s|{user}|{poster}", "1")
+
+    def unsubscribe(self, user: str, poster: str) -> None:
+        self.server.remove(f"s|{user}|{poster}")
+
+    def post(self, poster: str, time: int, text: str) -> None:
+        table = "cp" if poster in self.celebrities else "p"
+        self.server.put(f"{table}|{poster}|{format_time(time)}", text)
+
+    def timeline(self, user: str, since: int = 0) -> List[Tweet]:
+        """Time-sorted tweets by followed users with time >= since."""
+        first = f"t|{user}|{format_time(since)}"
+        last = prefix_upper_bound(f"t|{user}|")
+        rows = self.server.scan(first, last)
+        out: List[Tweet] = []
+        for key, text in rows:
+            _, _, time, poster = key.split("|", 3)
+            out.append((time, poster, text))
+        return out
+
+    def load_graph(self, graph: SocialGraph) -> None:
+        for follower, followee in graph.edges:
+            self.subscribe(follower, followee)
+
+
+class PequodTwipBackend(TwipBackend):
+    """Adapter: Twip-on-Pequod under the comparison-workload interface.
+
+    Every application operation is exactly one RPC — the server does
+    the work (§5.2's "Pequod" row).
+    """
+
+    name = "pequod"
+
+    def __init__(self, **app_kwargs) -> None:
+        super().__init__()
+        app_kwargs.setdefault("stats", self.meter)
+        self.app = TwipApp(**app_kwargs)
+
+    def subscribe(self, user: str, poster: str) -> None:
+        self.rpc()
+        self.app.subscribe(user, poster)
+
+    def post(self, poster: str, time: str, text: str) -> None:
+        self.rpc()
+        self.app.server.put(f"p|{poster}|{time}", text)
+
+    def timeline(self, user: str, since: str) -> List[Tweet]:
+        self.rpc()
+        rows = self.app.server.scan(
+            f"t|{user}|{since}", prefix_upper_bound(f"t|{user}|")
+        )
+        out: List[Tweet] = []
+        for key, text in rows:
+            _, _, time, poster = key.split("|", 3)
+            self.moved(len(text))
+            out.append((time, poster, text))
+        return out

@@ -1,0 +1,234 @@
+"""Workload generators reproducing the paper's experiment drivers (§5.1).
+
+**Twip** clients model users who log in (a full timeline scan), then
+repeatedly check for new tweets, subscribe to other users, and post.
+The §5.1 operation mix — 5% initial timeline scans, 9% new
+subscriptions, 85% incremental timeline updates, 1% posts — is the
+default, and posting likelihood is proportional to the log of the
+poster's follower count, so popular users tweet more.
+
+**Newp** sessions read a random article, vote on it with a configurable
+probability (the Figure-9 x-axis), and comment with 1% probability, on
+a prepopulated store of articles, comments, and votes.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.base import TwipBackend
+from .social_graph import SocialGraph
+from .twip import format_time
+
+OP_LOGIN = "login"
+OP_CHECK = "check"
+OP_SUBSCRIBE = "subscribe"
+OP_POST = "post"
+
+#: The §5.1 Twip operation mix.
+DEFAULT_MIX = ((OP_LOGIN, 0.05), (OP_SUBSCRIBE, 0.09), (OP_CHECK, 0.85), (OP_POST, 0.01))
+
+
+class TwipOp:
+    """One generated client action."""
+
+    __slots__ = ("kind", "user", "target")
+
+    def __init__(self, kind: str, user: str, target: Optional[str] = None) -> None:
+        self.kind = kind
+        self.user = user
+        self.target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" -> {self.target}" if self.target else ""
+        return f"<{self.kind} {self.user}{extra}>"
+
+
+class TwipWorkload:
+    """Generates and drives the §5.1 Twip workload."""
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        total_ops: int,
+        active_fraction: float = 0.7,
+        mix: Sequence[Tuple[str, float]] = DEFAULT_MIX,
+        seed: int = 42,
+    ) -> None:
+        self.graph = graph
+        self.total_ops = total_ops
+        self.mix = list(mix)
+        self.rng = random.Random(seed)
+        active_count = max(1, int(len(graph.users) * active_fraction))
+        shuffled = list(graph.users)
+        self.rng.shuffle(shuffled)
+        self.active_users = shuffled[:active_count]
+        # Posting users weighted by log(followers) (§5.1).
+        self._post_weights = [graph.post_weight(u) for u in graph.users]
+
+    # ------------------------------------------------------------------
+    def generate(self) -> List[TwipOp]:
+        """The deterministic operation stream."""
+        ops: List[TwipOp] = []
+        kinds = [k for k, _ in self.mix]
+        weights = [w for _, w in self.mix]
+        posters_cache: Optional[List[str]] = None
+        for _ in range(self.total_ops):
+            kind = self.rng.choices(kinds, weights)[0]
+            if kind in (OP_LOGIN, OP_CHECK):
+                user = self.rng.choice(self.active_users)
+                ops.append(TwipOp(kind, user))
+            elif kind == OP_SUBSCRIBE:
+                user = self.rng.choice(self.active_users)
+                target = self.rng.choice(self.graph.users)
+                if target == user:
+                    target = self.graph.users[0]
+                ops.append(TwipOp(kind, user, target))
+            else:  # OP_POST
+                if posters_cache is None:
+                    posters_cache = self.graph.users
+                poster = self.rng.choices(posters_cache, self._post_weights)[0]
+                ops.append(TwipOp(OP_POST, poster))
+        return ops
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        backend: TwipBackend,
+        ops: Optional[List[TwipOp]] = None,
+        load_graph: bool = True,
+    ) -> Dict[str, int]:
+        """Drive ``backend`` through the workload; returns op counts.
+
+        Logins scan the whole timeline; checks scan from the user's
+        last seen time (incremental updates return many fewer tweets,
+        §5.1).  The logical clock ticks once per operation.
+        """
+        if load_graph:
+            backend.load_graph(self.graph.edges)
+            backend.reset_meter()
+        if ops is None:
+            ops = self.generate()
+        last_seen: Dict[str, str] = {}
+        counts = {OP_LOGIN: 0, OP_CHECK: 0, OP_SUBSCRIBE: 0, OP_POST: 0,
+                  "tweets_delivered": 0}
+        for tick, op in enumerate(ops):
+            now = format_time(tick)
+            if op.kind == OP_LOGIN:
+                rows = backend.timeline(op.user, format_time(0))
+                counts["tweets_delivered"] += len(rows)
+                last_seen[op.user] = now
+            elif op.kind == OP_CHECK:
+                since = last_seen.get(op.user, format_time(0))
+                rows = backend.timeline(op.user, since)
+                counts["tweets_delivered"] += len(rows)
+                last_seen[op.user] = now
+            elif op.kind == OP_SUBSCRIBE:
+                assert op.target is not None
+                backend.subscribe(op.user, op.target)
+            else:
+                backend.post(op.user, now, f"tweet from {op.user} at {tick}")
+            counts[op.kind] += 1
+        return counts
+
+
+def checks_and_posts_workload(
+    graph: SocialGraph,
+    active_pct: int,
+    posts: int,
+    checks_per_active_ratio: float = 1.0,
+    seed: int = 7,
+) -> List[TwipOp]:
+    """The Figure-8 workload: timeline checks and posts only.
+
+    The paper distributes 1M posts by log-follower weight and performs
+    ``p`` million timeline checks spread uniformly across the active
+    ``p``% of users — so the check:post ratio runs from 1:1 at 1%
+    active to 100:1 at 100% active.  Here ``posts`` posts yield
+    ``posts * active_pct * ratio`` checks, preserving that scaling.
+    """
+    if not 1 <= active_pct <= 100:
+        raise ValueError("active_pct must be in [1, 100]")
+    rng = random.Random(seed)
+    users = list(graph.users)
+    rng.shuffle(users)
+    active = users[: max(1, len(users) * active_pct // 100)]
+    weights = [graph.post_weight(u) for u in graph.users]
+    ops: List[TwipOp] = [
+        TwipOp(OP_POST, rng.choices(graph.users, weights)[0])
+        for _ in range(posts)
+    ]
+    n_checks = int(posts * active_pct * checks_per_active_ratio)
+    ops.extend(TwipOp(OP_CHECK, rng.choice(active)) for _ in range(n_checks))
+    rng.shuffle(ops)
+    return ops
+
+
+class NewpWorkload:
+    """The Figure-9 Newp workload, scaled from the paper's populations
+    (100K articles / 50K users / 1M comments / 2M votes prepopulated;
+    sessions read, vote with probability ``vote_rate``, comment 1%)."""
+
+    def __init__(
+        self,
+        n_articles: int = 200,
+        n_users: int = 100,
+        n_comments: int = 2000,
+        n_votes: int = 4000,
+        n_sessions: int = 2000,
+        vote_rate: float = 0.1,
+        comment_rate: float = 0.01,
+        seed: int = 9,
+    ) -> None:
+        self.n_articles = n_articles
+        self.n_users = n_users
+        self.n_comments = n_comments
+        self.n_votes = n_votes
+        self.n_sessions = n_sessions
+        self.vote_rate = vote_rate
+        self.comment_rate = comment_rate
+        self.seed = seed
+        self.users = [f"user{i:05d}" for i in range(n_users)]
+        # Article ids are (author, id) pairs.
+        rng = random.Random(seed)
+        self.articles = [
+            (rng.choice(self.users), f"a{i:06d}") for i in range(n_articles)
+        ]
+
+    def prepopulate(self, app) -> None:
+        """Load the initial dataset (not metered)."""
+        rng = random.Random(self.seed + 1)
+        for author, aid in self.articles:
+            app.author_article(author, aid, f"article {aid} by {author}")
+        for i in range(self.n_comments):
+            author, aid = rng.choice(self.articles)
+            app.comment(author, aid, f"c{i:07d}", rng.choice(self.users),
+                        f"comment {i}")
+        for i in range(self.n_votes):
+            author, aid = rng.choice(self.articles)
+            app.vote(author, aid, f"voter{i:07d}")
+        app.meter.reset()
+
+    def run(self, app) -> Dict[str, int]:
+        """Drive sessions; returns op counts."""
+        rng = random.Random(self.seed + 2)
+        counts = {"reads": 0, "votes": 0, "comments": 0}
+        next_comment = self.n_comments
+        next_vote = self.n_votes
+        for _ in range(self.n_sessions):
+            author, aid = rng.choice(self.articles)
+            app.read_article(author, aid)
+            counts["reads"] += 1
+            if rng.random() < self.vote_rate:
+                app.vote(author, aid, f"voter{next_vote:07d}")
+                next_vote += 1
+                counts["votes"] += 1
+            if rng.random() < self.comment_rate:
+                app.comment(author, aid, f"c{next_comment:07d}",
+                            rng.choice(self.users), "session comment")
+                next_comment += 1
+                counts["comments"] += 1
+        return counts

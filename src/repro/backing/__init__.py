@@ -1,0 +1,21 @@
+"""Backing store substrate: the database behind the cache (paper §2)."""
+
+from .database import BackingDatabase
+from .deployment import (
+    CachedBaseResolver,
+    LookasideDeployment,
+    WriteAroundDeployment,
+    WriteThroughDeployment,
+)
+from .notify import ChangeCallback, NotificationHub, Subscription
+
+__all__ = [
+    "BackingDatabase",
+    "CachedBaseResolver",
+    "ChangeCallback",
+    "LookasideDeployment",
+    "NotificationHub",
+    "Subscription",
+    "WriteAroundDeployment",
+    "WriteThroughDeployment",
+]

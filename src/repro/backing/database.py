@@ -1,0 +1,105 @@
+"""The persistent backing store (paper §2).
+
+Pequod sits in front of "a persistent backing store (typically a
+database)".  The paper's deployments used PostgreSQL or a Pequod
+process in the base-data role; experiments could not use real database
+notification because of notification bottlenecks.
+
+``BackingDatabase`` is a small ordered store with the properties the
+cache design depends on:
+
+* durable-looking writes with insert/update/delete semantics,
+* ordered range queries (the cache loads containing ranges in bulk),
+* change notifications on subscribed ranges (Postgres ``notify``),
+* query/row accounting so benchmarks can charge database work.
+
+It deliberately reuses the ordered-store substrate: a database shard in
+the evaluation *is* a Pequod process absorbing writes (§5.5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.operators import ChangeKind
+from ..store.rbtree import RBTree
+from .notify import ChangeCallback, NotificationHub, Subscription
+
+
+class BackingDatabase:
+    """An ordered key-value database with range notifications."""
+
+    def __init__(self, synchronous_notify: bool = True) -> None:
+        self._tree = RBTree()
+        self.hub = NotificationHub(synchronous=synchronous_notify)
+        self.query_count = 0
+        self.rows_returned = 0
+        self.write_count = 0
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    # ------------------------------------------------------------------
+    # Writes (the application's write path in write-around deployments)
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: str) -> None:
+        """Insert or update ``key`` and notify subscribers."""
+        if not key:
+            raise ValueError("keys must be non-empty")
+        self.write_count += 1
+        node = self._tree.find_node(key)
+        if node is None:
+            self._tree.insert(key, value)
+            self.hub.publish(key, None, value, ChangeKind.INSERT)
+        else:
+            old = node.value
+            node.value = value
+            self.hub.publish(key, old, value, ChangeKind.UPDATE)
+
+    def remove(self, key: str) -> bool:
+        self.write_count += 1
+        node = self._tree.find_node(key)
+        if node is None:
+            return False
+        old = node.value
+        self._tree.remove_node(node)
+        self.hub.publish(key, old, None, ChangeKind.REMOVE)
+        return True
+
+    def load_bulk(self, pairs) -> None:
+        """Populate without notification (initial dataset load)."""
+        for key, value in pairs:
+            self._tree.insert(key, value)
+
+    # ------------------------------------------------------------------
+    # Reads (the cache's miss path)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[str]:
+        self.query_count += 1
+        value = self._tree.get(key)
+        if value is not None:
+            self.rows_returned += 1
+        return value
+
+    def query(self, lo: str, hi: str) -> List[Tuple[str, str]]:
+        """All pairs with ``lo <= key < hi`` in order."""
+        self.query_count += 1
+        rows = list(self._tree.items(lo, hi))
+        self.rows_returned += len(rows)
+        return rows
+
+    def count(self, lo: str, hi: str) -> int:
+        return self._tree.count_range(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Notifications
+    # ------------------------------------------------------------------
+    def subscribe(self, lo: str, hi: str, callback: ChangeCallback) -> Subscription:
+        """Forward future changes in ``[lo, hi)`` to the cache."""
+        return self.hub.subscribe(lo, hi, callback)
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        self.hub.unsubscribe(sub)
+
+    def drain_notifications(self, limit: Optional[int] = None) -> int:
+        return self.hub.drain(limit)

@@ -1,0 +1,199 @@
+"""Cache deployments next to a backing database (paper §2).
+
+The paper describes Pequod as a *write-around* cache by default —
+application writes go to the database, the database forwards changes,
+and the cache loads missed base data on demand — and notes that
+write-through and lookaside deployments are also possible.  §5.1 runs
+the evaluation in lookaside mode because database notification was a
+bottleneck.  All three are implemented here:
+
+* :class:`WriteAroundDeployment` — writes to the DB; the DB's
+  notifications keep cached base data fresh (eventually consistent
+  when notifications are queued).
+* :class:`WriteThroughDeployment` — writes go to the DB and the cache
+  synchronously (read-your-own-writes for a single client).
+* :class:`LookasideDeployment` — writes go directly to the cache; the
+  DB, if any, is bypassed.  This is the evaluation configuration.
+
+Each deployment installs a :class:`CachedBaseResolver` so join
+execution transparently loads missing base ranges from the database
+(§3.3) and subscribes to keep them fresh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.eviction import Evictable
+from ..core.executor import DataResolver, JoinEngine
+from ..core.operators import ChangeKind
+from ..core.server import PequodServer
+from ..core.status import StatusRange, StatusTable
+from .database import BackingDatabase
+
+
+class CachedBaseRange(Evictable):
+    """An LRU entry for a database-backed base range (§2.5's third kind
+    of evictable data: "cached base data, loaded on demand")."""
+
+    __slots__ = ("resolver", "table", "lo", "hi")
+
+    def __init__(self, resolver: "CachedBaseResolver", table: str, lo: str, hi: str):
+        self.resolver = resolver
+        self.table = table
+        self.lo = lo
+        self.hi = hi
+
+    def evict(self, engine: JoinEngine) -> None:
+        self.resolver.drop_range(engine, self.table, self.lo, self.hi)
+
+
+class CachedBaseResolver(DataResolver):
+    """Loads missing base-data ranges from the database (§3.3).
+
+    Tracks which ranges are cache-resident per table (the same disjoint
+    cover structure as join status ranges), fetches gaps in bulk, and
+    subscribes to the database so later changes flow into the cache —
+    where they trigger ordinary join maintenance.  Loaded ranges join
+    the server's LRU so memory pressure can push them out (§2.5).
+    """
+
+    def __init__(self, db: BackingDatabase, base_tables: Set[str]) -> None:
+        self.db = db
+        self.base_tables = set(base_tables)
+        self.presence: Dict[str, StatusTable] = {}
+        self._engine: Optional[JoinEngine] = None
+        self._subscriptions: Dict[tuple, object] = {}
+        self.ranges_loaded = 0
+        self.ranges_evicted = 0
+
+    def attach(self, engine: JoinEngine) -> None:
+        self._engine = engine
+
+    # -- DataResolver ----------------------------------------------------------
+    def ensure_range(self, engine: JoinEngine, table: str, lo: str, hi: str) -> None:
+        if table not in self.base_tables:
+            return
+        self._engine = engine
+        stable = self.presence.setdefault(table, StatusTable())
+        for gap_lo, gap_hi, sr in stable.pieces(lo, hi):
+            if sr is not None:
+                continue
+            rows = self.db.query(gap_lo, gap_hi)
+            tbl = engine.store.table(table)
+            for key, value in rows:
+                tbl.put(key, value)
+            fresh = StatusRange(gap_lo, gap_hi)
+            stable.add(fresh)
+            self.ranges_loaded += 1
+            self._subscriptions[(table, gap_lo, gap_hi)] = self.db.subscribe(
+                gap_lo, gap_hi, self._on_db_change
+            )
+            fresh.lru_entry = engine.lru.add(
+                CachedBaseRange(self, table, gap_lo, gap_hi)
+            )
+
+    def drop_range(self, engine: JoinEngine, table: str, lo: str, hi: str) -> None:
+        """Evict a cached base range: forget coverage, cancel the DB
+        subscription, and remove the rows (dependents invalidate via
+        ordinary REMOVE notifications)."""
+        stable = self.presence.get(table)
+        if stable is None:
+            return
+        for sr in stable.isolate(lo, hi):
+            stable.remove(sr)
+        sub = self._subscriptions.pop((table, lo, hi), None)
+        if sub is not None:
+            self.db.unsubscribe(sub)
+        engine._clear_range(lo, hi)
+        self.ranges_evicted += 1
+
+    # -- notification sink -------------------------------------------------------
+    def _on_db_change(
+        self,
+        key: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: ChangeKind,
+    ) -> None:
+        engine = self._engine
+        if engine is None:
+            return
+        # Only resident ranges are kept fresh; others reload on demand.
+        table = key.split("|", 1)[0]
+        stable = self.presence.get(table)
+        if stable is None or stable.find(key) is None:
+            return
+        if kind is ChangeKind.REMOVE:
+            engine.apply_remove(key)
+        else:
+            engine.apply_put(key, new_value or "")
+
+
+class _BaseDeployment:
+    """Shared wiring: a server, a database, and the resolver."""
+
+    def __init__(
+        self,
+        server: PequodServer,
+        db: BackingDatabase,
+        base_tables: Iterable[str],
+    ) -> None:
+        self.server = server
+        self.db = db
+        self.resolver = CachedBaseResolver(db, set(base_tables))
+        self.resolver.attach(server.engine)
+        server.set_resolver(self.resolver)
+
+    # Reads always come from the cache.
+    def get(self, key: str) -> Optional[str]:
+        return self.server.get(key)
+
+    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
+        return self.server.scan(first, last)
+
+    def drain(self, limit: Optional[int] = None) -> int:
+        """Deliver queued DB notifications (asynchronous deployments)."""
+        return self.db.drain_notifications(limit)
+
+
+class WriteAroundDeployment(_BaseDeployment):
+    """Application writes go to the database only (§2)."""
+
+    def put(self, key: str, value: str) -> None:
+        self.db.put(key, value)
+
+    def remove(self, key: str) -> None:
+        self.db.remove(key)
+
+
+class WriteThroughDeployment(_BaseDeployment):
+    """Writes go to both database and cache, synchronously."""
+
+    def put(self, key: str, value: str) -> None:
+        self.db.put(key, value)
+        # The DB notification may also deliver this write; applying it
+        # directly makes it visible immediately (read-your-own-writes).
+        self.server.put(key, value)
+
+    def remove(self, key: str) -> None:
+        self.db.remove(key)
+        self.server.remove(key)
+
+
+class LookasideDeployment(_BaseDeployment):
+    """Writes go directly to the cache (§5.1's configuration)."""
+
+    def __init__(
+        self,
+        server: PequodServer,
+        db: Optional[BackingDatabase] = None,
+        base_tables: Iterable[str] = (),
+    ) -> None:
+        super().__init__(server, db if db is not None else BackingDatabase(), base_tables)
+
+    def put(self, key: str, value: str) -> None:
+        self.server.put(key, value)
+
+    def remove(self, key: str) -> None:
+        self.server.remove(key)

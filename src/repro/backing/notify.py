@@ -1,0 +1,101 @@
+"""Change notifications from the backing store (paper §2).
+
+The paper connects Pequod to a database shard and instructs the
+database to forward updates for relevant tables/ranges "e.g., using
+Postgres's notify statement".  ``NotificationHub`` reproduces that
+contract: range subscriptions, and published changes delivered to every
+covering subscription.
+
+Delivery can be immediate (synchronous, for tests) or queued
+(asynchronous, the realistic mode — the paper's write-around deployment
+is eventually consistent because notification is asynchronous).  Queued
+deliveries drain in publish order via :meth:`drain`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..store.interval_tree import IntervalTree
+from ..core.operators import ChangeKind
+
+#: (key, old_value, new_value, kind)
+ChangeCallback = Callable[[str, Optional[str], Optional[str], ChangeKind], None]
+
+
+class Subscription:
+    """One registered range subscription."""
+
+    __slots__ = ("lo", "hi", "callback", "active")
+
+    def __init__(self, lo: str, hi: str, callback: ChangeCallback) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.callback = callback
+        self.active = True
+
+    def cancel(self) -> None:
+        self.active = False
+
+
+class NotificationHub:
+    """Range-subscription fan-out with optional queued delivery."""
+
+    def __init__(self, synchronous: bool = True) -> None:
+        self.synchronous = synchronous
+        self._subs = IntervalTree()
+        self._queue: Deque[Tuple[Subscription, str, Optional[str], Optional[str], ChangeKind]] = deque()
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, lo: str, hi: str, callback: ChangeCallback) -> Subscription:
+        """Deliver future changes to keys in ``[lo, hi)`` to ``callback``."""
+        if not lo < hi:
+            raise ValueError(f"empty subscription range [{lo!r}, {hi!r})")
+        sub = Subscription(lo, hi, callback)
+        self._subs.add(lo, hi, sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        sub.cancel()
+        self._subs.discard(sub.lo, sub.hi, sub)
+
+    def subscription_count(self) -> int:
+        return self._subs.payload_count()
+
+    def publish(
+        self,
+        key: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: ChangeKind,
+    ) -> int:
+        """Notify subscribers covering ``key``; returns match count."""
+        self.published += 1
+        matched = 0
+        for entry in self._subs.stab(key):
+            for sub in list(entry.payloads):
+                if not sub.active:
+                    continue
+                matched += 1
+                if self.synchronous:
+                    self.delivered += 1
+                    sub.callback(key, old_value, new_value, kind)
+                else:
+                    self._queue.append((sub, key, old_value, new_value, kind))
+        return matched
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def drain(self, limit: Optional[int] = None) -> int:
+        """Deliver queued notifications in order; returns count delivered."""
+        delivered = 0
+        while self._queue and (limit is None or delivered < limit):
+            sub, key, old, new, kind = self._queue.popleft()
+            if sub.active:
+                self.delivered += 1
+                delivered += 1
+                sub.callback(key, old, new, kind)
+        return delivered

@@ -1,0 +1,22 @@
+"""The §5.2 comparison systems, all behind one workload interface."""
+
+from .base import Tweet, TwipBackend, decode_tweet, encode_tweet
+from .client_pequod import ClientPequodBackend
+from .memcache_like import MemcacheLikeBackend, MemcacheLikeStore
+from .redis_like import RedisLikeBackend, RedisLikeStore
+from .sqlview import MatViewBackend, MiniRelDB, SqlViewBackend
+
+__all__ = [
+    "ClientPequodBackend",
+    "MatViewBackend",
+    "MemcacheLikeBackend",
+    "MemcacheLikeStore",
+    "MiniRelDB",
+    "RedisLikeBackend",
+    "RedisLikeStore",
+    "SqlViewBackend",
+    "Tweet",
+    "TwipBackend",
+    "decode_tweet",
+    "encode_tweet",
+]

@@ -1,0 +1,81 @@
+"""Common interface and metering for the Figure-7 comparison systems.
+
+The paper's §5.2 system comparison runs one Twip workload against five
+backends: Pequod with cache joins, "client Pequod" (clients maintain
+timelines), Redis, memcached, and PostgreSQL with trigger-maintained
+views.  Every backend here implements :class:`TwipBackend` so the
+workload driver is oblivious to which system it is driving.
+
+Fairness rests on metering: each backend charges every client↔server
+round trip (``rpcs``), every data-structure operation (hash jumps, tree
+descents, skiplist walks), and every byte moved.  The benchmark cost
+model (``repro.bench.costmodel``) converts those counters into modeled
+runtimes; the paper's ordering emerges from the work each architecture
+performs, not from tuned constants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..store.stats import StoreStats
+
+#: A delivered tweet: (time, poster, text).
+Tweet = Tuple[str, str, str]
+
+
+def encode_tweet(time: str, poster: str, text: str) -> str:
+    """The record format client-managed systems store in timelines."""
+    return f"{time}|{poster}|{text}"
+
+
+def decode_tweet(record: str) -> Tweet:
+    time, poster, text = record.split("|", 2)
+    return time, poster, text
+
+
+class TwipBackend:
+    """One system under test for the Twip workload.
+
+    Subclasses implement the five operations; ``meter`` accumulates the
+    work counters the cost model consumes.  ``backfill_limit`` bounds
+    how many of a newly-followed poster's old tweets are pulled into
+    the follower's timeline (client-managed systems do this app-side;
+    Pequod's lazy maintenance and SQL triggers do it in-system).
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.meter = StoreStats()
+
+    # -- the workload's five operations ---------------------------------------
+    def subscribe(self, user: str, poster: str) -> None:
+        raise NotImplementedError
+
+    def post(self, poster: str, time: str, text: str) -> None:
+        raise NotImplementedError
+
+    def timeline(self, user: str, since: str) -> List[Tweet]:
+        """Tweets by followed users with time >= since, time-sorted."""
+        raise NotImplementedError
+
+    def load_graph(self, edges) -> None:
+        """Bulk-load subscriptions (setup; charged separately)."""
+        for user, poster in edges:
+            self.subscribe(user, poster)
+
+    # -- metering --------------------------------------------------------------
+    def rpc(self, count: float = 1) -> None:
+        self.meter.add("rpcs", count)
+
+    def moved(self, nbytes: float) -> None:
+        self.meter.add("bytes_moved", nbytes)
+
+    def reset_meter(self) -> None:
+        self.meter.reset()
+
+    @staticmethod
+    def log_cost(size: int) -> float:
+        return math.log2(size + 2)

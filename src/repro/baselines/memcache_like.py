@@ -1,0 +1,92 @@
+"""A memcached-style cache: hash table of opaque strings (§5.2).
+
+"memcached [stores timelines] as a string to which tweets are
+appended."  There are no server-side data structures beyond the hash
+table, so:
+
+* posting appends the encoded tweet to every follower's timeline
+  string (one RPC per follower, like the other client-managed systems);
+* a timeline check must GET the *entire* timeline string and filter
+  client-side — memcached cannot range-query, so bytes moved grow with
+  timeline length.  This, plus append write amplification, is why the
+  paper measures memcached 3.98x slower on the write-heavier Twip mix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Tweet, TwipBackend, decode_tweet, encode_tweet
+
+SEP = "\x1e"  # record separator within appended timeline strings
+
+
+class MemcacheLikeStore:
+    """get / set / append over a plain hash table."""
+
+    def __init__(self, meter) -> None:
+        self.meter = meter
+        self.data: Dict[str, str] = {}
+
+    def set(self, key: str, value: str) -> None:
+        self.meter.hash_jump()
+        self.meter.add("bytes_written", len(value))
+        self.data[key] = value
+
+    def get(self, key: str) -> str:
+        self.meter.hash_jump()
+        return self.data.get(key, "")
+
+    def append(self, key: str, value: str) -> None:
+        self.meter.hash_jump()
+        self.meter.add("bytes_written", len(value))
+        self.data[key] = self.data.get(key, "") + value
+
+
+class MemcacheLikeBackend(TwipBackend):
+    name = "memcached"
+
+    def __init__(self, backfill_limit: int = 16) -> None:
+        super().__init__()
+        self.store = MemcacheLikeStore(self.meter)
+        self.backfill_limit = backfill_limit
+
+    def _append_record(self, key: str, record: str) -> None:
+        self.rpc()
+        self.moved(len(record))
+        self.store.append(key, record + SEP)
+
+    def subscribe(self, user: str, poster: str) -> None:
+        self._append_record(f"s:{user}", poster)
+        self._append_record(f"rs:{poster}", user)
+        # Backfill from the poster's post log.
+        self.rpc()
+        log = self.store.get(f"pl:{poster}")
+        self.moved(len(log))
+        records = [r for r in log.split(SEP) if r]
+        for record in records[-self.backfill_limit :]:
+            self._append_record(f"t:{user}", record)
+
+    def post(self, poster: str, time: str, text: str) -> None:
+        record = encode_tweet(time, poster, text)
+        self._append_record(f"pl:{poster}", record)
+        self.rpc()
+        followers_blob = self.store.get(f"rs:{poster}")
+        self.moved(len(followers_blob))
+        followers = [f for f in followers_blob.split(SEP) if f]
+        for user in followers:
+            self._append_record(f"t:{user}", record)
+
+    def timeline(self, user: str, since: str) -> List[Tweet]:
+        # The whole string comes back; filtering happens client-side.
+        self.rpc()
+        blob = self.store.get(f"t:{user}")
+        self.moved(len(blob))
+        out: List[Tweet] = []
+        for record in blob.split(SEP):
+            if not record:
+                continue
+            time, poster, text = decode_tweet(record)
+            if time >= since:
+                out.append((time, poster, text))
+        return sorted(out)

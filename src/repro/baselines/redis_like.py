@@ -1,0 +1,102 @@
+"""A Redis-style unordered cache with sorted-set values (§5.2).
+
+"Redis stores timelines as sorted sets of tweets" — the store is a hash
+table (O(1) key lookup; Redis's fundamental advantage over ordered
+stores, §6) whose timeline values are score-ordered collections.
+Sorted-set operations cost O(log n) like Redis's skiplists.
+
+Clients manage timelines exactly as in client Pequod: the posting
+client fans each tweet out to every follower, one RPC per timeline
+(Redis's 1.23x win over client Pequod is the hash table; its 1.33x loss
+to Pequod is the client-side fan-out RPCs).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Set, Tuple
+
+from .base import Tweet, TwipBackend, decode_tweet, encode_tweet
+
+
+class RedisLikeStore:
+    """Hash-table store: strings, sets, and sorted sets."""
+
+    def __init__(self, meter) -> None:
+        self.meter = meter
+        self.strings: Dict[str, str] = {}
+        self.sets: Dict[str, Set[str]] = {}
+        self.zsets: Dict[str, List[Tuple[str, str]]] = {}
+
+    # every command is one O(1) hash lookup plus structure-specific work
+    def set(self, key: str, value: str) -> None:
+        self.meter.hash_jump()
+        self.strings[key] = value
+
+    def get(self, key: str) -> str:
+        self.meter.hash_jump()
+        return self.strings.get(key, "")
+
+    def sadd(self, key: str, member: str) -> None:
+        self.meter.hash_jump()
+        self.sets.setdefault(key, set()).add(member)
+
+    def smembers(self, key: str) -> Set[str]:
+        self.meter.hash_jump()
+        return self.sets.get(key, set())
+
+    def zadd(self, key: str, score: str, member: str) -> None:
+        self.meter.hash_jump()
+        zset = self.zsets.setdefault(key, [])
+        self.meter.add("skiplist_cost", TwipBackend.log_cost(len(zset)))
+        bisect.insort(zset, (score, member))
+
+    def zrangebyscore(self, key: str, min_score: str) -> List[Tuple[str, str]]:
+        self.meter.hash_jump()
+        zset = self.zsets.get(key, [])
+        self.meter.add("skiplist_cost", TwipBackend.log_cost(len(zset)))
+        start = bisect.bisect_left(zset, (min_score, ""))
+        out = zset[start:]
+        self.meter.add("scanned_items", len(out))
+        return out
+
+
+class RedisLikeBackend(TwipBackend):
+    name = "redis"
+
+    def __init__(self, backfill_limit: int = 16) -> None:
+        super().__init__()
+        self.store = RedisLikeStore(self.meter)
+        self.backfill_limit = backfill_limit
+
+    def subscribe(self, user: str, poster: str) -> None:
+        self.rpc()
+        self.store.sadd(f"s:{user}", poster)
+        self.rpc()
+        self.store.sadd(f"rs:{poster}", user)
+        self.rpc()
+        recent = self.store.zrangebyscore(f"pl:{poster}", "")
+        for time, text in recent[-self.backfill_limit :]:
+            self.rpc()
+            self.moved(len(text))
+            self.store.zadd(f"t:{user}", time, encode_tweet(time, poster, text))
+
+    def post(self, poster: str, time: str, text: str) -> None:
+        self.rpc()
+        self.store.zadd(f"pl:{poster}", time, text)
+        self.rpc()
+        followers = self.store.smembers(f"rs:{poster}")
+        record = encode_tweet(time, poster, text)
+        for user in followers:
+            self.rpc()
+            self.moved(len(record))
+            self.store.zadd(f"t:{user}", time, record)
+
+    def timeline(self, user: str, since: str) -> List[Tweet]:
+        self.rpc()
+        rows = self.store.zrangebyscore(f"t:{user}", since)
+        out = []
+        for _, record in rows:
+            self.moved(len(record))
+            out.append(decode_tweet(record))
+        return sorted(out)

@@ -1,0 +1,37 @@
+"""Benchmark harness: cost model, experiment runners, reporting."""
+
+from .costmodel import DEFAULT_MODEL, DEFAULT_UNIT_COSTS_US, CostModel, modeled_runtime_us
+from .harness import (
+    ScalabilityPoint,
+    SystemRun,
+    figure7_backends,
+    run_figure7,
+    run_figure8,
+    run_figure8_point,
+    run_figure9,
+    run_figure9_point,
+    run_figure10,
+    run_figure10_point,
+)
+from .report import crossover_point, format_series, format_table, normalized
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_MODEL",
+    "DEFAULT_UNIT_COSTS_US",
+    "ScalabilityPoint",
+    "SystemRun",
+    "crossover_point",
+    "figure7_backends",
+    "format_series",
+    "format_table",
+    "modeled_runtime_us",
+    "normalized",
+    "run_figure7",
+    "run_figure8",
+    "run_figure8_point",
+    "run_figure9",
+    "run_figure9_point",
+    "run_figure10",
+    "run_figure10_point",
+]

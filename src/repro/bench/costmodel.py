@@ -1,0 +1,108 @@
+"""The deterministic cost model behind modeled runtimes.
+
+The paper's evaluation ran C++ servers on 32-core EC2 instances; a
+pure-Python reproduction cannot approach those absolute numbers, and
+wall-clock ratios between *Python* implementations would mostly measure
+interpreter artifacts.  Instead, every system in this repository counts
+the work it performs — RPC round trips, hash probes, tree descents,
+skiplist walks, SQL statement overheads, bytes moved — and this module
+converts the counters into a modeled runtime.
+
+Unit costs are stated in microseconds and drawn from well-known
+in-memory system magnitudes (sub-microsecond hash probes, ~1µs ordered-
+index descents, a few µs per kernel-bypass-free RPC, tens of µs per SQL
+statement for parse/plan/execute).  The Figure-7 ordering then *emerges*
+from architecture: Pequod does server-side fan-out on 1% of operations,
+client-managed caches pay one RPC per follower per post plus backfill
+RPCs per subscription, memcached re-ships whole timelines on every
+check, and the relational design pays statement overhead on every
+operation.  Change any constant within reason and the ordering is
+stable; the benchmarks print the breakdown so this is auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Unit costs in microseconds per counted unit.
+DEFAULT_UNIT_COSTS_US: Dict[str, float] = {
+    # client <-> server round trip (loopback TCP, event-driven server)
+    "rpcs": 2.0,
+    # O(1) hash-table probe (memcached/Redis lookup, subtable jump)
+    "hash_jumps": 0.15,
+    # ordered-index descent, per log2(n) level (RB tree, B-tree)
+    "tree_descent_cost": 0.07,
+    # Redis sorted-set (skiplist) walk, per log2(n) level
+    "skiplist_cost": 0.07,
+    # per item touched by a range scan / returned row
+    "scanned_items": 0.04,
+    # per byte shipped to a client (~500 MB/s effective with copies)
+    "bytes_moved": 0.002,
+    # per byte appended/written into a value
+    "bytes_written": 0.001,
+    # SQL statement overhead: parse, plan, execute, snapshot
+    "sql_statements": 18.0,
+    # per row read/written through the SQL executor
+    "sql_rows": 0.4,
+    # per row written by a trigger body (trigger invocation amortized)
+    "sql_trigger_rows": 0.8,
+    # join-engine events (on top of the store work they cause)
+    "updaters_fired": 0.10,
+    "outputs_installed": 0.05,
+    "pending_applied": 0.20,
+    "recomputations": 1.00,
+    "joins_executed": 0.10,
+    "source_keys_examined": 0.02,
+    # basic op dispatch (covered mostly by rpcs; small server-side cost)
+    "puts": 0.05,
+    "gets": 0.05,
+    "removes": 0.05,
+    "scans": 0.10,
+}
+
+
+class CostModel:
+    """Convert work counters into modeled runtimes.
+
+    ``overrides`` adjusts unit costs for sensitivity analysis; the
+    ablation benchmark uses this to show orderings are stable.
+    """
+
+    def __init__(self, overrides: Optional[Mapping[str, float]] = None) -> None:
+        self.unit_costs = dict(DEFAULT_UNIT_COSTS_US)
+        if overrides:
+            self.unit_costs.update(overrides)
+
+    def runtime_us(self, counters: Mapping[str, float]) -> float:
+        """Total modeled microseconds for a counter snapshot."""
+        return sum(
+            count * self.unit_costs[name]
+            for name, count in counters.items()
+            if name in self.unit_costs
+        )
+
+    def runtime_s(self, counters: Mapping[str, float]) -> float:
+        return self.runtime_us(counters) / 1e6
+
+    def breakdown(self, counters: Mapping[str, float]) -> Dict[str, float]:
+        """Per-component microseconds, largest first."""
+        parts = {
+            name: count * self.unit_costs[name]
+            for name, count in counters.items()
+            if name in self.unit_costs and count
+        }
+        return dict(sorted(parts.items(), key=lambda kv: -kv[1]))
+
+    def dominant(self, counters: Mapping[str, float]) -> Tuple[str, float]:
+        parts = self.breakdown(counters)
+        if not parts:
+            return ("nothing", 0.0)
+        name = next(iter(parts))
+        return name, parts[name]
+
+
+DEFAULT_MODEL = CostModel()
+
+
+def modeled_runtime_us(counters: Mapping[str, float]) -> float:
+    return DEFAULT_MODEL.runtime_us(counters)

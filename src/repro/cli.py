@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``serve``  — run a Pequod RPC server on TCP (optionally installing
+  joins from a file or the command line);
+* ``demo``   — the quickstart walkthrough;
+* ``bench``  — regenerate a paper experiment (fig7 / fig8 / fig9 /
+  fig10) and print its table or series;
+* ``joins``  — parse and validate a join file, printing the normalized
+  forms (a linter for cache-join specs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.grammar import parse_joins
+from .core.server import PequodServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pequod cache joins (NSDI '14) reproduction",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a Pequod RPC server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7709)
+    serve.add_argument(
+        "--join", action="append", default=[],
+        help="cache join spec to install at startup (repeatable)",
+    )
+    serve.add_argument(
+        "--join-file", default=None,
+        help="file of cache join specs (';'-separated, // comments)",
+    )
+    serve.add_argument(
+        "--subtable", action="append", default=[], metavar="TABLE:DEPTH",
+        help="mark a subtable boundary, e.g. t:2 (repeatable)",
+    )
+    serve.add_argument("--memory-limit", type=int, default=None)
+
+    sub.add_parser("demo", help="run the quickstart walkthrough")
+
+    bench = sub.add_parser("bench", help="regenerate a paper experiment")
+    bench.add_argument(
+        "experiment", choices=["fig7", "fig8", "fig9", "fig10"],
+    )
+    bench.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor on the canonical experiment size",
+    )
+
+    joins = sub.add_parser("joins", help="validate a cache-join file")
+    joins.add_argument("path")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "joins":
+        return _cmd_joins(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+# ----------------------------------------------------------------------
+def _cmd_serve(args) -> int:
+    from .net.rpc_server import RpcServer
+
+    config = {}
+    for spec in args.subtable:
+        table, _, depth = spec.partition(":")
+        if not depth.isdigit():
+            print(f"bad --subtable {spec!r}; expected TABLE:DEPTH",
+                  file=sys.stderr)
+            return 2
+        config[table] = int(depth)
+    server = PequodServer(
+        subtable_config=config or None, memory_limit=args.memory_limit
+    )
+    texts = list(args.join)
+    if args.join_file:
+        with open(args.join_file) as fh:
+            texts.append(fh.read())
+    for text in texts:
+        for join in server.add_join(text):
+            print(f"installed: {join.text}")
+
+    async def run() -> None:
+        rpc = RpcServer(server, args.host, args.port)
+        await rpc.start()
+        print(f"pequod {__version__} listening on {rpc.host}:{rpc.port}")
+        await rpc.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("bye")
+    return 0
+
+
+def _cmd_demo() -> int:
+    srv = PequodServer(subtable_config={"t": 2})
+    srv.add_join(
+        "t|<user>|<time>|<poster> = "
+        "check s|<user>|<poster> copy p|<poster>|<time>"
+    )
+    srv.put("s|ann|bob", "1")
+    srv.put("p|bob|0100", "hello, world!")
+    print("ann's timeline:", srv.scan("t|ann|", "t|ann}"))
+    srv.put("p|bob|0120", "again")
+    print("after another post:", srv.scan("t|ann|", "t|ann}"))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench.harness import (
+        run_figure7,
+        run_figure8,
+        run_figure9,
+        run_figure10,
+    )
+    from .bench.report import format_series, format_table, normalized
+
+    s = args.scale
+    if args.experiment == "fig7":
+        runs = run_figure7(
+            n_users=int(500 * s), mean_follows=15, total_ops=int(12000 * s)
+        )
+        base = next(r.modeled_us for r in runs if r.name == "pequod")
+        rows = [
+            (r.name, f"{r.modeled_us / 1e6:.4f} s",
+             normalized(r.modeled_us, base))
+            for r in runs
+        ]
+        print(format_table(["System", "Modeled runtime", "Factor"], rows,
+                           title="Figure 7 — Twip system comparison"))
+    elif args.experiment == "fig8":
+        pcts = (1, 10, 30, 50, 70, 90, 100)
+        data = run_figure8(
+            n_users=int(200 * s), mean_follows=8, posts=int(250 * s),
+            active_pcts=pcts,
+        )
+        series = {
+            name: [r.modeled_us / 1e3 for r in runs]
+            for name, runs in data.items()
+        }
+        print(format_series("%active", list(pcts), series,
+                            title="Figure 8 — materialization (modeled ms)"))
+    elif args.experiment == "fig9":
+        rates = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+        data = run_figure9(vote_rates=rates, scale=s)
+        series = {
+            name: [r.modeled_us / 1e3 for r in runs]
+            for name, runs in data.items()
+        }
+        print(format_series("vote%", [int(r * 100) for r in rates], series,
+                            title="Figure 9 — Newp joins (modeled ms)"))
+    else:
+        points = run_figure10(
+            server_counts=(3, 6, 9, 12), n_users=int(300 * s),
+            mean_follows=10, total_ops=int(6000 * s),
+        )
+        rows = [
+            (p.compute_servers, f"{p.throughput_qps / 1e6:.2f}M",
+             f"{p.subscription_fraction * 100:.1f}%")
+            for p in points
+        ]
+        print(format_table(["servers", "modeled qps", "sub traffic"], rows,
+                           title="Figure 10 — scalability"))
+    return 0
+
+
+def _cmd_joins(args) -> int:
+    try:
+        with open(args.path) as fh:
+            joins = parse_joins(fh.read())
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:
+        print(f"invalid join spec: {exc}", file=sys.stderr)
+        return 1
+    # Installation-time validation catches cycles and pull misuse.
+    probe = PequodServer()
+    for join in joins:
+        try:
+            probe.add_join(join)
+        except Exception as exc:
+            print(f"rejected: {join.text}\n  {exc}", file=sys.stderr)
+            return 1
+        print(f"ok: {join.text}")
+    return 0

@@ -1,0 +1,48 @@
+"""Clock abstraction for snapshot-join expiry and LRU decisions.
+
+``snapshot T`` joins (paper §3.4) cache results for ``T`` seconds.
+Benchmarks and tests need deterministic time, so the server takes an
+injectable clock: :class:`SystemClock` for real deployments,
+:class:`SimClock` for simulation and tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: monotonically non-decreasing seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall time from ``time.monotonic()``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class SimClock(Clock):
+    """Manually advanced time for tests and the simulated network."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError("time cannot move backwards")
+        self._now = float(t)

@@ -1,0 +1,127 @@
+"""Eviction under memory pressure (paper §2.5).
+
+Pequod evicts least-recently-used *ranges*: computed join outputs,
+remote subscribed copies, and cached base data.  Evicting a range
+removes its keys and invalidates dependent computed data — dependents
+see ordinary REMOVE notifications, so downstream copies retract and
+downstream check-ranges invalidate, giving the paper's transitive
+effect for free.
+
+The engine tracks join status ranges in its LRU automatically.  Other
+layers (the database deployment's cached base ranges, the distributed
+layer's remote subscriptions) register :class:`Evictable` payloads on
+the same list, so one policy covers all three kinds of data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .executor import JoinEngine
+from .status import StatusRange
+
+
+class Evictable:
+    """Interface for non-status-range LRU payloads."""
+
+    def evict(self, engine: JoinEngine) -> None:
+        raise NotImplementedError
+
+
+#: Eviction policies: plain LRU (the paper's prototype) and the
+#: paper's suggested improvement — weigh reload cost against bytes.
+POLICY_LRU = "lru"
+POLICY_COST = "cost"
+
+
+class EvictionManager:
+    """Range eviction driving a :class:`JoinEngine`'s tracked ranges.
+
+    ``policy="lru"`` evicts the coldest range (§2.5's prototype
+    behaviour).  ``policy="cost"`` examines the ``window`` coldest
+    candidates and evicts the one freeing the most bytes per unit of
+    recorded recomputation cost — "considering the expected costs of
+    reloading a range", the improvement §2.5 proposes.
+    """
+
+    def __init__(
+        self,
+        engine: JoinEngine,
+        limit_bytes: Optional[int] = None,
+        policy: str = POLICY_LRU,
+        window: int = 8,
+    ) -> None:
+        if policy not in (POLICY_LRU, POLICY_COST):
+            raise ValueError(f"unknown eviction policy {policy!r}")
+        self.engine = engine
+        self.limit_bytes = limit_bytes
+        self.policy = policy
+        self.window = window
+        self.evictions = 0
+
+    def over_limit(self) -> bool:
+        return (
+            self.limit_bytes is not None
+            and self.engine.memory_bytes() > self.limit_bytes
+        )
+
+    def maybe_evict(self) -> int:
+        """Evict ranges until under the limit; returns count evicted."""
+        count = 0
+        while self.over_limit():
+            if not self.evict_one():
+                break
+            count += 1
+        return count
+
+    def evict_one(self) -> bool:
+        """Evict one range chosen by the configured policy."""
+        entry = self._choose()
+        if entry is None:
+            return False
+        self.engine.lru.remove(entry)
+        payload = entry.payload
+        if isinstance(payload, Evictable):
+            payload.evict(self.engine)
+        else:
+            tbl_name, sr = payload  # type: Tuple[str, StatusRange]
+            self._evict_status_range(tbl_name, sr)
+        self.evictions += 1
+        self.engine.stats.add("evictions")
+        return True
+
+    def _choose(self):
+        if self.policy == POLICY_LRU:
+            return self.engine.lru.coldest()
+        best = None
+        best_score = -1.0
+        examined = 0
+        for entry in self.engine.lru:
+            if entry.pinned:
+                continue
+            examined += 1
+            score = self._score(entry.payload)
+            if score > best_score:
+                best, best_score = entry, score
+            if examined >= self.window:
+                break
+        return best
+
+    def _score(self, payload) -> float:
+        """Bytes freed per unit of recompute cost (higher = evict first)."""
+        if isinstance(payload, Evictable):
+            return 1.0  # remote/base ranges: reload cost is one fetch
+        _, sr = payload
+        freed = 0
+        for node in self.engine.store.scan_nodes(sr.lo, sr.hi):
+            freed += len(node.key) + 64
+        return freed / (1.0 + sr.compute_cost)
+
+    def _evict_status_range(self, tbl_name: str, sr: StatusRange) -> None:
+        # Removing the keys sends REMOVE notifications downstream, which
+        # retracts or invalidates dependent computed data transitively.
+        self.engine._clear_range(sr.lo, sr.hi)
+        stable = self.engine.status.get(tbl_name)
+        if stable is not None:
+            stable.remove(sr)
+        sr.lru_entry = None

@@ -1,0 +1,874 @@
+"""Cache-join query execution and incremental maintenance.
+
+This module is the engine room of the reproduction: the key-value
+variant of nested-loop join execution from paper §3.1 (Figures 3–4),
+the installation of join status ranges and updaters during execution
+from §3.2 (Figure 5), eager maintenance and lazy invalidation, pending
+log application, snapshot expiry, and missing-data resolution (§3.3).
+
+Execution of a scan over a join's output range proceeds as:
+
+1. Derive slot constraints from the requested range.
+2. For each source in order, compute its *containing range*, resolve
+   missing data (recursive joins, database, remote servers), install an
+   updater for the range, and enumerate matching keys, augmenting the
+   constraint set.
+3. At the innermost level, expand the output key, re-check it against
+   the requested range, and install the value (or fold it into an
+   aggregate accumulator).
+
+Writes run the other direction: a store modification stabs the source
+table's updater interval tree; eager updaters re-execute the remaining
+nested loops (for the common value-source-last join this is a single
+O(1) insert), lazy updaters log partial invalidations or mark ranges
+for recomputation.
+
+Staleness safety: recomputing a status range bumps its *generation*.
+Eager updaters apply only to ranges whose generation matches the one
+they were installed under, so updaters derived from since-retracted
+check tuples become inert exactly when the paper would have removed
+them ("complete invalidation removes installed updaters").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..store.keys import clamp_range, key_successor, prefix_upper_bound
+from ..store.lru import LRUList
+from ..store.stats import StoreStats
+from ..store.store import OrderedStore
+from ..store.table import Table
+from ..store.values import SharedValue, Value, materialize
+from .clock import Clock, SystemClock
+from .joins import CacheJoin, JoinError
+from .operators import COPY, AggValue, ChangeKind, UpdateOutcome
+from .ranges import SlotConstraints
+from .status import PendingEntry, RangeState, StatusRange, StatusTable
+from .updaters import Updater, install_updater
+
+
+class DataResolver:
+    """Hook for loading missing source data (paper §3.3).
+
+    Local deployments leave this unset; database-backed deployments and
+    distributed nodes install resolvers that fetch ranges from the
+    backing store or from home servers before join execution proceeds.
+    """
+
+    def ensure_range(self, engine: "JoinEngine", table: str, lo: str, hi: str) -> None:
+        raise NotImplementedError
+
+
+#: Change callback: (key, old_value, new_value, kind).  Used by the
+#: distributed layer for cross-server subscriptions and by tests.
+ChangeListener = Callable[[str, Optional[str], Optional[str], ChangeKind], None]
+
+
+class JoinEngine:
+    """Join execution and maintenance over one server's store."""
+
+    def __init__(
+        self,
+        store: OrderedStore,
+        clock: Optional[Clock] = None,
+        stats: Optional[StoreStats] = None,
+        enable_sharing: bool = True,
+        enable_hints: bool = True,
+    ) -> None:
+        self.store = store
+        self.clock = clock if clock is not None else SystemClock()
+        self.stats = stats if stats is not None else store.stats
+        self.enable_sharing = enable_sharing
+        self.enable_hints = enable_hints
+        self.joins: List[CacheJoin] = []
+        self._output_joins: Dict[str, List[CacheJoin]] = {}
+        self.status: Dict[str, StatusTable] = {}
+        self.resolver: Optional[DataResolver] = None
+        self.lru = LRUList()
+        self.listeners: List[ChangeListener] = []
+        self.updater_bytes = 0
+
+    # ==================================================================
+    # Join installation
+    # ==================================================================
+    def add_join(self, join: CacheJoin) -> CacheJoin:
+        """Install a validated cache join ("add-join RPC", §3).
+
+        Rejects circular chains of joins (the paper forbids them) and
+        joins that source a pull join's output, which is never
+        materialized and therefore unavailable to source scans.
+        """
+        deps = self._table_dependencies()
+        deps.setdefault(join.output.table, set()).update(join.source_tables())
+        if self._has_cycle(deps):
+            raise JoinError(
+                f"installing {join.text!r} would create a circular join chain"
+            )
+        for src in join.sources:
+            for other in self.joins:
+                if other.is_pull and other.output.table == src.pattern.table:
+                    raise JoinError(
+                        f"source table {src.pattern.table!r} is the output of "
+                        f"pull join {other.text!r}; pull outputs are never "
+                        "materialized and cannot feed other joins"
+                    )
+        if join.is_pull:
+            for other in self.joins:
+                if join.output.table in other.source_tables():
+                    raise JoinError(
+                        f"pull join {join.text!r} would output into a table "
+                        f"sourced by {other.text!r}"
+                    )
+        self.joins.append(join)
+        self._output_joins.setdefault(join.output.table, []).append(join)
+        self.status.setdefault(join.output.table, StatusTable())
+        self.stats.add("joins_installed")
+        return join
+
+    def joins_for_table(self, table: str) -> List[CacheJoin]:
+        return self._output_joins.get(table, [])
+
+    def _table_dependencies(self) -> Dict[str, set]:
+        deps: Dict[str, set] = {}
+        for join in self.joins:
+            deps.setdefault(join.output.table, set()).update(join.source_tables())
+        return deps
+
+    @staticmethod
+    def _has_cycle(deps: Dict[str, set]) -> bool:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in deps}
+
+        def visit(node: str) -> bool:
+            color[node] = GRAY
+            for nxt in deps.get(node, ()):
+                state = color.get(nxt, WHITE)
+                if state == GRAY:
+                    return True
+                if state == WHITE and nxt in deps and visit(nxt):
+                    return True
+            color[node] = BLACK
+            return False
+
+        return any(color[n] == WHITE and visit(n) for n in list(deps))
+
+    # ==================================================================
+    # Read path
+    # ==================================================================
+    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
+        """Ordered pairs in ``[first, last)``, computing joins on demand."""
+        if not first < last:
+            return []
+        self.validate_range(first, last)
+        stored = self.store.scan(first, last)
+        pulled = self._pull_results(first, last)
+        if not pulled:
+            return stored
+        return self._merge_results(stored, pulled)
+
+    def get(self, key: str) -> Optional[str]:
+        """Single-key read; overlapping joins are computed as needed."""
+        hi = key_successor(key)
+        self.validate_range(key, hi)
+        value = self.store.get(key)
+        if value is None:
+            for k, v in self._pull_results(key, hi):
+                if k == key:
+                    return v
+        return value
+
+    def validate_range(self, first: str, last: str) -> None:
+        """Bring every overlapping join output in ``[first, last)`` up
+        to date: compute gaps, recompute invalid/expired ranges, apply
+        pending partial invalidations (§3.2)."""
+        for tbl_name, joins in self._output_joins.items():
+            materialized = [j for j in joins if not j.is_pull]
+            if not materialized:
+                continue
+            t_lo, t_hi = clamp_range(
+                first, last, tbl_name, prefix_upper_bound(tbl_name)
+            )
+            if not t_lo < t_hi:
+                continue
+            self._validate_table(tbl_name, materialized, t_lo, t_hi)
+
+    def _validate_table(
+        self, tbl_name: str, joins: List[CacheJoin], lo: str, hi: str
+    ) -> None:
+        stable = self.status[tbl_name]
+        now = self.clock.now()
+        # pieces() snapshots the cover; computation below may split it.
+        for piece_lo, piece_hi, sr in stable.pieces(lo, hi):
+            if sr is None:
+                self._compute_piece(tbl_name, stable, joins, piece_lo, piece_hi)
+            elif not sr.is_valid_at(now):
+                for part in stable.isolate(piece_lo, piece_hi):
+                    self._ensure_tracked(tbl_name, part)
+                    self._recompute_range(tbl_name, stable, joins, part)
+            elif sr.pending:
+                for part in stable.isolate(piece_lo, piece_hi):
+                    self._ensure_tracked(tbl_name, part)
+                    self._apply_pending(tbl_name, stable, part)
+                    self._touch(part)
+            else:
+                self._touch(sr)
+
+    def _touch(self, sr: StatusRange) -> None:
+        if sr.lru_entry is not None and sr.lru_entry.linked():
+            self.lru.touch(sr.lru_entry)
+
+    def _ensure_tracked(self, tbl_name: str, sr: StatusRange) -> None:
+        if sr.lru_entry is None or not sr.lru_entry.linked():
+            sr.lru_entry = self.lru.add((tbl_name, sr))
+
+    # ------------------------------------------------------------------
+    def _compute_piece(
+        self,
+        tbl_name: str,
+        stable: StatusTable,
+        joins: List[CacheJoin],
+        lo: str,
+        hi: str,
+    ) -> None:
+        """Forward-execute all joins for a never-computed gap."""
+        sr = StatusRange(lo, hi, RangeState.VALID)
+        stable.add(sr)
+        self._ensure_tracked(tbl_name, sr)
+        self._fill_range(joins, sr)
+
+    def _recompute_range(
+        self,
+        tbl_name: str,
+        stable: StatusTable,
+        joins: List[CacheJoin],
+        sr: StatusRange,
+    ) -> None:
+        """Recompute an invalid or expired range from scratch."""
+        self.stats.add("recomputations")
+        self._clear_range(sr.lo, sr.hi)
+        sr.state = RangeState.VALID
+        sr.pending.clear()
+        sr.hint = None
+        sr.expires_at = None
+        sr.generation += 1  # retires updaters from the previous build
+        self._fill_range(joins, sr)
+
+    def _fill_range(self, joins: List[CacheJoin], sr: StatusRange) -> None:
+        expiry: Optional[float] = None
+        cost_before = (
+            self.stats.get("source_keys_examined")
+            + self.stats.get("outputs_installed")
+        )
+        for join in joins:
+            self._execute_join(join, sr.lo, sr.hi, sr=sr, results=None)
+            if join.is_snapshot:
+                candidate = self.clock.now() + float(join.snapshot_interval or 0)
+                expiry = candidate if expiry is None else min(expiry, candidate)
+        sr.expires_at = expiry
+        sr.compute_cost = (
+            self.stats.get("source_keys_examined")
+            + self.stats.get("outputs_installed")
+            - cost_before
+        )
+
+    def _clear_range(self, lo: str, hi: str) -> None:
+        """Remove stale outputs, notifying downstream joins of removals."""
+        doomed = [
+            (node.key, materialize(node.value))
+            for node in self.store.scan_nodes(lo, hi)
+        ]
+        for key, old in doomed:
+            tbl = self.store.existing_table_for_key(key)
+            if tbl is not None and tbl.remove(key) is not None:
+                self.notify_change(key, old, None, ChangeKind.REMOVE)
+
+    # ==================================================================
+    # Forward execution (Figures 3 and 5)
+    # ==================================================================
+    def _execute_join(
+        self,
+        join: CacheJoin,
+        out_lo: str,
+        out_hi: str,
+        sr: Optional[StatusRange],
+        results: Optional[List[Tuple[str, str]]],
+    ) -> None:
+        """Run ``join`` over output range ``[out_lo, out_hi)``.
+
+        With ``sr`` set, outputs are installed into the store and (for
+        push joins) updaters are installed — Figure 5.  With ``results``
+        set instead, outputs are appended to the list without touching
+        the store — the pull path (§3.4) and Figure 3.
+        """
+        cs = SlotConstraints.for_output_range(join.output, out_lo, out_hi)
+        if not cs.compatible:
+            return
+        self.stats.add("joins_executed")
+        agg: Optional[Dict[str, AggValue]] = {} if join.is_aggregate else None
+        self._exec_source(
+            join, 0, cs, out_lo, out_hi, None, sr, results, agg,
+            mode=ChangeKind.INSERT, skip_source=None,
+        )
+        if agg is not None:
+            for out_key in sorted(agg):
+                acc = agg[out_key]
+                if acc.count <= 0:
+                    continue
+                if results is not None:
+                    results.append((out_key, acc.payload))
+                else:
+                    assert sr is not None
+                    self._install_output(out_key, acc, sr)
+
+    def _exec_source(
+        self,
+        join: CacheJoin,
+        idx: int,
+        cs: SlotConstraints,
+        out_lo: str,
+        out_hi: str,
+        value: Optional[Value],
+        sr: Optional[StatusRange],
+        results: Optional[List[Tuple[str, str]]],
+        agg: Optional[Dict[str, AggValue]],
+        mode: ChangeKind,
+        skip_source: Optional[int],
+    ) -> None:
+        if idx == len(join.sources):
+            self._emit(join, cs, out_lo, out_hi, value, sr, results, agg, mode)
+            return
+        if idx == skip_source:
+            # This source's key is pinned (updater fire or pending
+            # application); its slots are already merged into ``cs``.
+            self._exec_source(
+                join, idx + 1, cs, out_lo, out_hi, value, sr, results, agg,
+                mode, skip_source,
+            )
+            return
+        src = join.sources[idx]
+        lo, hi = cs.containing_range(src.pattern)
+        if not lo < hi:
+            return
+        self._ensure_source_data(src.pattern.table, lo, hi)
+        if sr is not None and join.is_push and mode is ChangeKind.INSERT:
+            self._install_updater_for(join, idx, cs, out_lo, out_hi, lo, hi, sr)
+        table = self.store.table(src.pattern.table)
+        share = (
+            src.operator == COPY
+            and self.enable_sharing
+            and results is None
+        )
+        for node in list(table.scan_nodes(lo, hi)):
+            self.stats.add("source_keys_examined")
+            match = src.pattern.match(node.key)
+            if match is None:
+                continue
+            child = cs.child_with(match)
+            if child is None:
+                continue
+            v = value
+            if idx == join.value_index:
+                if share:
+                    v = self._promote_shared(table, node)
+                else:
+                    v = materialize(node.value)
+            self._exec_source(
+                join, idx + 1, child, out_lo, out_hi, v, sr, results, agg,
+                mode, skip_source,
+            )
+
+    def _promote_shared(self, table: Table, node) -> Value:
+        """Promote a copy source's value to a SharedValue (§4.3)."""
+        if isinstance(node.value, SharedValue):
+            return node.value
+        if not isinstance(node.value, str):
+            return materialize(node.value)  # aggregate sources stay private
+        shared = SharedValue(node.value)
+        table.replace_node_value(node, shared)
+        return shared
+
+    def _emit(
+        self,
+        join: CacheJoin,
+        cs: SlotConstraints,
+        out_lo: str,
+        out_hi: str,
+        value: Optional[Value],
+        sr: Optional[StatusRange],
+        results: Optional[List[Tuple[str, str]]],
+        agg: Optional[Dict[str, AggValue]],
+        mode: ChangeKind,
+    ) -> None:
+        out_key = join.output.expand(cs.exact)
+        if not (out_lo <= out_key < out_hi):
+            return  # emission re-check keeps over-approximate ranges exact
+        if agg is not None:
+            acc = agg.get(out_key)
+            if acc is None:
+                acc = agg[out_key] = AggValue(join.value_source.operator)
+            acc.include(materialize(value) if value is not None else "")
+            return
+        if mode is ChangeKind.REMOVE:
+            self._remove_output(out_key)
+            return
+        assert value is not None
+        if results is not None:
+            results.append((out_key, materialize(value)))
+            return
+        assert sr is not None
+        self._install_output(out_key, value, sr)
+
+    def _install_output(self, key: str, value: Value, sr: StatusRange) -> None:
+        table = self.store.table_for_key(key)
+        hint = sr.hint if self.enable_hints else None
+        handle, old = table.put(key, value, hint=hint)
+        if self.enable_hints:
+            sr.hint = handle
+        self.stats.add("outputs_installed")
+        kind = ChangeKind.INSERT if old is None else ChangeKind.UPDATE
+        self.notify_change(
+            key,
+            materialize(old) if old is not None else None,
+            materialize(value),
+            kind,
+        )
+
+    def _remove_output(self, key: str) -> None:
+        table = self.store.existing_table_for_key(key)
+        if table is None:
+            return
+        old = table.remove(key)
+        if old is not None:
+            self.stats.add("outputs_removed")
+            self.notify_change(key, materialize(old), None, ChangeKind.REMOVE)
+
+    # ------------------------------------------------------------------
+    def _install_updater_for(
+        self,
+        join: CacheJoin,
+        idx: int,
+        cs: SlotConstraints,
+        out_lo: str,
+        out_hi: str,
+        src_lo: str,
+        src_hi: str,
+        sr: StatusRange,
+    ) -> None:
+        src = join.sources[idx]
+        updater = Updater(
+            join,
+            idx,
+            context=dict(cs.exact),
+            output_lo=out_lo,
+            output_hi=out_hi,
+            lazy=src.is_check and not src.is_eager_check,
+            source_lo=src_lo,
+            source_hi=src_hi,
+            generation=sr.generation,
+        )
+        updater.context = updater.compressed_context()
+        table = self.store.table(src.pattern.table)
+        stored = install_updater(table, updater)
+        if stored is updater:
+            self.stats.add("updaters_installed")
+            self.updater_bytes += updater.memory_size()
+
+    def _ensure_source_data(self, tbl_name: str, lo: str, hi: str) -> None:
+        """Resolve missing source data before scanning (§3.3)."""
+        if tbl_name in self._output_joins:
+            # The source range may be another join's output: recurse.
+            self.validate_range(lo, hi)
+        if self.resolver is not None:
+            self.resolver.ensure_range(self, tbl_name, lo, hi)
+
+    # ==================================================================
+    # Pull joins (§3.4)
+    # ==================================================================
+    def _pull_results(self, first: str, last: str) -> List[Tuple[str, str]]:
+        out: List[Tuple[str, str]] = []
+        for join in self.joins:
+            if not join.is_pull:
+                continue
+            tbl = join.output.table
+            lo, hi = clamp_range(first, last, tbl, prefix_upper_bound(tbl))
+            if not lo < hi:
+                continue
+            self.stats.add("pull_executions")
+            self._execute_join(join, lo, hi, sr=None, results=out)
+        out.sort()
+        return out
+
+    @staticmethod
+    def _merge_results(
+        stored: List[Tuple[str, str]], pulled: List[Tuple[str, str]]
+    ) -> List[Tuple[str, str]]:
+        """Merge sorted result lists; stored (maintained) pairs win ties."""
+        out: List[Tuple[str, str]] = []
+        i = j = 0
+        while i < len(stored) and j < len(pulled):
+            if stored[i][0] < pulled[j][0]:
+                out.append(stored[i])
+                i += 1
+            elif pulled[j][0] < stored[i][0]:
+                out.append(pulled[j])
+                j += 1
+            else:
+                out.append(stored[i])
+                i += 1
+                j += 1
+        out.extend(stored[i:])
+        out.extend(pulled[j:])
+        return out
+
+    # ==================================================================
+    # Write path: notification and maintenance (§3.2)
+    # ==================================================================
+    def apply_put(self, key: str, value: str) -> None:
+        """A client or upstream write: store it and run maintenance."""
+        table = self.store.table_for_key(key)
+        _, old = table.put(key, value)
+        kind = ChangeKind.INSERT if old is None else ChangeKind.UPDATE
+        self.notify_change(
+            key, materialize(old) if old is not None else None, value, kind
+        )
+
+    def apply_remove(self, key: str) -> bool:
+        table = self.store.existing_table_for_key(key)
+        if table is None:
+            return False
+        old = table.remove(key)
+        if old is None:
+            return False
+        self.notify_change(key, materialize(old), None, ChangeKind.REMOVE)
+        return True
+
+    def notify_change(
+        self,
+        key: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: ChangeKind,
+    ) -> None:
+        """Run every updater covering ``key`` (§3.2), then listeners."""
+        table = self.store.existing_table_for_key(key)
+        if table is not None and table.updaters:
+            entries = table.updaters.stab(key)
+            copy_value: Optional[Value] = None
+            if entries and kind is not ChangeKind.REMOVE:
+                # Promote the source value once per notification, not
+                # once per updater — a post fanning out to hundreds of
+                # timelines shares one buffer (§4.3).
+                if self.enable_sharing:
+                    copy_value = self._shared_source_value(key, new_value or "")
+                else:
+                    copy_value = new_value or ""
+            for entry in entries:
+                for updater in list(entry.payloads):
+                    self._fire_updater(
+                        table, entry, updater, key, old_value, new_value,
+                        kind, copy_value,
+                    )
+        for listener in self.listeners:
+            listener(key, old_value, new_value, kind)
+
+    def _fire_updater(
+        self,
+        table: Table,
+        entry,
+        updater: Updater,
+        key: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: ChangeKind,
+        copy_value: Optional[Value],
+    ) -> None:
+        stable = self.status.get(updater.join.output.table)
+        if stable is None:
+            return
+        if not stable.overlapping(updater.output_lo, updater.output_hi):
+            # Entire output range evicted: lazily garbage-collect (§2.5).
+            table.updaters.discard(entry.lo, entry.hi, updater)
+            self.updater_bytes -= updater.memory_size()
+            self.stats.add("updaters_collected")
+            return
+        self.stats.add("updaters_fired")
+        if updater.lazy:
+            self._fire_lazy(stable, updater, key, old_value, new_value, kind)
+        else:
+            self._fire_eager(
+                stable, updater, key, old_value, new_value, kind, copy_value
+            )
+
+    # ------------------------------------------------------------------
+    def _fire_lazy(
+        self,
+        stable: StatusTable,
+        updater: Updater,
+        key: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: ChangeKind,
+    ) -> None:
+        """Invalidate: partial (logged) for inserts, complete for removes.
+
+        A removed check tuple invalidates completely because eager
+        updaters derived from it must be retired; recomputation from
+        scratch rebuilds exactly the surviving updaters (§3.2).
+        """
+        if kind is ChangeKind.UPDATE:
+            return  # check sources: values are uninteresting
+        src = updater.join.sources[updater.source_index]
+        match = src.pattern.match(key)
+        if match is None:
+            return
+        merged = dict(updater.context)
+        for name, val in match.items():
+            if merged.setdefault(name, val) != val:
+                return
+        if kind is ChangeKind.INSERT:
+            self.stats.add("partial_invalidations")
+            pending = PendingEntry(
+                updater.join, updater.source_index, key, old_value, new_value,
+                kind,
+            )
+            for sr in stable.overlapping(updater.output_lo, updater.output_hi):
+                if sr.state is RangeState.VALID:
+                    sr.pending.append(pending)
+        else:
+            self.stats.add("complete_invalidations")
+            for sr in stable.overlapping(updater.output_lo, updater.output_hi):
+                sr.invalidate()
+
+    def _apply_pending(
+        self, tbl_name: str, stable: StatusTable, sr: StatusRange
+    ) -> None:
+        """Apply this range's pending log before serving a read (§3.2).
+
+        Each entry re-executes the join with the changed source key
+        pinned, restricted to this (already isolated) output range; only
+        the work the query strictly requires is performed.
+        """
+        pending, sr.pending = sr.pending, []
+        for i, entry in enumerate(pending):
+            self.stats.add("pending_applied")
+            cs = SlotConstraints.for_output_range(entry.join.output, sr.lo, sr.hi)
+            if not cs.compatible:
+                continue
+            src = entry.join.sources[entry.source_index]
+            match = src.pattern.match(entry.key)
+            if match is None:
+                continue
+            child = cs.child_with(match)
+            if child is None:
+                continue  # irrelevant to this output range
+            if entry.join.is_aggregate:
+                # Aggregates cannot be patched tuple-by-tuple without
+                # group context; recompute this range instead.
+                joins = [
+                    j for j in self.joins_for_table(tbl_name) if not j.is_pull
+                ]
+                self._recompute_range(tbl_name, stable, joins, sr)
+                return
+            self._exec_source(
+                entry.join, 0, child, sr.lo, sr.hi, None, sr, None, None,
+                mode=ChangeKind.INSERT, skip_source=entry.source_index,
+            )
+
+    # ------------------------------------------------------------------
+    def _fire_eager(
+        self,
+        stable: StatusTable,
+        updater: Updater,
+        key: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: ChangeKind,
+        copy_value: Optional[Value],
+    ) -> None:
+        """Apply a value-source change to the output immediately."""
+        join = updater.join
+        src = join.sources[updater.source_index]
+        match = src.pattern.match(key)
+        if match is None:
+            return
+        cs = SlotConstraints(exact=dict(updater.context))
+        child = cs.child_with(match)
+        if child is None:
+            return
+        if src.is_check:
+            # The echeck extension: eager maintenance of a check source.
+            self._fire_eager_check(stable, updater, child, kind)
+            return
+        if join.is_aggregate:
+            self._eager_aggregate(
+                stable, updater, child, old_value, new_value, kind
+            )
+            return
+        # Copy join: re-execute the remaining sources with this key
+        # pinned.  For the common value-source-last join this recursion
+        # bottoms out immediately in a single insert or remove.
+        value: Value
+        if kind is ChangeKind.REMOVE:
+            value = old_value or ""
+            mode = ChangeKind.REMOVE
+        else:
+            value = copy_value if copy_value is not None else (new_value or "")
+            mode = ChangeKind.INSERT
+        applied = False
+        for sr in stable.overlapping(updater.output_lo, updater.output_hi):
+            if sr.state is not RangeState.VALID:
+                continue
+            if sr.generation != updater.generation:
+                continue  # superseded by a recomputation
+            lo, hi = clamp_range(updater.output_lo, updater.output_hi, sr.lo, sr.hi)
+            if not lo < hi:
+                continue
+            applied = True
+            self._exec_source(
+                join, updater.source_index + 1, child, lo, hi, value, sr,
+                None, None, mode=mode, skip_source=updater.source_index,
+            )
+        if applied:
+            self.stats.add("eager_updates")
+
+    def _fire_eager_check(
+        self,
+        stable: StatusTable,
+        updater: Updater,
+        cs: SlotConstraints,
+        kind: ChangeKind,
+    ) -> None:
+        """Eagerly maintain an ``echeck`` source (extension, §3.2).
+
+        Inserted check tuples re-execute the join with the new key
+        pinned, flowing matching outputs in immediately — a new
+        subscription's backfill happens at write time instead of on the
+        next read.  Removals still invalidate completely: retiring the
+        eager updaters derived from the dead tuple requires a
+        generation bump.  Aggregates likewise fall back to
+        invalidation, since group membership cannot be patched without
+        a rescan.
+        """
+        join = updater.join
+        if kind is ChangeKind.UPDATE:
+            return  # check values are uninteresting
+        if kind is ChangeKind.REMOVE or join.is_aggregate:
+            self.stats.add("complete_invalidations")
+            for sr in stable.overlapping(updater.output_lo, updater.output_hi):
+                sr.invalidate()
+            return
+        self.stats.add("eager_check_inserts")
+        for sr in stable.overlapping(updater.output_lo, updater.output_hi):
+            if sr.state is not RangeState.VALID:
+                continue
+            if sr.generation != updater.generation:
+                continue
+            lo, hi = clamp_range(updater.output_lo, updater.output_hi, sr.lo, sr.hi)
+            if not lo < hi:
+                continue
+            self._exec_source(
+                join, 0, cs, lo, hi, None, sr, None, None,
+                mode=ChangeKind.INSERT, skip_source=updater.source_index,
+            )
+
+    def _shared_source_value(self, key: str, fallback: str) -> Value:
+        """The source's stored value, promoted to a SharedValue (§4.3)."""
+        table = self.store.existing_table_for_key(key)
+        if table is None:
+            return fallback
+        node = table.get_node(key)
+        if node is None:
+            return fallback
+        return self._promote_shared(table, node)
+
+    def _eager_aggregate(
+        self,
+        stable: StatusTable,
+        updater: Updater,
+        cs: SlotConstraints,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: ChangeKind,
+    ) -> None:
+        """Incrementally adjust an aggregate output (§2.3).
+
+        count/sum adjust in both directions; min/max recompute their
+        group when the extremum departs (the paper likewise constrains
+        aggregates to simple cases).
+        """
+        join = updater.join
+        if updater.source_index != len(join.sources) - 1:
+            # Deeper check sources would require a rescan to know how
+            # many tuples this key participates in; fall back to
+            # invalidation of the affected ranges.
+            for sr in stable.overlapping(updater.output_lo, updater.output_hi):
+                sr.invalidate()
+            self.stats.add("complete_invalidations")
+            return
+        try:
+            out_key = join.output.expand(cs.exact)
+        except Exception:
+            return
+        if not (updater.output_lo <= out_key < updater.output_hi):
+            return
+        sr = stable.find(out_key)
+        if sr is None or sr.state is not RangeState.VALID:
+            return
+        if sr.generation != updater.generation:
+            return
+        self.stats.add("eager_updates")
+        table = self.store.table_for_key(out_key)
+        node = table.get_node(out_key)
+        acc = node.value if node is not None else None
+        if not isinstance(acc, AggValue):
+            if node is not None:
+                # An aggregate output was overwritten by something else;
+                # recompute rather than guess.
+                self._invalidate_group(stable, sr, out_key)
+                return
+            if kind is ChangeKind.REMOVE:
+                return  # group already absent
+            acc = AggValue(join.value_source.operator)
+            acc.include(new_value or "")
+            self._install_output(out_key, acc, sr)
+            return
+        old_payload = acc.payload
+        if kind is ChangeKind.INSERT:
+            acc.include(new_value or "")
+            outcome = UpdateOutcome.APPLIED
+        elif kind is ChangeKind.REMOVE:
+            outcome = acc.exclude(old_value or "")
+        else:
+            outcome = acc.replace(old_value or "", new_value or "")
+        if outcome is UpdateOutcome.EMPTIED:
+            self._remove_output(out_key)
+        elif outcome is UpdateOutcome.RECOMPUTE:
+            self._invalidate_group(stable, sr, out_key)
+        elif acc.payload != old_payload:
+            self.stats.add("aggregate_adjustments")
+            self.notify_change(out_key, old_payload, acc.payload, ChangeKind.UPDATE)
+
+    def _invalidate_group(
+        self, stable: StatusTable, sr: StatusRange, out_key: str
+    ) -> None:
+        """Isolate and invalidate just the group's key (min/max retreat)."""
+        succ = key_successor(out_key)
+        tbl_name = updater_tbl = out_key.split("|", 1)[0]
+        if sr.lo < out_key:
+            sr = stable.split(sr, out_key)
+            self._ensure_tracked(tbl_name, sr)
+        if succ < sr.hi:
+            right = stable.split(sr, succ)
+            self._ensure_tracked(updater_tbl, right)
+        sr.invalidate()
+        self.stats.add("group_invalidations")
+
+    # ==================================================================
+    # Introspection
+    # ==================================================================
+    def status_for(self, tbl_name: str) -> StatusTable:
+        return self.status.setdefault(tbl_name, StatusTable())
+
+    def memory_bytes(self) -> int:
+        return self.store.memory_bytes() + self.updater_bytes

@@ -1,0 +1,118 @@
+"""Textual cache-join grammar (paper Figure 2).
+
+::
+
+    <cachejoin> ::= <key> "=" ["push" | "pull" | "snapshot <T>"] <sources> [";"]
+    <sources>   ::= <source> | <sources> <source>
+    <source>    ::= <operator> <key>
+    <operator>  ::= "copy" | "min" | "max" | "count" | "sum" | "check"
+                  | "echeck"          (extension: eagerly maintained check)
+
+Keys are whitespace-free patterns.  Slots are written ``<name>``; the
+paper's bare style (``t|user|time|poster``) is accepted when no key in
+the join uses angle brackets, in which case every segment after the
+leading table tag is treated as a slot.  Joins that need literal key
+tags (the ``|a`` / ``|r`` markers of interleaved joins, Figure 1) must
+use the explicit ``<...>`` style so tags stay literal.
+
+Multiple joins may appear in one string, separated by ``;``.  Line
+comments start with ``//`` or ``#``.  Users install parsed joins with
+the server's ``add_join`` ("add-join RPC", §3).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..store.keys import SEP
+from .joins import CacheJoin, JoinError, MaintenanceType, Source
+from .operators import OPERATORS
+
+_COMMENT_RE = re.compile(r"//[^\n]*|#[^\n]*")
+_NUMBER_RE = re.compile(r"^\d+(\.\d+)?$")
+_BARE_SEGMENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class GrammarError(JoinError):
+    """Raised when a join specification cannot be parsed."""
+
+
+def parse_joins(text: str) -> List[CacheJoin]:
+    """Parse every cache join in ``text``."""
+    stripped = _COMMENT_RE.sub(" ", text)
+    statements = [s.strip() for s in stripped.split(";")]
+    return [_parse_one(s) for s in statements if s]
+
+
+def parse_join(text: str) -> CacheJoin:
+    """Parse exactly one cache join."""
+    joins = parse_joins(text)
+    if len(joins) != 1:
+        raise GrammarError(
+            f"expected exactly one join, found {len(joins)}: {text!r}"
+        )
+    return joins[0]
+
+
+def _parse_one(statement: str) -> CacheJoin:
+    if "=" not in statement:
+        raise GrammarError(f"missing '=' in join: {statement!r}")
+    left, right = statement.split("=", 1)
+    output_text = left.strip()
+    if not output_text or " " in output_text:
+        raise GrammarError(f"malformed output pattern: {output_text!r}")
+    tokens = right.split()
+    if not tokens:
+        raise GrammarError(f"join has no sources: {statement!r}")
+
+    maintenance = MaintenanceType.PUSH
+    interval = None
+    if tokens[0] == "pull":
+        maintenance = MaintenanceType.PULL
+        tokens = tokens[1:]
+    elif tokens[0] == "push":
+        tokens = tokens[1:]
+    elif tokens[0] == "snapshot":
+        if len(tokens) < 2 or not _NUMBER_RE.match(tokens[1]):
+            raise GrammarError(
+                f"snapshot needs a numeric interval: {statement!r}"
+            )
+        maintenance = MaintenanceType.SNAPSHOT
+        interval = float(tokens[1])
+        tokens = tokens[2:]
+
+    if len(tokens) % 2 != 0 or not tokens:
+        raise GrammarError(f"sources must be operator/key pairs: {statement!r}")
+    raw_sources = []
+    for op, key in zip(tokens[::2], tokens[1::2]):
+        if op not in OPERATORS:
+            raise GrammarError(f"unknown operator {op!r} in {statement!r}")
+        raw_sources.append((op, key))
+
+    all_keys = [output_text] + [key for _, key in raw_sources]
+    if not any("<" in key for key in all_keys):
+        output_text = _bare_to_slots(output_text)
+        raw_sources = [(op, _bare_to_slots(key)) for op, key in raw_sources]
+
+    return CacheJoin(
+        output_text,
+        [Source(op, key) for op, key in raw_sources],
+        maintenance=maintenance,
+        snapshot_interval=interval,
+    )
+
+
+def _bare_to_slots(key: str) -> str:
+    """Rewrite the paper's bare style: segments after the table tag
+    become slots (``t|user|time`` -> ``t|<user>|<time>``)."""
+    parts = key.split(SEP)
+    out = [parts[0]]
+    for seg in parts[1:]:
+        if not _BARE_SEGMENT_RE.match(seg):
+            raise GrammarError(
+                f"bare-style segment {seg!r} is not a valid slot name in "
+                f"{key!r}; use explicit <slot> syntax"
+            )
+        out.append(f"<{seg}>")
+    return SEP.join(out)

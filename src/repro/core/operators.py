@@ -1,0 +1,148 @@
+"""Cache-join source operators: copy, check, min, max, count, sum.
+
+Paper §3 (Figure 2): a join has exactly one *value source* — ``copy``
+or an aggregate — and ``check`` sources whose values are uninteresting
+(only key existence matters).  ``copy`` installs the source's value
+under the output key.  Aggregates combine all source values mapping to
+one output key into a single value, like SQL aggregate functions, and
+are "kept up to date just like copied data" (§2.3).
+
+Aggregate results are stored as :class:`AggValue` accumulators that
+also remember the group size, so incremental removal knows when a
+group becomes empty (the output key disappears — a key-value cache has
+no NULL row) and when a ``min``/``max`` needs recomputation.  Clients
+always see the string form.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+CHECK = "check"
+#: Extension (paper §3.2 future work: "more control over maintenance
+#: type"): a check source whose inserts are maintained eagerly.
+ECHECK = "echeck"
+COPY = "copy"
+MIN = "min"
+MAX = "max"
+COUNT = "count"
+SUM = "sum"
+
+OPERATORS = (COPY, CHECK, ECHECK, MIN, MAX, COUNT, SUM)
+AGGREGATES = (MIN, MAX, COUNT, SUM)
+CHECK_OPERATORS = (CHECK, ECHECK)
+
+
+class ChangeKind(enum.Enum):
+    """How a source key changed, as reported to updaters (§3.2)."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    REMOVE = "remove"
+
+
+class UpdateOutcome(enum.Enum):
+    """What an incremental aggregate step decided."""
+
+    APPLIED = "applied"  # accumulator adjusted in place
+    EMPTIED = "emptied"  # group became empty: remove the output key
+    RECOMPUTE = "recompute"  # cannot adjust (min/max lost its extremum)
+
+
+def parse_number(text: str) -> Union[int, float]:
+    """Numeric interpretation of a value; raises ValueError if not numeric."""
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def format_number(num: Union[int, float]) -> str:
+    """Canonical string form: integers without a trailing ``.0``."""
+    if isinstance(num, float) and num.is_integer():
+        return str(int(num))
+    return str(num)
+
+
+class AggValue:
+    """Accumulator stored under an aggregate join's output key.
+
+    ``payload`` is the client-visible string.  ``count`` tracks group
+    size.  ``sum`` joins keep a numeric total; ``min``/``max`` keep the
+    current extremum (compared numerically when both sides parse as
+    numbers, else lexicographically — matching the store's own order).
+    """
+
+    __slots__ = ("op", "count", "total", "best")
+
+    def __init__(self, op: str) -> None:
+        if op not in AGGREGATES:
+            raise ValueError(f"not an aggregate operator: {op!r}")
+        self.op = op
+        self.count = 0
+        self.total: Union[int, float] = 0
+        self.best: Optional[str] = None
+
+    # -- store Value protocol -------------------------------------------------
+    @property
+    def payload(self) -> str:
+        if self.op == COUNT:
+            return str(self.count)
+        if self.op == SUM:
+            return format_number(self.total)
+        return self.best if self.best is not None else ""
+
+    def memory_size(self) -> int:
+        return 24
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AggValue {self.op} {self.payload!r} n={self.count}>"
+
+    # -- accumulation ----------------------------------------------------------
+    def include(self, value: str) -> None:
+        """Fold one source value in (forward execution / eager insert)."""
+        self.count += 1
+        if self.op == SUM:
+            self.total += parse_number(value)
+        elif self.op in (MIN, MAX):
+            if self.best is None or self._beats(value, self.best):
+                self.best = value
+
+    def exclude(self, value: str) -> UpdateOutcome:
+        """Fold one source value out (eager remove)."""
+        self.count -= 1
+        if self.count <= 0:
+            return UpdateOutcome.EMPTIED
+        if self.op == SUM:
+            self.total -= parse_number(value)
+            return UpdateOutcome.APPLIED
+        if self.op == COUNT:
+            return UpdateOutcome.APPLIED
+        if value == self.best:
+            # The extremum left the group; only a rescan can replace it.
+            return UpdateOutcome.RECOMPUTE
+        return UpdateOutcome.APPLIED
+
+    def replace(self, old: str, new: str) -> UpdateOutcome:
+        """Fold an in-place value change (eager update)."""
+        if self.op == COUNT:
+            return UpdateOutcome.APPLIED
+        if self.op == SUM:
+            self.total += parse_number(new) - parse_number(old)
+            return UpdateOutcome.APPLIED
+        if self.best is not None and self._beats(new, self.best):
+            self.best = new
+            return UpdateOutcome.APPLIED
+        if old == self.best and new != old:
+            return UpdateOutcome.RECOMPUTE
+        return UpdateOutcome.APPLIED
+
+    def _beats(self, challenger: str, incumbent: str) -> bool:
+        try:
+            a, b = parse_number(challenger), parse_number(incumbent)
+        except ValueError:
+            a, b = challenger, incumbent  # lexicographic fallback
+        if self.op == MIN:
+            return a < b
+        return a > b

@@ -1,0 +1,212 @@
+"""Key patterns: the schemas of cache-join inputs and outputs.
+
+A pattern like ``t|<user>|<time>|<poster>`` describes a family of keys:
+literal segments fix text, slot segments (in angle brackets) capture
+values.  Patterns appear as the output and source specifications of
+cache joins (paper §3, Figure 2) and drive three operations:
+
+* **match** a concrete key, extracting slot values;
+* **expand** a full slot assignment into a concrete key;
+* **prefix expansion** of a partial assignment, which underlies
+  *containing range* computation (§3.1) — the minimal source range
+  worth scanning given what is already known.
+
+The paper writes slots bare (``t|user|time|poster``); real Pequod used
+separate slot declarations.  Our textual form marks slots explicitly
+with ``<...>`` to keep the grammar unambiguous, and the parser accepts
+the paper's bare style through a compatibility rewrite (see
+``repro.core.grammar``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..store.keys import SEP
+
+_SLOT_RE = re.compile(r"^<([A-Za-z_][A-Za-z0-9_]*)(?::(\d+))?>$")
+
+
+class Segment:
+    """One ``|``-separated piece of a pattern: literal text or a slot.
+
+    Slots may carry a fixed width (``<time:10>``), the paper's §3 slot
+    definition "taking fixed numbers of bytes": matching then requires
+    exactly that many characters, which makes slot values prefix-free
+    and containing ranges exactly minimal.
+    """
+
+    __slots__ = ("text", "slot", "width")
+
+    def __init__(self, text: str, slot: Optional[str], width: Optional[int] = None) -> None:
+        self.text = text
+        self.slot = slot
+        self.width = width
+
+    @property
+    def is_slot(self) -> bool:
+        return self.slot is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.is_slot:
+            return self.text
+        if self.width is not None:
+            return f"<{self.slot}:{self.width}>"
+        return f"<{self.slot}>"
+
+
+class PatternError(ValueError):
+    """Raised for malformed patterns or invalid expansions."""
+
+
+class Pattern:
+    """A parsed key pattern.
+
+    ``Pattern("t|<user>|<time>|<poster>")`` has the literal table tag
+    ``t`` and three slots.  Patterns compare equal by their source text.
+    """
+
+    __slots__ = ("text", "segments", "slots", "table")
+
+    def __init__(self, text: str) -> None:
+        if not text:
+            raise PatternError("empty pattern")
+        self.text = text
+        self.segments: List[Segment] = []
+        seen: Dict[str, int] = {}
+        widths: Dict[str, Optional[int]] = {}
+        for raw in text.split(SEP):
+            m = _SLOT_RE.match(raw)
+            if m:
+                name = m.group(1)
+                width = int(m.group(2)) if m.group(2) else None
+                if width == 0:
+                    raise PatternError(f"zero-width slot in {text!r}")
+                if name in widths and widths[name] != width:
+                    raise PatternError(
+                        f"slot {name!r} declared with conflicting widths in "
+                        f"{text!r}"
+                    )
+                widths[name] = width
+                seen[name] = seen.get(name, 0) + 1
+                self.segments.append(Segment(raw, name, width))
+            else:
+                if "<" in raw or ">" in raw:
+                    raise PatternError(f"malformed segment {raw!r} in {text!r}")
+                self.segments.append(Segment(raw, None))
+        #: Slot names in order of first appearance.
+        self.slots: Tuple[str, ...] = tuple(seen)
+        first = self.segments[0]
+        if first.is_slot:
+            raise PatternError(
+                f"pattern {text!r} must start with a literal table tag"
+            )
+        self.table = first.text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pattern({self.text!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Pattern) and self.text == other.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, key: str) -> Optional[Dict[str, str]]:
+        """Slot values if ``key`` fits this pattern, else None.
+
+        A key fits when it has exactly the pattern's segment count,
+        every literal matches, and repeated slots agree.  Pequod is
+        schema-free, so ranges may contain keys that don't match their
+        source patterns; those are skipped during join execution (§3.1).
+        """
+        parts = key.split(SEP)
+        if len(parts) != len(self.segments):
+            return None
+        out: Dict[str, str] = {}
+        for part, seg in zip(parts, self.segments):
+            if seg.is_slot:
+                if seg.width is not None and len(part) != seg.width:
+                    return None
+                prior = out.get(seg.slot)
+                if prior is None:
+                    out[seg.slot] = part
+                elif prior != part:
+                    return None
+            elif part != seg.text:
+                return None
+        return out
+
+    def matches(self, key: str) -> bool:
+        return self.match(key) is not None
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def expand(self, slots: Dict[str, str]) -> str:
+        """The concrete key for a full slot assignment."""
+        parts: List[str] = []
+        for seg in self.segments:
+            if seg.is_slot:
+                try:
+                    value = slots[seg.slot]
+                except KeyError:
+                    raise PatternError(
+                        f"missing slot {seg.slot!r} expanding {self.text!r}"
+                    ) from None
+                if seg.width is not None and len(value) != seg.width:
+                    raise PatternError(
+                        f"slot {seg.slot!r} value {value!r} does not have "
+                        f"declared width {seg.width} in {self.text!r}"
+                    )
+                parts.append(value)
+            else:
+                parts.append(seg.text)
+        return SEP.join(parts)
+
+    def expand_prefix(self, slots: Dict[str, str]) -> Tuple[str, bool]:
+        """Expand as far as consecutive known segments allow.
+
+        Returns ``(prefix, complete)``.  When ``complete`` is False the
+        prefix ends just before the first unknown slot and includes the
+        trailing separator, ready to serve as a scan bound.
+        """
+        parts: List[str] = []
+        for seg in self.segments:
+            if seg.is_slot and seg.slot not in slots:
+                return SEP.join(parts) + SEP if parts else "", False
+            parts.append(slots[seg.slot] if seg.is_slot else seg.text)
+        return SEP.join(parts), True
+
+    def slot_positions(self, name: str) -> List[int]:
+        """Segment indexes where slot ``name`` appears."""
+        return [i for i, seg in enumerate(self.segments) if seg.slot == name]
+
+    def shared_slots(self, other: "Pattern") -> List[str]:
+        """Slot names appearing in both patterns, in this pattern's order."""
+        theirs = set(other.slots)
+        return [s for s in self.slots if s in theirs]
+
+
+def pattern_from(obj: "Pattern | str") -> Pattern:
+    """Coerce a string or Pattern into a Pattern."""
+    return obj if isinstance(obj, Pattern) else Pattern(obj)
+
+
+def common_prefix_segments(patterns: Sequence[Pattern]) -> int:
+    """How many leading segments all ``patterns`` share literally."""
+    if not patterns:
+        return 0
+    count = 0
+    for segs in zip(*(p.segments for p in patterns)):
+        first = segs[0]
+        if first.is_slot or any(
+            s.is_slot or s.text != first.text for s in segs[1:]
+        ):
+            break
+        count += 1
+    return count

@@ -1,0 +1,221 @@
+"""Slot constraints and containing ranges (paper §3.1).
+
+Join execution pushes selection as early as possible.  Two concepts
+from the paper drive this:
+
+* A **slot set** is a set of slot assignments derived from a cache join
+  and a key or key range.  Execution begins by deriving constraints
+  from the requested output range — e.g. ``scan(t|ann|0100, t|ann})``
+  yields ``user = ann`` exactly and ``time >= 0100`` — and augments
+  them with exact assignments as source keys are matched.
+
+* A **containing range** is "effectively the inverse of a slot set":
+  given constraints and a source pattern, the minimal range of source
+  keys that might affect the scan's results.  With ``user = ann`` and
+  ``poster = bob``, the ``p|<poster>|<time>`` source's containing range
+  is ``[p|bob|0100, p|bob})``.
+
+``SlotConstraints`` stores exact assignments plus per-slot string
+bounds for the frontier slot of the requested range.  Containing ranges
+may over-approximate on adversarial ranges (e.g. scans crossing many
+timelines); execution re-checks each emitted output key against the
+requested range, so results stay exact.
+
+Like real Pequod (which used fixed-width slots), minimal lower bounds
+assume slot values at one position are prefix-free — zero-padded
+numbers, fixed-length ids.  Applications that violate this still get
+correct results for prefix-closed scans, but bounded scans may use
+looser source ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..store.keys import SEP, key_successor, prefix_upper_bound
+from .pattern import Pattern
+
+#: Bounds on one slot's value: inclusive lo, exclusive hi (either None).
+Bounds = Tuple[Optional[str], Optional[str]]
+
+
+class SlotConstraints:
+    """Exact slot assignments plus range bounds for frontier slots.
+
+    ``compatible`` is False when the requested output range provably
+    cannot contain any key of the join's output pattern (e.g. the range
+    selects the ``|c|`` tag of an interleaved join but this join emits
+    ``|a`` keys); execution skips the join entirely.
+    """
+
+    __slots__ = ("exact", "bounds", "compatible")
+
+    def __init__(
+        self,
+        exact: Optional[Dict[str, str]] = None,
+        bounds: Optional[Dict[str, Bounds]] = None,
+        compatible: bool = True,
+    ) -> None:
+        self.exact: Dict[str, str] = dict(exact or {})
+        self.bounds: Dict[str, Bounds] = dict(bounds or {})
+        self.compatible = compatible
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlotConstraints(exact={self.exact!r}, bounds={self.bounds!r}, "
+            f"compatible={self.compatible})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derivation from an output range
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_output_range(
+        cls, output: Pattern, first: str, last: str
+    ) -> "SlotConstraints":
+        """Constraints implied by scanning ``[first, last)`` of ``output``.
+
+        Walks the output pattern's segments against the range bounds.
+        A segment is *determined* when every key in the range must have
+        exactly that segment value; the first undetermined segment (the
+        frontier) gets string bounds; deeper segments are unconstrained.
+        """
+        cs = cls()
+        fparts = first.split(SEP)
+        lparts = last.split(SEP)
+        nseg = len(output.segments)
+        for i in range(nseg):
+            # Case A: both bounds continue past segment i with the same
+            # value: every key in range shares it exactly.
+            if (
+                i < len(fparts) - 1
+                and i < len(lparts) - 1
+                and fparts[i] == lparts[i]
+            ):
+                if not cs._bind_exact(output, i, fparts[i]):
+                    return cs
+                continue
+            # Case B: the range is [first, successor-of-prefix): the
+            # paper's t|ann| ... t|ann} form.  Segment i is determined
+            # and the next segment gains a lower bound from `first`.
+            if i < len(fparts):
+                prefix = SEP.join(fparts[: i + 1]) + SEP
+                if last == prefix_upper_bound(prefix):
+                    if not cs._bind_exact(output, i, fparts[i]):
+                        return cs
+                    j = i + 1
+                    if j < nseg and j < len(fparts) and fparts[j]:
+                        cs._bind_bounds(output, j, fparts[j], None)
+                    return cs
+            # Case C: generic frontier — the segment gets string bounds
+            # and deeper segments are unconstrained.
+            lo = fparts[i] if i < len(fparts) and fparts[i] else None
+            hi: Optional[str] = None
+            if i < len(lparts) and lparts[i]:
+                if i == len(lparts) - 1:
+                    hi = lparts[i]
+                else:
+                    hi = prefix_upper_bound(lparts[i])
+            if lo is not None and hi == lo + "\x00":
+                # get()-style range [key, key + "\x00"): the final
+                # segment is determined exactly.
+                cs._bind_exact(output, i, lo)
+                return cs
+            cs._bind_bounds(output, i, lo, hi)
+            return cs
+        return cs
+
+    def _bind_exact(self, pattern: Pattern, index: int, value: str) -> bool:
+        """Bind segment ``index`` to ``value``; False ends derivation."""
+        seg = pattern.segments[index]
+        if not seg.is_slot:
+            if seg.text != value:
+                self.compatible = False
+            return self.compatible
+        prior = self.exact.get(seg.slot)
+        if prior is not None and prior != value:
+            self.compatible = False
+            return False
+        self.exact[seg.slot] = value
+        return True
+
+    def _bind_bounds(
+        self, pattern: Pattern, index: int, lo: Optional[str], hi: Optional[str]
+    ) -> None:
+        seg = pattern.segments[index]
+        if not seg.is_slot:
+            # A literal at the frontier: the join can only contribute
+            # keys inside the bounds.  The lower check must tolerate
+            # ``lo`` extending the literal (segment "c" vs bound "ca"):
+            # deeper segments may still lift such keys above ``first``.
+            if lo is not None and seg.text < lo and not lo.startswith(seg.text):
+                self.compatible = False
+            if hi is not None and not (seg.text < hi):
+                self.compatible = False
+            return
+        if seg.slot in self.exact:
+            return
+        self.bounds[seg.slot] = (lo, hi)
+
+    # ------------------------------------------------------------------
+    # Augmentation during execution
+    # ------------------------------------------------------------------
+    def child_with(self, assignments: Dict[str, str]) -> Optional["SlotConstraints"]:
+        """A new constraint set with ``assignments`` added.
+
+        Returns None when an assignment conflicts with an existing
+        exact value or falls outside a slot's bounds — the candidate
+        source key does not participate in the join (§3.1's selection
+        step).
+        """
+        exact = dict(self.exact)
+        for name, value in assignments.items():
+            prior = exact.get(name)
+            if prior is not None:
+                if prior != value:
+                    return None
+                continue
+            bound = self.bounds.get(name)
+            if bound is not None:
+                lo, hi = bound
+                if lo is not None and value < lo and not lo.startswith(value):
+                    return None
+                if hi is not None and not (value < hi):
+                    return None
+            exact[name] = value
+        bounds = {n: b for n, b in self.bounds.items() if n not in exact}
+        return SlotConstraints(exact, bounds, self.compatible)
+
+    # ------------------------------------------------------------------
+    # Containing ranges
+    # ------------------------------------------------------------------
+    def containing_range(self, source: Pattern) -> Tuple[str, str]:
+        """The minimal source key range consistent with these constraints.
+
+        Walks the source pattern, extending an exact prefix while
+        segments are literals or exactly-assigned slots.  The first
+        non-exact segment closes the range using the slot's bounds (if
+        any); deeper constraints cannot tighten a string range and are
+        ignored.
+        """
+        parts = []
+        for seg in source.segments:
+            if not seg.is_slot:
+                parts.append(seg.text)
+                continue
+            value = self.exact.get(seg.slot)
+            if value is not None:
+                parts.append(value)
+                continue
+            prefix = SEP.join(parts) + SEP if parts else ""
+            lo_bound, hi_bound = self.bounds.get(seg.slot, (None, None))
+            lo = prefix + lo_bound if lo_bound else prefix
+            if hi_bound:
+                hi = prefix + hi_bound
+            elif prefix:
+                hi = prefix_upper_bound(prefix)
+            else:  # pattern begins with an unbound slot (not allowed today)
+                raise ValueError(f"unbounded containing range for {source!r}")
+            return lo, hi
+        key = SEP.join(parts)
+        return key, key_successor(key)

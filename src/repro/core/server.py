@@ -1,0 +1,161 @@
+"""The Pequod server: the public single-node API (paper §2).
+
+``PequodServer`` is an ordered key-value cache with string keys and
+values supporting the four basic operations — ``get``, ``put``,
+``remove``, ``scan`` — plus ``add_join`` for installing cache joins.
+Like the paper's prototype it is single-threaded; the distributed layer
+(``repro.distrib``) composes several servers over a network.
+
+Example (the Twip timeline join from §2.2)::
+
+    srv = PequodServer()
+    srv.add_join("t|<user>|<time>|<poster> = "
+                 "check s|<user>|<poster> copy p|<poster>|<time>")
+    srv.put("s|ann|bob", "1")          # ann follows bob
+    srv.put("p|bob|0100", "hello!")    # bob tweets at time 0100
+    srv.scan("t|ann|", "t|ann}")       # -> [("t|ann|0100|bob", "hello!")]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..store.keys import key_successor, prefix_upper_bound
+from ..store.stats import StoreStats
+from ..store.store import OrderedStore
+from .clock import Clock, SystemClock
+from .eviction import EvictionManager
+from .executor import ChangeListener, DataResolver, JoinEngine
+from .grammar import parse_joins
+from .joins import CacheJoin
+
+
+class PequodServer:
+    """A single Pequod cache server.
+
+    Parameters mirror the paper's tunables:
+
+    * ``subtable_config`` — developer-marked subtable boundaries per
+      table (§4.1), e.g. ``{"t": 2}`` for one subtable per timeline.
+    * ``enable_sharing`` / ``enable_hints`` — the §4.2/§4.3
+      optimizations, exposed so the ablation benchmarks can toggle them.
+    * ``memory_limit`` — optional byte budget; exceeding it evicts
+      least-recently-used ranges (§2.5).
+    * ``clock`` — injectable time source for snapshot joins.
+    """
+
+    def __init__(
+        self,
+        subtable_config: Optional[Dict[str, int]] = None,
+        clock: Optional[Clock] = None,
+        enable_sharing: bool = True,
+        enable_hints: bool = True,
+        memory_limit: Optional[int] = None,
+        eviction_policy: str = "lru",
+        stats: Optional[StoreStats] = None,
+        name: str = "pequod",
+    ) -> None:
+        self.name = name
+        self.stats = stats if stats is not None else StoreStats()
+        self.clock = clock if clock is not None else SystemClock()
+        self.store = OrderedStore(subtable_config, stats=self.stats)
+        self.engine = JoinEngine(
+            self.store,
+            clock=self.clock,
+            stats=self.stats,
+            enable_sharing=enable_sharing,
+            enable_hints=enable_hints,
+        )
+        self.eviction = EvictionManager(
+            self.engine, memory_limit, policy=eviction_policy
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PequodServer {self.name!r} keys={len(self.store)}>"
+
+    # ------------------------------------------------------------------
+    # Cache joins
+    # ------------------------------------------------------------------
+    def add_join(
+        self, join: Union[str, CacheJoin, Sequence[CacheJoin]]
+    ) -> List[CacheJoin]:
+        """Install one or more cache joins.
+
+        Accepts join text in the Figure-2 grammar (possibly several
+        joins separated by ``;``), a :class:`CacheJoin`, or a sequence
+        of them.  Returns the installed joins.
+        """
+        if isinstance(join, str):
+            parsed: List[CacheJoin] = parse_joins(join)
+        elif isinstance(join, CacheJoin):
+            parsed = [join]
+        else:
+            parsed = list(join)
+        for item in parsed:
+            self.engine.add_join(item)
+        return parsed
+
+    @property
+    def joins(self) -> List[CacheJoin]:
+        return list(self.engine.joins)
+
+    # ------------------------------------------------------------------
+    # The four basic operations (§2)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[str]:
+        """The value for ``key``, computing overlapping joins on demand."""
+        self.stats.add("op_get")
+        return self.engine.get(key)
+
+    def put(self, key: str, value: str) -> None:
+        """Write ``key``; incremental maintenance runs before returning."""
+        if not isinstance(value, str):
+            raise TypeError("Pequod values are strings")
+        self.stats.add("op_put")
+        self.engine.apply_put(key, value)
+        self.eviction.maybe_evict()
+
+    def remove(self, key: str) -> bool:
+        """Remove ``key``; returns True if it was present."""
+        self.stats.add("op_remove")
+        return self.engine.apply_remove(key)
+
+    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
+        """Ordered pairs with ``first <= key < last`` (§2's scan)."""
+        self.stats.add("op_scan")
+        results = self.engine.scan(first, last)
+        self.eviction.maybe_evict()
+        return results
+
+    # ------------------------------------------------------------------
+    # Convenience forms used throughout the applications
+    # ------------------------------------------------------------------
+    def scan_prefix(self, prefix: str) -> List[Tuple[str, str]]:
+        """All pairs whose keys start with ``prefix``."""
+        return self.scan(prefix, prefix_upper_bound(prefix))
+
+    def count(self, first: str, last: str) -> int:
+        return len(self.scan(first, last))
+
+    def exists(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def get_range(self, key: str) -> List[Tuple[str, str]]:
+        return self.scan(key, key_successor(key))
+
+    # ------------------------------------------------------------------
+    # Integration points
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: ChangeListener) -> None:
+        """Observe every store change (used for subscriptions, §2.4)."""
+        self.engine.listeners.append(listener)
+
+    def set_resolver(self, resolver: Optional[DataResolver]) -> None:
+        """Install the missing-data resolver (§3.3)."""
+        self.engine.resolver = resolver
+
+    def memory_bytes(self) -> int:
+        return self.engine.memory_bytes()
+
+    def key_count(self) -> int:
+        return len(self.store)

@@ -1,0 +1,258 @@
+"""Join status ranges (paper §3.2).
+
+A *join status range* records whether a range of output keys is up to
+date with respect to the cache joins whose outputs overlap it.  Status
+ranges are attached to output ranges and form a disjoint cover of the
+tracked key space: every tracked key belongs to exactly one range.
+
+Each range carries:
+
+* its validity state (``VALID`` / ``INVALID``) and, for snapshot
+  joins, an expiry time;
+* a *pending log* of partially-invalidating source modifications that
+  will be applied lazily when the range is next read (§3.2's partial
+  invalidation, after [29]);
+* the *output hint* — a handle to the last key this range updated,
+  giving O(1) appends and in-place updates (§4.2);
+* an LRU entry so eviction can drop cold computed ranges (§2.5).
+
+Ranges split when a query or invalidation touches part of them; the
+paper's "disjoint cover" is preserved by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..store.rbtree import RBTree
+from ..store.table import PutHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..store.lru import LRUEntry
+    from .joins import CacheJoin
+    from .operators import ChangeKind
+
+
+class RangeState(enum.Enum):
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+class PendingEntry:
+    """A logged source modification awaiting lazy application.
+
+    Records enough to re-derive the affected output tuples: the join,
+    which source changed, the source key, and the change kind.
+    """
+
+    __slots__ = ("join", "source_index", "key", "old_value", "new_value", "kind")
+
+    def __init__(
+        self,
+        join: "CacheJoin",
+        source_index: int,
+        key: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: "ChangeKind",
+    ) -> None:
+        self.join = join
+        self.source_index = source_index
+        self.key = key
+        self.old_value = old_value
+        self.new_value = new_value
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Pending {self.kind.value} {self.key!r}>"
+
+
+class StatusRange:
+    """One piece of the disjoint cover; see module docstring."""
+
+    __slots__ = (
+        "lo",
+        "hi",
+        "state",
+        "expires_at",
+        "pending",
+        "hint",
+        "lru_entry",
+        "generation",
+        "compute_cost",
+    )
+
+    def __init__(self, lo: str, hi: str, state: RangeState = RangeState.VALID) -> None:
+        if not lo < hi:
+            raise ValueError(f"empty status range [{lo!r}, {hi!r})")
+        self.lo = lo
+        self.hi = hi
+        self.state = state
+        self.expires_at: Optional[float] = None
+        self.pending: List[PendingEntry] = []
+        self.hint: Optional[PutHandle] = None
+        self.lru_entry: Optional["LRUEntry"] = None
+        #: Bumped on every recomputation.  Eager updaters capture the
+        #: generation they were installed under and only apply when it
+        #: still matches — this is how "complete invalidation removes
+        #: installed updaters" (§3.2) is realized without eagerly
+        #: walking interval trees: superseded updaters become inert and
+        #: are collected or refreshed on their next firing.
+        self.generation = 0
+        #: Work units spent computing this range (source keys examined
+        #: + outputs installed), recorded by the engine.  Cost-aware
+        #: eviction (§2.5's suggested improvement) uses it to prefer
+        #: evicting ranges that are cheap to recompute.
+        self.compute_cost = 0.0
+
+    def is_valid_at(self, now: float) -> bool:
+        if self.state is not RangeState.VALID:
+            return False
+        return self.expires_at is None or now < self.expires_at
+
+    def needs_work(self, now: float) -> bool:
+        return not self.is_valid_at(now) or bool(self.pending)
+
+    def invalidate(self) -> None:
+        """Complete invalidation: recompute from scratch on next read."""
+        self.state = RangeState.INVALID
+        self.pending.clear()
+        self.hint = None
+        self.expires_at = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = self.state.value
+        if self.pending:
+            tag += f"+{len(self.pending)}pending"
+        return f"<StatusRange [{self.lo!r},{self.hi!r}) {tag}>"
+
+
+class StatusTable:
+    """The disjoint cover of one output table's tracked key space.
+
+    Backed by a red-black tree keyed by range start.  Gaps between
+    ranges mean "never computed".
+    """
+
+    __slots__ = ("_tree",)
+
+    def __init__(self) -> None:
+        self._tree = RBTree()
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def ranges(self) -> List[StatusRange]:
+        return [node.value for node in self._tree.nodes()]
+
+    # ------------------------------------------------------------------
+    def find(self, key: str) -> Optional[StatusRange]:
+        """The status range containing ``key``, if any."""
+        node = self._tree.floor_node(key)
+        if node is None:
+            return None
+        sr: StatusRange = node.value
+        return sr if key < sr.hi else None
+
+    def pieces(
+        self, lo: str, hi: str
+    ) -> List[Tuple[str, str, Optional[StatusRange]]]:
+        """Decompose ``[lo, hi)`` into covered and uncovered pieces.
+
+        Returns ``(piece_lo, piece_hi, status_or_None)`` triples in key
+        order; None marks a gap (never-computed key space).
+        """
+        out: List[Tuple[str, str, Optional[StatusRange]]] = []
+        if not lo < hi:
+            return out
+        cursor = lo
+        node = self._tree.floor_node(lo)
+        if node is not None and node.value.hi <= lo:
+            node = self._tree.next_node(node)
+        elif node is None:
+            node = self._tree.ceiling_node(lo)
+        while cursor < hi and node is not None:
+            sr: StatusRange = node.value
+            if sr.lo >= hi:
+                break
+            if cursor < sr.lo:
+                out.append((cursor, sr.lo, None))
+                cursor = sr.lo
+            piece_hi = min(sr.hi, hi)
+            out.append((cursor, piece_hi, sr))
+            cursor = piece_hi
+            node = self._tree.next_node(node)
+        if cursor < hi:
+            out.append((cursor, hi, None))
+        return out
+
+    def overlapping(self, lo: str, hi: str) -> List[StatusRange]:
+        return [sr for _, _, sr in self.pieces(lo, hi) if sr is not None]
+
+    # ------------------------------------------------------------------
+    def add(self, sr: StatusRange) -> StatusRange:
+        """Insert a new range; it must not overlap existing ranges."""
+        for piece_lo, piece_hi, existing in self.pieces(sr.lo, sr.hi):
+            if existing is not None:
+                raise ValueError(
+                    f"status range [{sr.lo!r},{sr.hi!r}) overlaps "
+                    f"[{existing.lo!r},{existing.hi!r})"
+                )
+        self._tree.insert(sr.lo, sr)
+        return sr
+
+    def remove(self, sr: StatusRange) -> None:
+        node = self._tree.find_node(sr.lo)
+        if node is not None and node.value is sr:
+            self._tree.remove_node(node)
+
+    def split(self, sr: StatusRange, at: str) -> StatusRange:
+        """Split ``sr`` at ``at``; returns the new right-hand range.
+
+        Both halves keep the state, expiry, and a copy of the pending
+        log (each half will apply or drop entries independently).  The
+        output hint stays with the half that contains the hinted key.
+        """
+        if not (sr.lo < at < sr.hi):
+            raise ValueError(f"split point {at!r} outside ({sr.lo!r},{sr.hi!r})")
+        right = StatusRange(at, sr.hi, sr.state)
+        right.expires_at = sr.expires_at
+        right.pending = list(sr.pending)
+        right.generation = sr.generation
+        right.compute_cost = sr.compute_cost / 2
+        sr.compute_cost /= 2
+        sr.hi = at
+        if sr.hint is not None and sr.hint.is_valid():
+            if not (sr.hint.key() < at):
+                right.hint, sr.hint = sr.hint, None
+        else:
+            sr.hint = None
+        self._tree.insert(right.lo, right)
+        return right
+
+    def isolate(self, lo: str, hi: str) -> List[StatusRange]:
+        """Split covering ranges so ``[lo, hi)`` is exactly tiled.
+
+        After this call every status range overlapping ``[lo, hi)``
+        lies fully inside it; the (possibly split) ranges are returned.
+        """
+        out: List[StatusRange] = []
+        for sr in self.overlapping(lo, hi):
+            if sr.lo < lo:
+                sr = self.split(sr, lo)
+            if hi < sr.hi:
+                self.split(sr, hi)
+            out.append(sr)
+        return out
+
+    def check_disjoint_cover(self) -> None:
+        """Test hook: verify ranges are ordered and non-overlapping."""
+        prev_hi: Optional[str] = None
+        for node in self._tree.nodes():
+            sr: StatusRange = node.value
+            assert node.key == sr.lo, "tree key out of sync"
+            assert sr.lo < sr.hi, "empty status range"
+            if prev_hi is not None:
+                assert prev_hi <= sr.lo, "overlapping status ranges"
+            prev_hi = sr.hi

@@ -1,0 +1,33 @@
+"""Distributed Pequod: partitioning, subscriptions, clusters (§2.4)."""
+
+from .cluster import Cluster, Session
+from .node import (
+    MSG_FETCH,
+    MSG_FETCH_REPLY,
+    MSG_SUBSCRIBE,
+    MSG_UPDATE,
+    ROLE_BASE,
+    ROLE_COMPUTE,
+    DistributedNode,
+    RemoteResolver,
+)
+from .partition import Partitioner, stable_hash
+from .subscription import SubscriptionRegistry, decode_update, encode_update
+
+__all__ = [
+    "Cluster",
+    "DistributedNode",
+    "MSG_FETCH",
+    "MSG_FETCH_REPLY",
+    "MSG_SUBSCRIBE",
+    "MSG_UPDATE",
+    "Partitioner",
+    "ROLE_BASE",
+    "ROLE_COMPUTE",
+    "RemoteResolver",
+    "Session",
+    "SubscriptionRegistry",
+    "decode_update",
+    "encode_update",
+    "stable_hash",
+]

@@ -1,0 +1,206 @@
+"""Cluster orchestration and client routing (paper §2.4, §5.5).
+
+A :class:`Cluster` owns base nodes (home servers absorbing writes),
+compute nodes (join execution near clients), a partitioner, and the
+simulated network.  Client operations follow the paper's Twip strategy:
+
+* writes go to the written key's home server (lookaside, §5.1);
+* all of a user's reads go to one compute server ``S(u)`` chosen by
+  affinity hash, minimizing duplicate timeline storage (§2.4).
+
+Client traffic is charged to the network under ``client_*`` kinds and
+inter-server traffic under ``sub_*`` kinds, which is how the §5.5
+subscription-overhead percentages are measured.  ``Session`` provides
+the read-your-own-writes mode: one server for both reads and writes,
+with base writes forwarded to their homes asynchronously.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.operators import ChangeKind
+from ..core.server import PequodServer
+from ..net.codec import encode
+from ..net.simnet import SimNetwork
+from .node import (
+    MSG_WRITE_FWD,
+    ROLE_BASE,
+    ROLE_COMPUTE,
+    DistributedNode,
+)
+from .partition import Partitioner, stable_hash
+
+KIND_CLIENT_OP = "client_op"
+KIND_CLIENT_REPLY = "client_reply"
+
+
+class Cluster:
+    """A distributed Pequod deployment over a simulated network."""
+
+    def __init__(
+        self,
+        base_count: int,
+        compute_count: int,
+        base_tables: Sequence[str],
+        joins: Optional[str] = None,
+        net: Optional[SimNetwork] = None,
+        server_factory=None,
+    ) -> None:
+        if base_count < 1 or compute_count < 1:
+            raise ValueError("need at least one base and one compute node")
+        self.net = net if net is not None else SimNetwork()
+        base_names = [f"base{i:02d}" for i in range(base_count)]
+        self.partitioner = Partitioner(base_tables, base_names)
+        factory = server_factory or (lambda name: PequodServer(name=name))
+        self.base_nodes: List[DistributedNode] = [
+            DistributedNode(n, ROLE_BASE, self.net, self.partitioner, factory(n))
+            for n in base_names
+        ]
+        self.compute_nodes: List[DistributedNode] = [
+            DistributedNode(
+                f"compute{i:02d}", ROLE_COMPUTE, self.net, self.partitioner,
+                factory(f"compute{i:02d}"),
+            )
+            for i in range(compute_count)
+        ]
+        if joins:
+            # Compute nodes execute joins; base nodes only hold base data.
+            for node in self.compute_nodes:
+                node.server.add_join(joins)
+        self.client_ops = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def home_node(self, key: str) -> DistributedNode:
+        home = self.partitioner.home_of(key)
+        if home is None:
+            # Not partitioned base data: land it deterministically.
+            index = stable_hash(key) % len(self.base_nodes)
+            return self.base_nodes[index]
+        return self._by_name(home)
+
+    def compute_node_for(self, affinity: str) -> DistributedNode:
+        """The compute server ``S(u)`` all of ``affinity``'s reads use."""
+        index = stable_hash(affinity) % len(self.compute_nodes)
+        return self.compute_nodes[index]
+
+    def _by_name(self, name: str) -> DistributedNode:
+        for node in self.base_nodes + self.compute_nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    @property
+    def nodes(self) -> List[DistributedNode]:
+        return self.base_nodes + self.compute_nodes
+
+    # ------------------------------------------------------------------
+    # Client operations (charged to the network as client traffic)
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: str) -> None:
+        """Lookaside write: straight to the key's home server (§5.1)."""
+        node = self.home_node(key)
+        self.client_ops += 1
+        self.net.account("client", node.name, KIND_CLIENT_OP,
+                         len(encode([key, value])))
+        node.put(key, value)
+        self.net.account(node.name, "client", KIND_CLIENT_REPLY, 8)
+
+    def remove(self, key: str) -> bool:
+        node = self.home_node(key)
+        self.client_ops += 1
+        self.net.account("client", node.name, KIND_CLIENT_OP, len(encode([key])))
+        result = node.remove(key)
+        self.net.account(node.name, "client", KIND_CLIENT_REPLY, 8)
+        return result
+
+    def scan(self, affinity: str, first: str, last: str) -> List[Tuple[str, str]]:
+        """Read routed to the user's compute server."""
+        node = self.compute_node_for(affinity)
+        self.client_ops += 1
+        self.net.account("client", node.name, KIND_CLIENT_OP,
+                         len(encode([first, last])))
+        rows = node.scan(first, last)
+        self.net.account(
+            node.name, "client", KIND_CLIENT_REPLY,
+            max(len(encode([list(r) for r in rows])), 16),
+        )
+        return rows
+
+    def get(self, affinity: str, key: str) -> Optional[str]:
+        node = self.compute_node_for(affinity)
+        self.client_ops += 1
+        self.net.account("client", node.name, KIND_CLIENT_OP, len(encode([key])))
+        value = node.get(key)
+        self.net.account(node.name, "client", KIND_CLIENT_REPLY,
+                         len(encode([value])) if value else 16)
+        return value
+
+    def session(self, affinity: str) -> "Session":
+        return Session(self, affinity)
+
+    # ------------------------------------------------------------------
+    # Simulation control & metrics
+    # ------------------------------------------------------------------
+    def settle(self) -> int:
+        """Deliver all in-flight subscription updates."""
+        return self.net.run_until_idle()
+
+    def subscription_traffic_fraction(self) -> float:
+        """Fraction of network bytes spent on inter-server maintenance
+        (the 10%→16% measurement of §5.5)."""
+        total = sum(self.net.kind_bytes.values())
+        if total == 0:
+            return 0.0
+        sub = sum(
+            size for kind, size in self.net.kind_bytes.items()
+            if kind.startswith("sub_")
+        )
+        return sub / total
+
+    def base_memory_bytes(self) -> int:
+        return sum(n.memory_bytes() for n in self.base_nodes)
+
+    def compute_memory_bytes(self) -> int:
+        return sum(n.memory_bytes() for n in self.compute_nodes)
+
+    def total_subscriptions(self) -> int:
+        return sum(n.subscriptions.subscription_count() for n in self.base_nodes)
+
+
+class Session:
+    """Read-your-own-writes session (paper §2.4).
+
+    All operations use one compute server.  Writes apply there
+    immediately — so the client's own reads always see them — and are
+    forwarded asynchronously to the key's home server for global
+    propagation.
+    """
+
+    def __init__(self, cluster: Cluster, affinity: str) -> None:
+        self.cluster = cluster
+        self.node = cluster.compute_node_for(affinity)
+
+    def put(self, key: str, value: str) -> None:
+        self.node.put(key, value)
+        home = self.cluster.partitioner.home_of(key)
+        if home is not None and home != self.node.name:
+            self.node.host.send(
+                home, MSG_WRITE_FWD, [key, value, ChangeKind.INSERT.value]
+            )
+
+    def remove(self, key: str) -> None:
+        self.node.remove(key)
+        home = self.cluster.partitioner.home_of(key)
+        if home is not None and home != self.node.name:
+            self.node.host.send(
+                home, MSG_WRITE_FWD, [key, None, ChangeKind.REMOVE.value]
+            )
+
+    def get(self, key: str) -> Optional[str]:
+        return self.node.get(key)
+
+    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
+        return self.node.scan(first, last)

@@ -1,0 +1,242 @@
+"""A distributed Pequod node (paper §2.4).
+
+Every node wraps a full :class:`PequodServer`.  Two roles mirror the
+scalability experiment (§5.5): *base* nodes are home servers absorbing
+writes; *compute* nodes execute cache joins near clients and mirror the
+base ranges those joins read.
+
+A compute node's :class:`RemoteResolver` implements §3.3's missing-data
+resolution: before a join scans a source range, gaps in the locally
+mirrored coverage are fetched in bulk from the range's home server and
+a subscription is installed there.  Fetches apply synchronously (the
+paper uses asynchronous fetch + restart contexts; the outcome — all
+data resident before the query completes — is identical) but are
+charged to the simulated network.  Subscription *updates* travel as
+real asynchronous messages, so replicas are eventually consistent
+exactly as described.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from ..core.eviction import Evictable
+from ..core.executor import DataResolver, JoinEngine
+from ..core.operators import ChangeKind
+from ..core.server import PequodServer
+from ..core.status import StatusRange, StatusTable
+from ..net.codec import encode
+from ..net.simnet import SimHost, SimNetwork
+from .partition import Partitioner
+from .subscription import SubscriptionRegistry, decode_update, encode_update
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+
+ROLE_BASE = "base"
+ROLE_COMPUTE = "compute"
+
+#: Message kinds on the wire (also the traffic-breakdown buckets).
+MSG_FETCH = "sub_fetch"
+MSG_FETCH_REPLY = "sub_fetch_reply"
+MSG_SUBSCRIBE = "sub_install"
+MSG_UPDATE = "sub_update"
+MSG_WRITE_FWD = "client_write_fwd"
+
+
+class RemoteRange(Evictable):
+    """An LRU entry for a mirrored remote base range (§2.5's second
+    kind of evictable data: "remote data copied from another Pequod
+    server via subscription")."""
+
+    __slots__ = ("resolver", "table", "lo", "hi")
+
+    def __init__(self, resolver: "RemoteResolver", table: str, lo: str, hi: str):
+        self.resolver = resolver
+        self.table = table
+        self.lo = lo
+        self.hi = hi
+
+    def evict(self, engine: JoinEngine) -> None:
+        self.resolver.drop_range(engine, self.table, self.lo, self.hi)
+
+
+class RemoteResolver(DataResolver):
+    """Fetch missing base ranges from their home servers (§3.3)."""
+
+    def __init__(self, node: "DistributedNode") -> None:
+        self.node = node
+        self.presence: Dict[str, StatusTable] = {}
+        self.fetches = 0
+        self.evicted_ranges = 0
+
+    def covers(self, key: str) -> bool:
+        table = key.split("|", 1)[0]
+        stable = self.presence.get(table)
+        return stable is not None and stable.find(key) is not None
+
+    def ensure_range(self, engine: JoinEngine, table: str, lo: str, hi: str) -> None:
+        part = self.node.partitioner
+        if not part.is_base_table(table):
+            return
+        stable = self.presence.setdefault(table, StatusTable())
+        for gap_lo, gap_hi, sr in stable.pieces(lo, hi):
+            if sr is not None:
+                continue
+            for home in part.homes_for_range(table, gap_lo, gap_hi):
+                if home == self.node.name:
+                    continue
+                self.node.fetch_and_subscribe(home, table, gap_lo, gap_hi)
+                self.fetches += 1
+            fresh = StatusRange(gap_lo, gap_hi)
+            stable.add(fresh)
+            fresh.lru_entry = engine.lru.add(
+                RemoteRange(self, table, gap_lo, gap_hi)
+            )
+
+    def drop_range(self, engine: JoinEngine, table: str, lo: str, hi: str) -> None:
+        """Evict a mirrored range: forget coverage, remove the copies,
+        invalidate dependent computed data (transitively, via ordinary
+        REMOVE notifications), and unsubscribe at the home."""
+        stable = self.presence.get(table)
+        if stable is None:
+            return
+        for sr in stable.isolate(lo, hi):
+            stable.remove(sr)
+        engine._clear_range(lo, hi)
+        self.evicted_ranges += 1
+        for home in self.node.partitioner.homes_for_range(table, lo, hi):
+            if home != self.node.name:
+                node = self.node._node_of(home)
+                node.subscriptions.unsubscribe(self.node.name, lo, hi)
+
+
+class DistributedNode:
+    """One Pequod process in a cluster."""
+
+    def __init__(
+        self,
+        name: str,
+        role: str,
+        net: SimNetwork,
+        partitioner: Partitioner,
+        server: Optional[PequodServer] = None,
+    ) -> None:
+        if role not in (ROLE_BASE, ROLE_COMPUTE):
+            raise ValueError(f"unknown role {role!r}")
+        self.name = name
+        self.role = role
+        self.net = net
+        self.partitioner = partitioner
+        self.server = server if server is not None else PequodServer(name=name)
+        self.host = SimHost(net, name)
+        self.host.node = self  # back-reference for synchronous fetches
+        self.subscriptions = SubscriptionRegistry()
+        self.resolver = RemoteResolver(self)
+        self.server.set_resolver(self.resolver)
+        self.server.add_listener(self._on_local_change)
+        self.updates_sent = 0
+        self.updates_applied = 0
+        self._applying_remote = False
+        self.host.on(MSG_UPDATE, self._on_update_message)
+        self.host.on(MSG_WRITE_FWD, self._on_forwarded_write)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DistributedNode {self.name} {self.role}>"
+
+    # ------------------------------------------------------------------
+    # Client-facing operations
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: str) -> None:
+        self.server.put(key, value)
+
+    def remove(self, key: str) -> bool:
+        return self.server.remove(key)
+
+    def get(self, key: str) -> Optional[str]:
+        return self.server.get(key)
+
+    def scan(self, first: str, last: str):
+        return self.server.scan(first, last)
+
+    # ------------------------------------------------------------------
+    # Home-server side
+    # ------------------------------------------------------------------
+    def handle_fetch(self, subscriber: str, table: str, lo: str, hi: str):
+        """Serve a range fetch and install the subscription (§2.4)."""
+        rows = self.server.store.scan(lo, hi)
+        self.subscriptions.subscribe(subscriber, lo, hi)
+        return rows
+
+    def _on_local_change(
+        self,
+        key: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: ChangeKind,
+    ) -> None:
+        """Push updates to every subscriber mirroring this key."""
+        if self._applying_remote:
+            return  # don't echo remotely-originated updates back out
+        subscribers = self.subscriptions.subscribers_of(key)
+        for dst in subscribers:
+            self.updates_sent += 1
+            self.host.send(
+                dst, MSG_UPDATE, encode_update((key, old_value, new_value, kind))
+            )
+
+    # ------------------------------------------------------------------
+    # Mirror side
+    # ------------------------------------------------------------------
+    def fetch_and_subscribe(self, home: str, table: str, lo: str, hi: str) -> None:
+        """Synchronously fetch ``[lo, hi)`` from ``home`` and subscribe.
+
+        The request/response pair is charged to the network (the paper
+        resolves fetches asynchronously with restart contexts; the data
+        outcome is the same, see module docstring).
+        """
+        home_node = self.net.hosts[home]
+        assert isinstance(home_node, SimHost)
+        node = self._node_of(home)
+        request = [table, lo, hi]
+        self.net.account(self.name, home, MSG_FETCH, len(encode(request)))
+        rows = node.handle_fetch(self.name, table, lo, hi)
+        reply_size = len(encode([list(r) for r in rows]))
+        self.net.account(home, self.name, MSG_FETCH_REPLY, max(reply_size, 16))
+        tbl = self.server.store.table(table)
+        for key, value in rows:
+            tbl.put(key, value)
+
+    def _node_of(self, name: str) -> "DistributedNode":
+        host = self.net.hosts[name]
+        node = getattr(host, "node", None)
+        if node is None:
+            raise RuntimeError(f"host {name!r} is not a DistributedNode")
+        return node
+
+    def _on_update_message(self, src: str, body) -> None:
+        """An asynchronous subscription update arrived from a home."""
+        key, old, new, kind = decode_update(body)
+        if not self.resolver.covers(key):
+            return  # range since evicted; ignore
+        self.updates_applied += 1
+        self._applying_remote = True
+        try:
+            if kind is ChangeKind.REMOVE:
+                self.server.engine.apply_remove(key)
+            else:
+                self.server.engine.apply_put(key, new or "")
+        finally:
+            self._applying_remote = False
+
+    def _on_forwarded_write(self, src: str, body) -> None:
+        """A write forwarded from a read-your-own-writes session."""
+        key, value, kind = body
+        if kind == ChangeKind.REMOVE.value:
+            self.server.remove(key)
+        else:
+            self.server.put(key, value or "")
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        return self.server.memory_bytes() + self.subscriptions.memory_bytes()

@@ -1,0 +1,78 @@
+"""Partition functions: mapping base-key ranges to home servers (§2.4).
+
+"Each base key has a home server to which updates are directed (a
+partition function maps key ranges to home servers)."  The partitioner
+here hashes the first key segment after the table tag — for Twip, posts
+``p|<poster>|...`` and subscriptions ``s|<user>|...`` partition by user
+— so every containing range a join scans (which always pins that first
+segment or covers the whole table) maps to one home, or in the
+whole-table case, to all of them.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional, Sequence
+
+from ..store.keys import SEP
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic across runs and processes (unlike ``hash``)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class Partitioner:
+    """Maps keys and ranges of partitioned base tables to home servers."""
+
+    def __init__(self, base_tables: Sequence[str], home_nodes: Sequence[str]) -> None:
+        if not home_nodes:
+            raise ValueError("need at least one home node")
+        self.base_tables = set(base_tables)
+        self.home_nodes: List[str] = list(home_nodes)
+
+    def is_base_table(self, table: str) -> bool:
+        return table in self.base_tables
+
+    def partition_segment(self, key: str) -> Optional[str]:
+        """The key segment that selects the partition (first slot)."""
+        parts = key.split(SEP, 2)
+        if len(parts) < 2:
+            return None
+        return parts[1]
+
+    def home_of(self, key: str) -> Optional[str]:
+        """The home server for ``key``, or None if it isn't base data."""
+        table = key.split(SEP, 1)[0]
+        if table not in self.base_tables:
+            return None
+        segment = self.partition_segment(key)
+        if segment is None:
+            segment = ""
+        index = stable_hash(f"{table}|{segment}") % len(self.home_nodes)
+        return self.home_nodes[index]
+
+    def homes_for_range(self, table: str, lo: str, hi: str) -> List[str]:
+        """Home servers whose data may intersect ``[lo, hi)``.
+
+        When both bounds pin the same partition segment (the common
+        containing-range shape, e.g. ``[p|bob|0100, p|bob})``) a single
+        home suffices; otherwise the range may span partitions and all
+        homes are consulted.
+        """
+        if table not in self.base_tables:
+            return []
+        lo_seg = self.partition_segment(lo)
+        if lo_seg and self._range_within_segment(table, lo_seg, lo, hi):
+            return [self.home_of(f"{table}{SEP}{lo_seg}") or self.home_nodes[0]]
+        return list(self.home_nodes)
+
+    @staticmethod
+    def _range_within_segment(table: str, segment: str, lo: str, hi: str) -> bool:
+        prefix = f"{table}{SEP}{segment}"
+        if not lo.startswith(prefix):
+            return False
+        # hi must not extend past the keys beginning with the segment.
+        from ..store.keys import prefix_upper_bound
+
+        return hi <= prefix_upper_bound(prefix)

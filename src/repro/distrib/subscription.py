@@ -1,0 +1,88 @@
+"""Cross-server base-data subscriptions (paper §2.4).
+
+"When a base key k is read from a server S other than its home server
+H, S requests k's value from H.  In addition to returning the value, H
+installs a subscription for S to k.  When H receives an update to k's
+value, it will send the new value to S."
+
+The home side keeps subscriptions in an interval tree (ranges, not
+single keys — fetches are containing ranges).  Updates propagate as
+asynchronous messages, so replicas are eventually consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.operators import ChangeKind
+from ..store.interval_tree import IntervalTree
+from ..store.keys import table_of
+
+
+class SubscriptionRegistry:
+    """Home-server side: who mirrors which of my ranges."""
+
+    def __init__(self) -> None:
+        self._by_table: Dict[str, IntervalTree] = {}
+        self.installed = 0
+
+    def subscribe(self, subscriber: str, lo: str, hi: str) -> None:
+        """Record that ``subscriber`` mirrors ``[lo, hi)``."""
+        table = table_of(lo)
+        tree = self._by_table.setdefault(table, IntervalTree())
+        entry = tree.find_entry(lo, hi)
+        if entry is not None and subscriber in entry.payloads:
+            return  # idempotent re-subscription
+        tree.add(lo, hi, subscriber)
+        self.installed += 1
+
+    def unsubscribe(self, subscriber: str, lo: str, hi: str) -> bool:
+        table = table_of(lo)
+        tree = self._by_table.get(table)
+        if tree is None:
+            return False
+        return tree.discard(lo, hi, subscriber)
+
+    def subscribers_of(self, key: str) -> Set[str]:
+        """Every server mirroring ``key``'s range."""
+        tree = self._by_table.get(table_of(key))
+        if tree is None:
+            return set()
+        out: Set[str] = set()
+        for entry in tree.stab(key):
+            out.update(entry.payloads)
+        return out
+
+    def subscription_count(self) -> int:
+        return sum(t.payload_count() for t in self._by_table.values())
+
+    def ranges_for(self, subscriber: str) -> List[Tuple[str, str]]:
+        out = []
+        for tree in self._by_table.values():
+            for entry in tree.entries():
+                if subscriber in entry.payloads:
+                    out.append((entry.lo, entry.hi))
+        return out
+
+    def memory_bytes(self) -> int:
+        """Approximate bookkeeping cost (the §5.5 base-server growth)."""
+        total = 0
+        for tree in self._by_table.values():
+            for entry in tree.entries():
+                total += 64 + len(entry.lo) + len(entry.hi)
+                total += 16 * len(entry.payloads)
+        return total
+
+
+#: An asynchronous subscription update: (key, old, new, kind).
+Update = Tuple[str, Optional[str], Optional[str], ChangeKind]
+
+
+def encode_update(update: Update) -> list:
+    key, old, new, kind = update
+    return [key, old, new, kind.value]
+
+
+def decode_update(body: list) -> Update:
+    key, old, new, kind = body
+    return key, old, new, ChangeKind(kind)

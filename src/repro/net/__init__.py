@@ -1,0 +1,45 @@
+"""Networking substrate: wire codec, framed RPC over asyncio TCP, and a
+deterministic discrete-event network simulator."""
+
+from .codec import CodecError, decode, decode_prefix, encode
+from .protocol import (
+    ERR,
+    METHODS,
+    OK,
+    FrameBuffer,
+    ProtocolError,
+    decode_message,
+    encode_request,
+    encode_response,
+    frame,
+    parse_request,
+    parse_response,
+)
+from .rpc_client import RpcClient, RpcError, SyncRpcClient
+from .rpc_server import RpcServer
+from .simnet import SimError, SimHost, SimNetwork
+
+__all__ = [
+    "CodecError",
+    "ERR",
+    "FrameBuffer",
+    "METHODS",
+    "OK",
+    "ProtocolError",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
+    "SimError",
+    "SimHost",
+    "SimNetwork",
+    "SyncRpcClient",
+    "decode",
+    "decode_message",
+    "decode_prefix",
+    "encode",
+    "encode_request",
+    "encode_response",
+    "frame",
+    "parse_request",
+    "parse_response",
+]

@@ -1,0 +1,179 @@
+"""Binary wire codec for Pequod RPC.
+
+A compact, self-describing, from-scratch serialization for the value
+shapes RPC needs: ``None``, booleans, integers, floats, strings, bytes,
+lists, and string-keyed dictionaries.  Integers use unsigned LEB128
+varints with zigzag signing, so the small ids and lengths that dominate
+cache traffic stay at one byte.
+
+Wire grammar (one tag byte, then payload)::
+
+    N                       -> None
+    T / F                   -> True / False
+    i <zigzag varint>       -> int
+    d <8-byte IEEE754 BE>   -> float
+    s <varint len> <utf8>   -> str
+    b <varint len> <raw>    -> bytes
+    l <varint count> items  -> list
+    m <varint count> pairs  -> dict (string keys)
+
+The codec is strict: unknown tags, trailing bytes, and truncated input
+raise :class:`CodecError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+
+class CodecError(ValueError):
+    """Raised on malformed wire data or unencodable values."""
+
+
+# ----------------------------------------------------------------------
+# Varints
+# ----------------------------------------------------------------------
+def encode_varint(value: int) -> bytes:
+    """Unsigned LEB128."""
+    if value < 0:
+        raise CodecError("varints are unsigned")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Returns ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 1024:  # Python ints are unbounded; cap for sanity
+            raise CodecError("varint too long")
+
+
+def zigzag(value: int) -> int:
+    """Map signed to unsigned: 0,-1,1,-2 -> 0,1,2,3 (unbounded ints)."""
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# ----------------------------------------------------------------------
+# Values
+# ----------------------------------------------------------------------
+def encode(value: Any) -> bytes:
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(ord("N"))
+    elif value is True:
+        out.append(ord("T"))
+    elif value is False:
+        out.append(ord("F"))
+    elif isinstance(value, int):
+        out.append(ord("i"))
+        out.extend(encode_varint(zigzag(value)))
+    elif isinstance(value, float):
+        out.append(ord("d"))
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(ord("s"))
+        out.extend(encode_varint(len(raw)))
+        out.extend(raw)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(ord("b"))
+        out.extend(encode_varint(len(value)))
+        out.extend(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(ord("l"))
+        out.extend(encode_varint(len(value)))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out.append(ord("m"))
+        out.extend(encode_varint(len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be strings, got {key!r}")
+            _encode_into(key, out)
+            _encode_into(item, out)
+    else:
+        raise CodecError(f"cannot encode {type(value).__name__}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode exactly one value; trailing bytes are an error."""
+    value, offset = decode_prefix(data, 0)
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes")
+    return value
+
+
+def decode_prefix(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise CodecError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == ord("N"):
+        return None, offset
+    if tag == ord("T"):
+        return True, offset
+    if tag == ord("F"):
+        return False, offset
+    if tag == ord("i"):
+        raw, offset = decode_varint(data, offset)
+        return unzigzag(raw), offset
+    if tag == ord("d"):
+        if offset + 8 > len(data):
+            raise CodecError("truncated float")
+        return struct.unpack(">d", data[offset : offset + 8])[0], offset + 8
+    if tag == ord("s"):
+        length, offset = decode_varint(data, offset)
+        if offset + length > len(data):
+            raise CodecError("truncated string")
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    if tag == ord("b"):
+        length, offset = decode_varint(data, offset)
+        if offset + length > len(data):
+            raise CodecError("truncated bytes")
+        return bytes(data[offset : offset + length]), offset + length
+    if tag == ord("l"):
+        count, offset = decode_varint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = decode_prefix(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == ord("m"):
+        count, offset = decode_varint(data, offset)
+        out = {}
+        for _ in range(count):
+            key, offset = decode_prefix(data, offset)
+            if not isinstance(key, str):
+                raise CodecError("dict keys must be strings")
+            value, offset = decode_prefix(data, offset)
+            out[key] = value
+        return out, offset
+    raise CodecError(f"unknown tag {tag:#x}")

@@ -1,0 +1,108 @@
+"""Framed request/response protocol for Pequod RPC (paper §5.1).
+
+"Application clients communicate with Pequod servers using RPC" —
+requests and responses are codec-encoded values inside 4-byte
+big-endian length frames.  Clients are event-driven and keep many RPCs
+outstanding (§5.1), so every request carries an id and responses may
+arrive in any order.
+
+Request  : ``[id, method, args...]``
+Response : ``[id, status, payload]`` with status "ok" or "err".
+
+Methods mirror the server API: ``get``, ``put``, ``remove``, ``scan``,
+``add_join``, ``count``, ``stats``, ``ping``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Optional, Tuple
+
+from .codec import CodecError, decode, encode
+
+MAX_FRAME = 64 * 1024 * 1024  # sanity cap
+
+OK = "ok"
+ERR = "err"
+
+#: Methods a Pequod RPC server accepts, mapped to server attributes.
+METHODS = ("get", "put", "remove", "scan", "count", "add_join", "stats", "ping")
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed frames or messages."""
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap an encoded message in a length prefix."""
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {len(payload)}")
+    return struct.pack(">I", len(payload)) + payload
+
+
+def encode_request(request_id: int, method: str, args: List[Any]) -> bytes:
+    return frame(encode([request_id, method, *args]))
+
+
+def encode_response(request_id: int, status: str, payload: Any) -> bytes:
+    return frame(encode([request_id, status, payload]))
+
+
+def decode_message(payload: bytes) -> List[Any]:
+    try:
+        message = decode(payload)
+    except CodecError as exc:
+        raise ProtocolError(f"bad message: {exc}") from exc
+    if not isinstance(message, list) or len(message) < 2:
+        raise ProtocolError(f"malformed message: {message!r}")
+    return message
+
+
+def parse_request(message: List[Any]) -> Tuple[int, str, List[Any]]:
+    request_id, method, *args = message
+    if not isinstance(request_id, int) or not isinstance(method, str):
+        raise ProtocolError(f"malformed request: {message!r}")
+    return request_id, method, args
+
+
+def parse_response(message: List[Any]) -> Tuple[int, str, Any]:
+    if len(message) != 3:
+        raise ProtocolError(f"malformed response: {message!r}")
+    request_id, status, payload = message
+    if not isinstance(request_id, int) or status not in (OK, ERR):
+        raise ProtocolError(f"malformed response: {message!r}")
+    return request_id, status, payload
+
+
+class FrameBuffer:
+    """Incremental frame reassembly for a byte stream."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Append stream bytes; return any complete frame payloads."""
+        self._buf.extend(data)
+        frames: List[bytes] = []
+        while True:
+            payload = self._next_frame()
+            if payload is None:
+                return frames
+            frames.append(payload)
+
+    def _next_frame(self) -> Optional[bytes]:
+        if len(self._buf) < 4:
+            return None
+        (length,) = struct.unpack(">I", self._buf[:4])
+        if length > MAX_FRAME:
+            raise ProtocolError(f"frame too large: {length}")
+        if len(self._buf) < 4 + length:
+            return None
+        payload = bytes(self._buf[4 : 4 + length])
+        del self._buf[: 4 + length]
+        return payload
+
+    def pending_bytes(self) -> int:
+        return len(self._buf)

@@ -1,0 +1,157 @@
+"""Asyncio RPC client with pipelining.
+
+The paper's clients "are event-driven processes that keep many RPCs
+outstanding" (§5.1).  :class:`RpcClient` assigns each request an id,
+writes frames without waiting, and resolves per-request futures as
+responses arrive — so a single connection can have hundreds of
+operations in flight.  :class:`SyncRpcClient` wraps it in a private
+event loop for synchronous callers (examples, tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import protocol
+
+
+class RpcError(RuntimeError):
+    """An error reported by the server for one request."""
+
+
+class RpcClient:
+    """Pipelined asyncio client for a Pequod RPC server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._buffer = protocol.FrameBuffer()
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task: Optional[asyncio.Task] = None
+        self.requests_sent = 0
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._writer = None
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    break
+                for payload in self._buffer.feed(data):
+                    message = protocol.decode_message(payload)
+                    request_id, status, body = protocol.parse_response(message)
+                    future = self._pending.pop(request_id, None)
+                    if future is None or future.done():
+                        continue
+                    if status == protocol.OK:
+                        future.set_result(body)
+                    else:
+                        future.set_exception(RpcError(str(body)))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fail all outstanding
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(exc)
+            self._pending.clear()
+
+    def _start_call(self, method: str, args: List[Any]) -> asyncio.Future:
+        assert self._writer is not None, "client is not connected"
+        request_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(protocol.encode_request(request_id, method, args))
+        self.requests_sent += 1
+        return future
+
+    async def call(self, method: str, *args: Any) -> Any:
+        """One RPC; awaits the response."""
+        future = self._start_call(method, list(args))
+        assert self._writer is not None
+        await self._writer.drain()
+        return await future
+
+    async def call_many(self, calls: List[Tuple[str, List[Any]]]) -> List[Any]:
+        """Pipeline a batch of RPCs; results come back in call order."""
+        futures = [self._start_call(method, args) for method, args in calls]
+        assert self._writer is not None
+        await self._writer.drain()
+        return list(await asyncio.gather(*futures))
+
+    # -- convenience wrappers ----------------------------------------------------
+    async def get(self, key: str) -> Optional[str]:
+        return await self.call("get", key)
+
+    async def put(self, key: str, value: str) -> None:
+        await self.call("put", key, value)
+
+    async def remove(self, key: str) -> bool:
+        return await self.call("remove", key)
+
+    async def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
+        return [tuple(pair) for pair in await self.call("scan", first, last)]
+
+    async def add_join(self, text: str) -> List[str]:
+        return await self.call("add_join", text)
+
+    async def ping(self) -> str:
+        return await self.call("ping")
+
+
+class SyncRpcClient:
+    """Blocking facade over :class:`RpcClient` for synchronous code."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._client = RpcClient(host, port)
+        self._loop.run_until_complete(self._client.connect())
+
+    def close(self) -> None:
+        self._loop.run_until_complete(self._client.close())
+        self._loop.close()
+
+    def call(self, method: str, *args: Any) -> Any:
+        return self._loop.run_until_complete(self._client.call(method, *args))
+
+    def get(self, key: str) -> Optional[str]:
+        return self.call("get", key)
+
+    def put(self, key: str, value: str) -> None:
+        self.call("put", key, value)
+
+    def remove(self, key: str) -> bool:
+        return self.call("remove", key)
+
+    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
+        return [tuple(p) for p in self.call("scan", first, last)]
+
+    def add_join(self, text: str) -> List[str]:
+        return self.call("add_join", text)

@@ -1,0 +1,134 @@
+"""Asyncio RPC server exposing a PequodServer over TCP.
+
+Pequod is "a single-threaded, event-driven C++ program" (§4); this is
+the Python analogue: one event loop, per-connection frame reassembly,
+and request dispatch into the (non-async) cache engine.  Clients
+pipeline requests; responses go back in completion order carrying the
+request id.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import traceback
+from typing import Any, List, Optional
+
+from ..core.server import PequodServer
+from . import protocol
+
+
+class RpcServer:
+    """Serve a :class:`PequodServer` on a TCP host/port."""
+
+    def __init__(self, server: PequodServer, host: str = "127.0.0.1", port: int = 0):
+        self.server = server
+        self.host = host
+        self.port = port
+        self._asyncio_server: Optional[asyncio.AbstractServer] = None
+        self._connection_tasks: set = set()
+        self.requests_served = 0
+        self.connections = 0
+
+    async def start(self) -> None:
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._asyncio_server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+        # Reap per-connection tasks so event-loop teardown is clean.
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+        self._connection_tasks.clear()
+
+    async def serve_forever(self) -> None:
+        if self._asyncio_server is None:
+            await self.start()
+        assert self._asyncio_server is not None
+        async with self._asyncio_server:
+            await self._asyncio_server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+            task.add_done_callback(self._connection_tasks.discard)
+        self.connections += 1
+        buffer = protocol.FrameBuffer()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                for payload in buffer.feed(data):
+                    response = self._dispatch(payload)
+                    writer.write(response)
+                await writer.drain()
+        except protocol.ProtocolError:
+            # Unframeable garbage: drop this connection, keep serving
+            # the rest.
+            pass
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels connection handlers; exiting
+            # normally keeps asyncio's stream callbacks quiet.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    def _dispatch(self, payload: bytes) -> bytes:
+        request_id = -1
+        try:
+            message = protocol.decode_message(payload)
+            request_id, method, args = protocol.parse_request(message)
+            result = self._invoke(method, args)
+            self.requests_served += 1
+            return protocol.encode_response(request_id, protocol.OK, result)
+        except Exception as exc:  # noqa: BLE001 - faults go to the client
+            detail = f"{type(exc).__name__}: {exc}"
+            if not isinstance(exc, (ValueError, KeyError, TypeError)):
+                detail += "\n" + traceback.format_exc(limit=3)
+            return protocol.encode_response(request_id, protocol.ERR, detail)
+
+    def _invoke(self, method: str, args: List[Any]) -> Any:
+        srv = self.server
+        if method == "get":
+            (key,) = args
+            return srv.get(key)
+        if method == "put":
+            key, value = args
+            srv.put(key, value)
+            return True
+        if method == "remove":
+            (key,) = args
+            return srv.remove(key)
+        if method == "scan":
+            first, last = args
+            return [list(pair) for pair in srv.scan(first, last)]
+        if method == "count":
+            first, last = args
+            return srv.count(first, last)
+        if method == "add_join":
+            (text,) = args
+            return [j.text for j in srv.add_join(text)]
+        if method == "stats":
+            return srv.stats.snapshot()
+        if method == "ping":
+            return "pong"
+        raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,69 @@
+"""Ordered key-value store substrate (paper §4).
+
+Red-black trees, interval trees, table/subtable layering with a hash
+index, value sharing, and LRU tracking — the data structures the Pequod
+join engine is built on.
+"""
+
+from .interval_tree import IntervalEntry, IntervalTree
+from .keys import (
+    SEP,
+    SEP_SUCCESSOR,
+    clamp_range,
+    join_key,
+    key_successor,
+    prefix_upper_bound,
+    range_contains,
+    ranges_overlap,
+    split_key,
+    subtable_prefix,
+    table_of,
+    table_range,
+)
+from .lru import LRUEntry, LRUList
+from .rbtree import Node, RBTree
+from .stats import StoreStats
+from .store import OrderedStore
+from .table import SUBTABLE_OVERHEAD, PutHandle, Table
+from .values import (
+    NODE_OVERHEAD,
+    POINTER_SIZE,
+    SharedValue,
+    Value,
+    acquire_value,
+    materialize,
+    release_value,
+)
+
+__all__ = [
+    "SEP",
+    "SEP_SUCCESSOR",
+    "SUBTABLE_OVERHEAD",
+    "NODE_OVERHEAD",
+    "POINTER_SIZE",
+    "IntervalEntry",
+    "IntervalTree",
+    "LRUEntry",
+    "LRUList",
+    "Node",
+    "OrderedStore",
+    "PutHandle",
+    "RBTree",
+    "SharedValue",
+    "StoreStats",
+    "Table",
+    "Value",
+    "acquire_value",
+    "clamp_range",
+    "join_key",
+    "key_successor",
+    "materialize",
+    "prefix_upper_bound",
+    "range_contains",
+    "ranges_overlap",
+    "release_value",
+    "split_key",
+    "subtable_prefix",
+    "table_of",
+    "table_range",
+]

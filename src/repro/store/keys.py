@@ -1,0 +1,103 @@
+"""Key-space helpers for Pequod's ordered string keys.
+
+Pequod keys are strings composed of ``|``-separated segments, for
+example ``t|ann|0100|bob``.  Lexicographic byte order over such keys is
+what gives range scans their meaning (paper §2.1): the segment order in
+a key is semantically significant, and the upper bound of the range of
+keys beginning with ``t|ann|`` is written ``t|ann}`` — ``}`` is the
+character after ``|`` (the paper's "unsightly string", footnote 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+SEP = "|"
+#: The character immediately after the separator; closes prefix ranges.
+SEP_SUCCESSOR = chr(ord(SEP) + 1)  # "}"
+
+_MAX_CODEPOINT = 0x10FFFF
+
+
+def split_key(key: str) -> List[str]:
+    """Split a key into its ``|``-separated segments."""
+    return key.split(SEP)
+
+
+def join_key(segments: List[str]) -> str:
+    """Join segments back into a key."""
+    return SEP.join(segments)
+
+
+def key_successor(key: str) -> str:
+    """The smallest string strictly greater than ``key``.
+
+    Used to convert an inclusive bound into an exclusive one.
+    """
+    return key + "\x00"
+
+
+def prefix_upper_bound(prefix: str) -> str:
+    """The smallest string greater than every string starting with ``prefix``.
+
+    ``[prefix, prefix_upper_bound(prefix))`` contains exactly the keys
+    that begin with ``prefix``.  For a prefix ending in the separator
+    this produces the paper's ``}`` form: ``t|ann|`` -> ``t|ann}``.
+    """
+    if not prefix:
+        raise ValueError("cannot bound the empty prefix")
+    chars = list(prefix)
+    for i in range(len(chars) - 1, -1, -1):
+        cp = ord(chars[i])
+        if cp < _MAX_CODEPOINT:
+            return "".join(chars[:i]) + chr(cp + 1)
+    raise ValueError(f"prefix {prefix!r} has no upper bound")
+
+
+def table_range(table: str) -> Tuple[str, str]:
+    """The half-open key range owned by table ``table`` (e.g. ``"t"``).
+
+    Includes the bare table key itself and everything under ``table|``.
+    """
+    return table, prefix_upper_bound(table + SEP)
+
+
+def table_of(key: str) -> str:
+    """The table name of ``key`` — its first segment."""
+    idx = key.find(SEP)
+    return key if idx < 0 else key[:idx]
+
+
+def subtable_prefix(key: str, depth: int) -> str:
+    """The first ``depth`` segments of ``key``, joined.
+
+    This identifies a key's subtable when a table is configured with a
+    subtable boundary at ``depth`` segments (paper §4.1).  Keys with
+    fewer than ``depth`` segments map to their full value.
+    """
+    if depth <= 0:
+        raise ValueError("subtable depth must be positive")
+    pos = -1
+    for _ in range(depth):
+        pos = key.find(SEP, pos + 1)
+        if pos < 0:
+            return key
+    return key[:pos]
+
+
+def ranges_overlap(a_lo: str, a_hi: str, b_lo: str, b_hi: str) -> bool:
+    """Do half-open ranges ``[a_lo, a_hi)`` and ``[b_lo, b_hi)`` intersect?"""
+    return a_lo < b_hi and b_lo < a_hi
+
+
+def range_contains(outer_lo: str, outer_hi: str, inner_lo: str, inner_hi: str) -> bool:
+    """Is ``[inner_lo, inner_hi)`` fully inside ``[outer_lo, outer_hi)``?"""
+    return outer_lo <= inner_lo and inner_hi <= outer_hi
+
+
+def clamp_range(lo: str, hi: str, bound_lo: str, bound_hi: str) -> Tuple[str, str]:
+    """Intersect ``[lo, hi)`` with ``[bound_lo, bound_hi)``.
+
+    Returns an empty range (``lo >= hi``) when they do not overlap.
+    """
+    return max(lo, bound_lo), min(hi, bound_hi)

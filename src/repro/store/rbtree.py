@@ -1,0 +1,482 @@
+"""Red-black binary search tree.
+
+Pequod stores key-value pairs and bookkeeping structures (updaters, join
+status ranges) in red-black trees (paper §4).  This module implements a
+classical red-black tree with parent pointers and a NIL sentinel, plus an
+optional *augmentation* hook so the interval tree (``interval_tree.py``)
+can maintain subtree metadata through rotations.
+
+The tree maps ordered keys to values.  Keys may be any totally ordered
+Python values; Pequod uses strings.  Supported operations:
+
+* ``insert(key, value)`` / ``remove(key)`` / ``get(key)``
+* ordered iteration over ``[lo, hi)`` ranges
+* ``ceiling`` / ``floor`` / ``higher`` / ``lower`` navigation
+* O(1) access to a node's successor via ``next_node`` (used by Pequod's
+  output hints, §4.2)
+
+All mutating operations run in O(log n).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+RED = True
+BLACK = False
+
+
+class Node:
+    """A tree node.  Application code treats nodes as opaque handles
+    except for reading ``key`` and ``value``."""
+
+    __slots__ = ("key", "value", "left", "right", "parent", "color", "aug")
+
+    def __init__(self, key: Any, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.left: "Node" = None  # type: ignore[assignment]
+        self.right: "Node" = None  # type: ignore[assignment]
+        self.parent: "Node" = None  # type: ignore[assignment]
+        self.color: bool = RED
+        self.aug: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        color = "R" if self.color == RED else "B"
+        return f"<Node {self.key!r}={self.value!r} {color}>"
+
+
+class RBTree:
+    """A red-black tree mapping ordered keys to values.
+
+    ``augment`` is an optional callable invoked as ``augment(node)``
+    whenever ``node``'s subtree may have changed; it should recompute
+    ``node.aug`` from ``node`` and its children.  ``node.left`` and
+    ``node.right`` may be the NIL sentinel, which is exposed as
+    ``tree.nil`` and always has ``aug is None``.
+    """
+
+    __slots__ = ("nil", "root", "_size", "_augment")
+
+    def __init__(self, augment: Optional[Callable[["Node"], None]] = None) -> None:
+        self.nil = Node(None, None)
+        self.nil.color = BLACK
+        self.nil.left = self.nil.right = self.nil.parent = self.nil
+        self.root = self.nil
+        self._size = 0
+        self._augment = augment
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self.find_node(key) is not None
+
+    def find_node(self, key: Any) -> Optional[Node]:
+        """Return the node with exactly ``key``, or None."""
+        node = self.root
+        while node is not self.nil:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node
+        return None
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self.find_node(key)
+        return node.value if node is not None else default
+
+    def min_node(self) -> Optional[Node]:
+        if self.root is self.nil:
+            return None
+        return self._subtree_min(self.root)
+
+    def max_node(self) -> Optional[Node]:
+        if self.root is self.nil:
+            return None
+        node = self.root
+        while node.right is not self.nil:
+            node = node.right
+        return node
+
+    def ceiling_node(self, key: Any) -> Optional[Node]:
+        """Smallest node with ``node.key >= key``."""
+        node, best = self.root, None
+        while node is not self.nil:
+            if node.key < key:
+                node = node.right
+            else:
+                best = node
+                node = node.left
+        return best
+
+    def higher_node(self, key: Any) -> Optional[Node]:
+        """Smallest node with ``node.key > key``."""
+        node, best = self.root, None
+        while node is not self.nil:
+            if key < node.key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return best
+
+    def floor_node(self, key: Any) -> Optional[Node]:
+        """Largest node with ``node.key <= key``."""
+        node, best = self.root, None
+        while node is not self.nil:
+            if key < node.key:
+                node = node.left
+            else:
+                best = node
+                node = node.right
+        return best
+
+    def lower_node(self, key: Any) -> Optional[Node]:
+        """Largest node with ``node.key < key``."""
+        node, best = self.root, None
+        while node is not self.nil:
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return best
+
+    def next_node(self, node: Node) -> Optional[Node]:
+        """In-order successor of ``node`` (O(1) amortized)."""
+        if node.right is not self.nil:
+            return self._subtree_min(node.right)
+        parent = node.parent
+        while parent is not self.nil and node is parent.right:
+            node, parent = parent, parent.parent
+        return parent if parent is not self.nil else None
+
+    def prev_node(self, node: Node) -> Optional[Node]:
+        """In-order predecessor of ``node``."""
+        if node.left is not self.nil:
+            child = node.left
+            while child.right is not self.nil:
+                child = child.right
+            return child
+        parent = node.parent
+        while parent is not self.nil and node is parent.left:
+            node, parent = parent, parent.parent
+        return parent if parent is not self.nil else None
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def nodes(self, lo: Any = None, hi: Any = None) -> Iterator[Node]:
+        """Yield nodes with ``lo <= key < hi`` in key order.
+
+        ``lo`` of None means the minimum; ``hi`` of None means unbounded.
+        The tree must not be structurally modified while iterating.
+        """
+        node = self.min_node() if lo is None else self.ceiling_node(lo)
+        while node is not None and (hi is None or node.key < hi):
+            yield node
+            node = self.next_node(node)
+
+    def items(self, lo: Any = None, hi: Any = None) -> Iterator[tuple]:
+        for node in self.nodes(lo, hi):
+            yield node.key, node.value
+
+    def keys(self, lo: Any = None, hi: Any = None) -> Iterator[Any]:
+        for node in self.nodes(lo, hi):
+            yield node.key
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.keys()
+
+    def count_range(self, lo: Any, hi: Any) -> int:
+        """Number of keys in ``[lo, hi)`` (O(k + log n))."""
+        return sum(1 for _ in self.nodes(lo, hi))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> Node:
+        """Insert ``key`` -> ``value``; overwrite the value if present.
+
+        Returns the node holding the pair.
+        """
+        parent, node = self.nil, self.root
+        while node is not self.nil:
+            parent = node
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                node.value = value
+                return node
+        fresh = Node(key, value)
+        fresh.left = fresh.right = self.nil
+        fresh.parent = parent
+        if parent is self.nil:
+            self.root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._augment_path(fresh)
+        self._insert_fixup(fresh)
+        return fresh
+
+    def insert_node_after(self, node: Node, key: Any, value: Any) -> Node:
+        """Insert ``key`` knowing it belongs immediately after ``node``.
+
+        This is the O(1)-search path backing Pequod's *output hints*
+        (§4.2): when a join repeatedly appends just past its previous
+        output we can skip the root-to-leaf descent.  The caller must
+        guarantee ``node.key < key`` and that no existing key lies
+        between them; this is verified cheaply against the successor.
+        """
+        succ = self.next_node(node)
+        if not (node.key < key) or (succ is not None and not (key < succ.key)):
+            if succ is not None and not (key < succ.key) and not (succ.key < key):
+                succ.value = value
+                return succ
+            return self.insert(key, value)  # hint was stale; fall back
+        fresh = Node(key, value)
+        fresh.left = fresh.right = self.nil
+        if node.right is self.nil:
+            node.right = fresh
+            fresh.parent = node
+        else:
+            # successor is the leftmost node of node.right and has no left child
+            assert succ is not None and succ.left is self.nil
+            succ.left = fresh
+            fresh.parent = succ
+        self._size += 1
+        self._augment_path(fresh)
+        self._insert_fixup(fresh)
+        return fresh
+
+    def remove(self, key: Any) -> bool:
+        """Remove ``key``.  Returns True if it was present."""
+        node = self.find_node(key)
+        if node is None:
+            return False
+        self.remove_node(node)
+        return True
+
+    def remove_node(self, z: Node) -> None:
+        """Remove a node previously obtained from this tree."""
+        nil = self.nil
+        y = z
+        y_original_color = y.color
+        if z.left is nil:
+            x = z.right
+            self._transplant(z, z.right)
+            fix_from = x.parent
+        elif z.right is nil:
+            x = z.left
+            self._transplant(z, z.left)
+            fix_from = x.parent
+        else:
+            y = self._subtree_min(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+                fix_from = y
+            else:
+                fix_from = y.parent
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        self._size -= 1
+        self._augment_path(fix_from)
+        if y_original_color == BLACK:
+            self._remove_fixup(x)
+        z.left = z.right = z.parent = z  # detach; makes reuse bugs loud
+
+    def clear(self) -> None:
+        self.root = self.nil
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _subtree_min(self, node: Node) -> Node:
+        while node.left is not self.nil:
+            node = node.left
+        return node
+
+    def _transplant(self, u: Node, v: Node) -> None:
+        if u.parent is self.nil:
+            self.root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _rotate_left(self, x: Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self.nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self.nil:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+        if self._augment is not None:
+            self._augment(x)
+            self._augment(y)
+
+    def _rotate_right(self, x: Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self.nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self.nil:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+        if self._augment is not None:
+            self._augment(x)
+            self._augment(y)
+
+    def _augment_path(self, node: Node) -> None:
+        if self._augment is None:
+            return
+        while node is not self.nil:
+            self._augment(node)
+            node = node.parent
+
+    def augment_path(self, node: Node) -> None:
+        """Public hook: recompute augmentation from ``node`` to the root.
+
+        Used when a node's own augmentation inputs change in place (for
+        example, an interval tree widening an interval's endpoint).
+        """
+        self._augment_path(node)
+
+    def _insert_fixup(self, z: Node) -> None:
+        while z.parent.color == RED:
+            if z.parent is z.parent.parent.left:
+                y = z.parent.parent.right
+                if y.color == RED:
+                    z.parent.color = BLACK
+                    y.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                y = z.parent.parent.left
+                if y.color == RED:
+                    z.parent.color = BLACK
+                    y.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self.root.color = BLACK
+
+    def _remove_fixup(self, x: Node) -> None:
+        while x is not self.root and x.color == BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color == RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color == BLACK and w.right.color == BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color == BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self.root
+            else:
+                w = x.parent.left
+                if w.color == RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color == BLACK and w.left.color == BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color == BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self.root
+        x.color = BLACK
+
+    # ------------------------------------------------------------------
+    # Validation (tests only)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if red-black invariants are violated."""
+        assert self.root.color == BLACK, "root must be black"
+        assert self.nil.color == BLACK, "sentinel must be black"
+
+        def walk(node: Node, lo: Any, hi: Any) -> int:
+            if node is self.nil:
+                return 1
+            assert lo is None or lo < node.key, "BST order violated (lo)"
+            assert hi is None or node.key < hi, "BST order violated (hi)"
+            if node.color == RED:
+                assert node.left.color == BLACK and node.right.color == BLACK, (
+                    "red node with red child"
+                )
+            lb = walk(node.left, lo, node.key)
+            rb = walk(node.right, node.key, hi)
+            assert lb == rb, "black-height mismatch"
+            return lb + (1 if node.color == BLACK else 0)
+
+        walk(self.root, None, None)
+        assert sum(1 for _ in self.nodes()) == self._size, "size mismatch"

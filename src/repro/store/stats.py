@@ -1,0 +1,64 @@
+"""Operation counters shared by the store and the join engine.
+
+The paper's evaluation is driven by how much *work* each design does:
+tree descents (O(log n)) versus hash jumps (O(1)), RPC counts, bytes
+copied, updaters run.  ``StoreStats`` collects those raw counts; the
+benchmark cost model (``repro.bench.costmodel``) turns them into modeled
+runtimes.  Keeping the counters here, next to the data structures that
+increment them, keeps the accounting honest — each counter is bumped at
+the exact point the work happens.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class StoreStats:
+    """A bag of named counters with a few convenience accessors."""
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] += amount
+
+    def tree_descent(self, size: int) -> None:
+        """Charge one root-to-leaf walk of a tree holding ``size`` keys."""
+        self.counters["tree_descents"] += 1
+        self.counters["tree_descent_cost"] += math.log2(size + 2)
+
+    def hash_jump(self) -> None:
+        """Charge one O(1) hash-index lookup (subtable jump, §4.1)."""
+        self.counters["hash_jumps"] += 1
+
+    def get(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def __getitem__(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self.counters.items()))
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.counters)
+
+    def reset(self) -> None:
+        self.counters.clear()
+
+    def merged_with(self, other: "StoreStats") -> "StoreStats":
+        out = StoreStats()
+        for name, val in self.counters.items():
+            out.counters[name] += val
+        for name, val in other.counters.items():
+            out.counters[name] += val
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self.counters.items()))
+        return f"<StoreStats {inner}>"

@@ -1,0 +1,169 @@
+"""The ordered key-value store: Pequod's client-visible data plane.
+
+``OrderedStore`` presents one lexicographically ordered key space with
+``get`` / ``put`` / ``remove`` / ``scan`` (paper §2) while internally
+routing keys to per-table trees and subtables (§4.1).  The join engine
+in ``repro.core`` layers cache-join execution and incremental
+maintenance on top of this store; baselines and the backing database
+reuse it as well.
+
+Values handed to clients are always plain strings; internally the store
+may hold :class:`~repro.store.values.SharedValue` buffers installed by
+the value-sharing optimization (§4.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .keys import prefix_upper_bound, table_of
+from .rbtree import Node
+from .stats import StoreStats
+from .table import PutHandle, Table
+from .values import Value, materialize
+
+
+class OrderedStore:
+    """A single ordered string key space backed by tables and subtables.
+
+    ``subtable_config`` maps table names to subtable depths; it may also
+    be amended later with :meth:`configure_subtables` (before the table
+    first receives data).  All tables share one :class:`StoreStats`.
+    """
+
+    __slots__ = ("stats", "tables", "_subtable_config")
+
+    def __init__(
+        self,
+        subtable_config: Optional[Dict[str, int]] = None,
+        stats: Optional[StoreStats] = None,
+    ) -> None:
+        self.stats = stats if stats is not None else StoreStats()
+        self.tables: Dict[str, Table] = {}
+        self._subtable_config: Dict[str, int] = dict(subtable_config or {})
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+    def configure_subtables(self, table_name: str, depth: int) -> None:
+        """Mark a subtable boundary ``depth`` segments into ``table_name``.
+
+        This is the developer marking natural key boundaries (§4.1).
+        Must be configured before the table holds data.
+        """
+        existing = self.tables.get(table_name)
+        if existing is not None:
+            if len(existing) > 0 and existing.subtable_depth != depth:
+                raise ValueError(
+                    f"table {table_name!r} already holds data; cannot change "
+                    "its subtable boundary"
+                )
+            if existing.subtable_depth != depth:
+                del self.tables[table_name]
+        self._subtable_config[table_name] = depth
+
+    def table(self, name: str) -> Table:
+        """The table called ``name``, created on first use."""
+        tbl = self.tables.get(name)
+        if tbl is None:
+            depth = self._subtable_config.get(name, 0)
+            tbl = Table(name, subtable_depth=depth, stats=self.stats)
+            self.tables[name] = tbl
+        return tbl
+
+    def table_for_key(self, key: str) -> Table:
+        return self.table(table_of(key))
+
+    def existing_table_for_key(self, key: str) -> Optional[Table]:
+        return self.tables.get(table_of(key))
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def put(
+        self, key: str, value: Value, hint: Optional[PutHandle] = None
+    ) -> Tuple[PutHandle, Optional[Value]]:
+        """Insert or overwrite; returns ``(handle, old_value_or_None)``."""
+        if not key:
+            raise ValueError("keys must be non-empty")
+        return self.table_for_key(key).put(key, value, hint=hint)
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """The client-visible value for ``key`` (a string), or ``default``."""
+        tbl = self.existing_table_for_key(key)
+        if tbl is None:
+            return default
+        node = tbl.get_node(key)
+        if node is None:
+            return default
+        return materialize(node.value)
+
+    def get_raw(self, key: str) -> Optional[Value]:
+        """The stored value object (possibly shared), or None."""
+        tbl = self.existing_table_for_key(key)
+        if tbl is None:
+            return None
+        node = tbl.get_node(key)
+        return node.value if node is not None else None
+
+    def remove(self, key: str) -> bool:
+        tbl = self.existing_table_for_key(key)
+        if tbl is None:
+            return False
+        return tbl.remove(key) is not None
+
+    def scan_nodes(self, lo: str, hi: str) -> Iterator[Node]:
+        """Stored nodes with ``lo <= key < hi``, across table boundaries."""
+        if not lo < hi:
+            return
+        relevant: List[Table] = []
+        for name in sorted(self.tables):
+            if name < hi and prefix_upper_bound(name) > lo:
+                relevant.append(self.tables[name])
+        if len(relevant) == 1:
+            yield from relevant[0].scan_nodes(lo, hi)
+        elif relevant:
+            streams = [tbl.scan_nodes(lo, hi) for tbl in relevant]
+            yield from heapq.merge(*streams, key=lambda n: n.key)
+
+    def scan(self, lo: str, hi: str) -> List[Tuple[str, str]]:
+        """Client-visible ordered list of pairs with ``lo <= key < hi``."""
+        out = []
+        for node in self.scan_nodes(lo, hi):
+            self.stats.add("scanned_items")
+            out.append((node.key, materialize(node.value)))
+        return out
+
+    def scan_iter(self, lo: str, hi: str) -> Iterator[Tuple[str, str]]:
+        for node in self.scan_nodes(lo, hi):
+            self.stats.add("scanned_items")
+            yield node.key, materialize(node.value)
+
+    def count(self, lo: str, hi: str) -> int:
+        return sum(1 for _ in self.scan_nodes(lo, hi))
+
+    def remove_range(self, lo: str, hi: str) -> int:
+        """Remove every key in ``[lo, hi)``; returns how many were removed.
+
+        Used by eviction (§2.5) when a computed or cached range is
+        dropped wholesale.
+        """
+        doomed = [node.key for node in self.scan_nodes(lo, hi)]
+        for key in doomed:
+            tbl = self.existing_table_for_key(key)
+            if tbl is not None:
+                tbl.remove(key)
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(tbl) for tbl in self.tables.values())
+
+    def memory_bytes(self) -> int:
+        return sum(tbl.memory_bytes for tbl in self.tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OrderedStore tables={len(self.tables)} keys={len(self)}>"

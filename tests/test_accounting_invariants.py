@@ -1,0 +1,116 @@
+"""Global invariants: memory accounting is exact, grammar roundtrips.
+
+The memory model drives eviction decisions and two paper measurements
+(§4.1's 1.17x, §4.3's 1.14x), so it must match a from-scratch recount
+after any workload — including shared-value refcounts.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PequodServer
+from repro.apps.twip import TIMELINE_JOIN
+from repro.core.grammar import parse_join
+from repro.store.table import SUBTABLE_OVERHEAD
+from repro.store.values import NODE_OVERHEAD, POINTER_SIZE, SharedValue
+
+
+def recount_memory(server: PequodServer) -> int:
+    """Recompute the store's memory footprint from scratch."""
+    total = 0
+    seen_shared = set()
+    for table in server.store.tables.values():
+        total += SUBTABLE_OVERHEAD * table.subtable_count()
+        for node in table.scan_nodes(table.name, table.name + "\U0010ffff"):
+            total += len(node.key) + NODE_OVERHEAD
+            value = node.value
+            if isinstance(value, str):
+                total += len(value)
+            elif isinstance(value, SharedValue):
+                total += POINTER_SIZE
+                if id(value) not in seen_shared:
+                    seen_shared.add(id(value))
+                    total += len(value.payload)
+            else:
+                total += value.memory_size()
+    return total
+
+
+class TestMemoryAccountingExact:
+    def run_random_workload(self, seed, sharing, subtables):
+        rng = random.Random(seed)
+        srv = PequodServer(
+            subtable_config={"t": 2, "p": 2} if subtables else None,
+            enable_sharing=sharing,
+        )
+        srv.add_join(TIMELINE_JOIN)
+        srv.add_join("karma|<poster> = count s|<user>|<poster>")
+        users = [f"u{i}" for i in range(6)]
+        for _ in range(300):
+            action = rng.random()
+            u, p = rng.choice(users), rng.choice(users)
+            t = f"{rng.randrange(40):04d}"
+            if action < 0.3:
+                srv.put(f"s|{u}|{p}", "1")
+            elif action < 0.5:
+                srv.put(f"p|{p}|{t}", f"tweet {t} " * rng.randrange(1, 4))
+            elif action < 0.6:
+                srv.remove(f"s|{u}|{p}")
+            elif action < 0.7:
+                srv.remove(f"p|{p}|{t}")
+            elif action < 0.9:
+                srv.scan(f"t|{u}|", f"t|{u}}}")
+            else:
+                srv.get(f"karma|{p}")
+        return srv
+
+    def test_accounting_matches_recount_default(self):
+        srv = self.run_random_workload(1, sharing=True, subtables=True)
+        assert srv.store.memory_bytes() == recount_memory(srv)
+
+    def test_accounting_matches_recount_no_sharing(self):
+        srv = self.run_random_workload(2, sharing=False, subtables=False)
+        assert srv.store.memory_bytes() == recount_memory(srv)
+
+    def test_accounting_after_eviction(self):
+        srv = self.run_random_workload(3, sharing=True, subtables=True)
+        while srv.eviction.evict_one():
+            pass
+        assert srv.store.memory_bytes() == recount_memory(srv)
+
+    def test_accounting_never_negative(self):
+        srv = self.run_random_workload(4, sharing=True, subtables=True)
+        for table in srv.store.tables.values():
+            assert table.memory_bytes >= 0
+        # Remove absolutely everything; accounting must return to the
+        # bookkeeping-only baseline.
+        for key in [n.key for n in srv.store.scan_nodes("", "\U0010ffff")]:
+            srv.store.remove(key)
+        assert srv.store.memory_bytes() == recount_memory(srv)
+        assert len(srv.store) == 0
+
+
+class TestGrammarRoundtrip:
+    ops = st.sampled_from(["copy", "count", "sum", "min", "max"])
+    tables = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+    slots = st.lists(
+        st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=3,
+        unique=True,
+    )
+
+    @settings(max_examples=80)
+    @given(ops, tables, tables, tables, slots)
+    def test_generated_joins_roundtrip(self, op, out_tbl, chk_tbl, val_tbl, names):
+        if len({out_tbl, chk_tbl, val_tbl}) < 3:
+            return  # recursion rules need distinct tables
+        slot_text = "|".join(f"<{n}>" for n in names)
+        text = (
+            f"{out_tbl}|{slot_text} = "
+            f"check {chk_tbl}|{slot_text} {op} {val_tbl}|{slot_text}"
+        )
+        join = parse_join(text)
+        again = parse_join(join.text)
+        assert again.text == join.text
+        assert [s.operator for s in again.sources] == ["check", op]

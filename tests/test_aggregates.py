@@ -1,0 +1,244 @@
+"""Tests for aggregate cache joins: count, sum, min, max (paper §2.3)."""
+
+import pytest
+
+from repro import PequodServer
+from repro.core.operators import AggValue, UpdateOutcome
+
+
+class TestAggValueUnit:
+    def test_count_payload(self):
+        acc = AggValue("count")
+        acc.include("x")
+        acc.include("y")
+        assert acc.payload == "2"
+
+    def test_sum_integer_formatting(self):
+        acc = AggValue("sum")
+        acc.include("2")
+        acc.include("3.0")
+        assert acc.payload == "5"
+
+    def test_sum_float(self):
+        acc = AggValue("sum")
+        acc.include("2.5")
+        assert acc.payload == "2.5"
+
+    def test_min_numeric_comparison(self):
+        acc = AggValue("min")
+        acc.include("10")
+        acc.include("9")  # numerically smaller, lexicographically smaller too
+        acc.include("100")  # lexicographically smaller than "9", numerically not
+        assert acc.payload == "9"
+
+    def test_max_lexicographic_fallback(self):
+        acc = AggValue("max")
+        acc.include("apple")
+        acc.include("pear")
+        assert acc.payload == "pear"
+
+    def test_exclude_to_empty(self):
+        acc = AggValue("count")
+        acc.include("x")
+        assert acc.exclude("x") is UpdateOutcome.EMPTIED
+
+    def test_exclude_extremum_requires_recompute(self):
+        acc = AggValue("max")
+        acc.include("5")
+        acc.include("9")
+        assert acc.exclude("9") is UpdateOutcome.RECOMPUTE
+
+    def test_exclude_non_extremum_applies(self):
+        acc = AggValue("max")
+        acc.include("5")
+        acc.include("9")
+        assert acc.exclude("5") is UpdateOutcome.APPLIED
+        assert acc.payload == "9"
+
+    def test_replace_improves_max(self):
+        acc = AggValue("max")
+        acc.include("5")
+        assert acc.replace("5", "7") is UpdateOutcome.APPLIED
+        assert acc.payload == "7"
+
+    def test_replace_retreats_max(self):
+        acc = AggValue("max")
+        acc.include("5")
+        acc.include("9")
+        assert acc.replace("9", "1") is UpdateOutcome.RECOMPUTE
+
+    def test_invalid_operator(self):
+        with pytest.raises(ValueError):
+            AggValue("copy")
+
+
+class TestCountJoin:
+    """The Newp karma join: karma|author = count vote|author|id|voter."""
+
+    def setup_method(self):
+        self.srv = PequodServer()
+        self.srv.add_join("karma|<author> = count vote|<author>|<id>|<voter>")
+
+    def test_count_on_demand(self):
+        self.srv.put("vote|bob|001|ann", "1")
+        self.srv.put("vote|bob|001|liz", "1")
+        self.srv.put("vote|bob|002|jim", "1")
+        assert self.srv.get("karma|bob") == "3"
+
+    def test_empty_group_absent(self):
+        assert self.srv.get("karma|nobody") is None
+
+    def test_incremental_increment(self):
+        self.srv.put("vote|bob|001|ann", "1")
+        assert self.srv.get("karma|bob") == "1"
+        self.srv.put("vote|bob|001|liz", "1")
+        assert self.srv.get("karma|bob") == "2"
+
+    def test_incremental_decrement(self):
+        self.srv.put("vote|bob|001|ann", "1")
+        self.srv.put("vote|bob|001|liz", "1")
+        assert self.srv.get("karma|bob") == "2"
+        self.srv.remove("vote|bob|001|ann")
+        assert self.srv.get("karma|bob") == "1"
+
+    def test_decrement_to_zero_removes_key(self):
+        self.srv.put("vote|bob|001|ann", "1")
+        assert self.srv.get("karma|bob") == "1"
+        self.srv.remove("vote|bob|001|ann")
+        assert self.srv.get("karma|bob") is None
+        assert self.srv.scan("karma|", "karma}") == []
+
+    def test_vote_value_update_does_not_change_count(self):
+        self.srv.put("vote|bob|001|ann", "1")
+        assert self.srv.get("karma|bob") == "1"
+        self.srv.put("vote|bob|001|ann", "2")
+        assert self.srv.get("karma|bob") == "1"
+
+    def test_independent_groups(self):
+        self.srv.put("vote|bob|001|ann", "1")
+        self.srv.put("vote|liz|009|ann", "1")
+        self.srv.put("vote|liz|009|jim", "1")
+        assert self.srv.get("karma|bob") == "1"
+        assert self.srv.get("karma|liz") == "2"
+
+    def test_scan_over_aggregate_range(self):
+        self.srv.put("vote|bob|001|ann", "1")
+        self.srv.put("vote|liz|009|ann", "1")
+        got = self.srv.scan("karma|", "karma}")
+        assert got == [("karma|bob", "1"), ("karma|liz", "1")]
+
+
+class TestGroupedCount:
+    """rank|author|id = count vote|author|id|voter (per-article votes)."""
+
+    def test_rank_per_article(self):
+        srv = PequodServer()
+        srv.add_join("rank|<author>|<id> = count vote|<author>|<id>|<voter>")
+        srv.put("vote|bob|001|ann", "1")
+        srv.put("vote|bob|001|liz", "1")
+        srv.put("vote|bob|002|ann", "1")
+        assert srv.get("rank|bob|001") == "2"
+        assert srv.get("rank|bob|002") == "1"
+        got = srv.scan("rank|bob|", "rank|bob}")
+        assert got == [("rank|bob|001", "2"), ("rank|bob|002", "1")]
+
+
+class TestSumJoin:
+    def setup_method(self):
+        self.srv = PequodServer()
+        self.srv.add_join("total|<u> = sum amt|<u>|<txn>")
+
+    def test_sum_and_update(self):
+        self.srv.put("amt|ann|t1", "10")
+        self.srv.put("amt|ann|t2", "5")
+        assert self.srv.get("total|ann") == "15"
+        self.srv.put("amt|ann|t1", "20")  # value update adjusts by delta
+        assert self.srv.get("total|ann") == "25"
+
+    def test_sum_removal(self):
+        self.srv.put("amt|ann|t1", "10")
+        self.srv.put("amt|ann|t2", "5")
+        assert self.srv.get("total|ann") == "15"
+        self.srv.remove("amt|ann|t2")
+        assert self.srv.get("total|ann") == "10"
+
+    def test_sum_floats(self):
+        self.srv.put("amt|ann|t1", "1.5")
+        self.srv.put("amt|ann|t2", "2.25")
+        assert self.srv.get("total|ann") == "3.75"
+
+    def test_sum_to_empty_group(self):
+        self.srv.put("amt|ann|t1", "10")
+        assert self.srv.get("total|ann") == "10"
+        self.srv.remove("amt|ann|t1")
+        assert self.srv.get("total|ann") is None
+
+
+class TestMinMaxJoins:
+    def test_min_tracks_smallest(self):
+        srv = PequodServer()
+        srv.add_join("fastest|<u> = min lap|<u>|<n>")
+        srv.put("lap|ann|1", "62")
+        srv.put("lap|ann|2", "59")
+        assert srv.get("fastest|ann") == "59"
+        srv.put("lap|ann|3", "61")
+        assert srv.get("fastest|ann") == "59"
+
+    def test_max_retreat_recomputes(self):
+        srv = PequodServer()
+        srv.add_join("best|<u> = max score|<u>|<g>")
+        srv.put("score|ann|g1", "10")
+        srv.put("score|ann|g2", "40")
+        assert srv.get("best|ann") == "40"
+        srv.remove("score|ann|g2")
+        assert srv.stats.get("group_invalidations") >= 1
+        assert srv.get("best|ann") == "10"
+
+    def test_max_update_improvement_in_place(self):
+        srv = PequodServer()
+        srv.add_join("best|<u> = max score|<u>|<g>")
+        srv.put("score|ann|g1", "10")
+        assert srv.get("best|ann") == "10"
+        srv.put("score|ann|g1", "50")
+        assert srv.get("best|ann") == "50"
+
+    def test_min_retreat_via_update(self):
+        srv = PequodServer()
+        srv.add_join("fastest|<u> = min lap|<u>|<n>")
+        srv.put("lap|ann|1", "50")
+        srv.put("lap|ann|2", "60")
+        assert srv.get("fastest|ann") == "50"
+        srv.put("lap|ann|1", "70")  # old minimum got worse
+        assert srv.get("fastest|ann") == "60"
+
+    def test_group_isolation_on_recompute(self):
+        """Recomputing one group must not disturb its neighbours."""
+        srv = PequodServer()
+        srv.add_join("best|<u> = max score|<u>|<g>")
+        srv.put("score|ann|g1", "10")
+        srv.put("score|ann|g2", "40")
+        srv.put("score|bob|g1", "99")
+        assert srv.scan("best|", "best}") == [
+            ("best|ann", "40"), ("best|bob", "99"),
+        ]
+        srv.remove("score|ann|g2")
+        assert srv.scan("best|", "best}") == [
+            ("best|ann", "10"), ("best|bob", "99"),
+        ]
+
+
+class TestAggregateWithCheckSource:
+    """Multi-source aggregate: count filtered through a check."""
+
+    def test_count_with_check(self):
+        srv = PequodServer()
+        srv.add_join(
+            "friendvotes|<u>|<aid> = "
+            "check friend|<u>|<voter> count vote|<aid>|<voter>"
+        )
+        srv.put("friend|ann|bob", "1")
+        srv.put("friend|ann|liz", "1")
+        srv.put("vote|a1|bob", "1")
+        srv.put("vote|a1|liz", "1")
+        srv.put("vote|a1|jim", "1")  # not a friend: filtered out
+        assert srv.get("friendvotes|ann|a1") == "2"

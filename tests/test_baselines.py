@@ -1,0 +1,121 @@
+"""Tests for the §5.2 comparison backends.
+
+The crucial property: every backend computes the *same timelines* for
+the same operation sequence — the comparison measures architecture, not
+behaviour differences.
+"""
+
+import pytest
+
+from repro.apps.social_graph import generate_graph
+from repro.apps.twip import PequodTwipBackend, format_time
+from repro.apps.workload import TwipWorkload
+from repro.baselines import (
+    ClientPequodBackend,
+    MemcacheLikeBackend,
+    RedisLikeBackend,
+    SqlViewBackend,
+)
+
+ALL_BACKENDS = [
+    PequodTwipBackend,
+    ClientPequodBackend,
+    RedisLikeBackend,
+    MemcacheLikeBackend,
+    SqlViewBackend,
+]
+
+
+@pytest.fixture(params=ALL_BACKENDS, ids=lambda c: c.name)
+def backend(request):
+    return request.param()
+
+
+class TestBackendSemantics:
+    def test_simple_post_delivery(self, backend):
+        backend.subscribe("ann", "bob")
+        backend.post("bob", format_time(100), "hello")
+        got = backend.timeline("ann", format_time(0))
+        assert got == [(format_time(100), "bob", "hello")]
+
+    def test_since_filtering(self, backend):
+        backend.subscribe("ann", "bob")
+        for t in (100, 200, 300):
+            backend.post("bob", format_time(t), f"tweet{t}")
+        got = backend.timeline("ann", format_time(150))
+        assert [time for time, _, _ in got] == [format_time(200), format_time(300)]
+
+    def test_non_follower_sees_nothing(self, backend):
+        backend.subscribe("ann", "bob")
+        backend.post("bob", format_time(100), "x")
+        assert backend.timeline("liz", format_time(0)) == []
+
+    def test_backfill_on_subscribe(self, backend):
+        backend.post("bob", format_time(50), "old tweet")
+        backend.subscribe("ann", "bob")
+        got = backend.timeline("ann", format_time(0))
+        assert (format_time(50), "bob", "old tweet") in got
+
+    def test_multi_poster_merge(self, backend):
+        backend.subscribe("ann", "bob")
+        backend.subscribe("ann", "liz")
+        backend.post("liz", format_time(200), "later")
+        backend.post("bob", format_time(100), "earlier")
+        got = backend.timeline("ann", format_time(0))
+        assert [text for _, _, text in got] == ["earlier", "later"]
+
+    def test_meter_counts_rpcs(self, backend):
+        backend.subscribe("ann", "bob")
+        backend.reset_meter()
+        backend.post("bob", format_time(1), "x")
+        backend.timeline("ann", format_time(0))
+        assert backend.meter.get("rpcs") >= 2
+
+
+class TestCrossSystemAgreement:
+    def test_all_backends_agree_on_workload(self):
+        """Same ops -> same delivered timelines on all five systems."""
+        graph = generate_graph(40, 4, seed=8)
+        workload = TwipWorkload(graph, total_ops=300, seed=8)
+        ops = workload.generate()
+        counts = []
+        for cls in ALL_BACKENDS:
+            b = cls()
+            counts.append(workload.run(b, ops=ops))
+        for other in counts[1:]:
+            assert other == counts[0]
+
+
+class TestArchitecturalCostDifferences:
+    def run_workload(self, backend_cls, graph, ops, workload):
+        b = backend_cls()
+        workload.run(b, ops=ops)
+        return b.meter
+
+    def test_pequod_uses_fewest_rpcs(self):
+        graph = generate_graph(60, 6, seed=9)
+        workload = TwipWorkload(graph, 400, seed=9)
+        ops = workload.generate()
+        meters = {
+            cls.name: self.run_workload(cls, graph, ops, workload)
+            for cls in ALL_BACKENDS
+        }
+        pequod_rpcs = meters["pequod"].get("rpcs")
+        for name in ("redis", "client pequod", "memcached"):
+            assert meters[name].get("rpcs") > pequod_rpcs, name
+
+    def test_memcached_moves_most_bytes(self):
+        graph = generate_graph(60, 6, seed=9)
+        workload = TwipWorkload(graph, 400, seed=9)
+        ops = workload.generate()
+        mem = self.run_workload(MemcacheLikeBackend, graph, ops, workload)
+        redis = self.run_workload(RedisLikeBackend, graph, ops, workload)
+        assert mem.get("bytes_moved") > redis.get("bytes_moved")
+
+    def test_sql_pays_statement_overhead(self):
+        b = SqlViewBackend()
+        b.subscribe("ann", "bob")
+        b.post("bob", format_time(1), "x")
+        b.timeline("ann", format_time(0))
+        assert b.meter.get("sql_statements") == 3
+        assert b.meter.get("sql_trigger_rows") >= 1

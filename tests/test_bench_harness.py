@@ -1,0 +1,168 @@
+"""Tests for the cost model and experiment harness shapes.
+
+These lock in the paper's qualitative results at test-friendly scales;
+the full benchmarks run the same code at larger scales.
+"""
+
+import pytest
+
+from repro.bench.costmodel import CostModel, DEFAULT_MODEL
+from repro.bench.harness import (
+    run_figure7,
+    run_figure8,
+    run_figure9_point,
+    run_figure10,
+)
+from repro.bench.report import crossover_point, format_series, format_table, normalized
+
+
+class TestCostModel:
+    def test_runtime_sums_known_counters(self):
+        model = CostModel()
+        counters = {"rpcs": 10, "hash_jumps": 100, "unknown_counter": 5}
+        expected = 10 * model.unit_costs["rpcs"] + 100 * model.unit_costs["hash_jumps"]
+        assert model.runtime_us(counters) == pytest.approx(expected)
+
+    def test_overrides(self):
+        model = CostModel(overrides={"rpcs": 100.0})
+        assert model.runtime_us({"rpcs": 1}) == 100.0
+
+    def test_breakdown_sorted_desc(self):
+        model = CostModel()
+        parts = model.breakdown({"rpcs": 1000, "hash_jumps": 1})
+        names = list(parts)
+        assert names[0] == "rpcs"
+        assert parts[names[0]] >= parts[names[-1]]
+
+    def test_dominant(self):
+        model = CostModel()
+        name, _ = model.dominant({"sql_statements": 50, "rpcs": 1})
+        assert name == "sql_statements"
+        assert model.dominant({}) == ("nothing", 0.0)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["Sys", "Time"], [["pequod", 1.5], ["redis", 2.0]])
+        assert "pequod" in text and "1.50" in text
+
+    def test_normalized(self):
+        assert normalized(2.0, 1.0) == "(2.00x)"
+        assert normalized(1.0, 0.0) == "(--)"
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"a": [0.1, 0.2], "b": [0.3, 0.4]})
+        assert "0.10" in text and "0.40" in text
+
+    def test_crossover(self):
+        xs = [0, 1, 2, 3]
+        a = [1.0, 2.0, 4.0, 8.0]
+        b = [3.0, 3.0, 3.0, 3.0]
+        assert crossover_point(xs, a, b) == 2
+        assert crossover_point(xs, b, [9, 9, 9, 9]) is None
+
+
+class TestFigure7Shape:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return run_figure7(n_users=400, mean_follows=12, total_ops=8000)
+
+    def modeled(self, runs):
+        return {r.name: r.modeled_us for r in runs}
+
+    def test_pequod_wins(self, runs):
+        assert runs[0].name == "pequod"
+
+    def test_paper_ordering(self, runs):
+        m = self.modeled(runs)
+        assert m["pequod"] < m["redis"] < m["client pequod"]
+        assert m["redis"] < m["memcached"]
+        assert m["postgresql"] == max(m.values())
+
+    def test_rough_factors(self, runs):
+        """The paper's factors: 1.33 / 1.64 / 3.98 / 9.55.  We require
+        the right ballpark, not exact values (substrate differs)."""
+        m = self.modeled(runs)
+        base = m["pequod"]
+        assert 1.02 < m["redis"] / base < 2.5
+        assert 1.1 < m["client pequod"] / base < 3.0
+        assert 1.2 < m["memcached"] / base < 6.0
+        assert 3.0 < m["postgresql"] / base < 20.0
+
+    def test_all_systems_ran_same_workload(self, runs):
+        # Every backend must have executed the same op volume.
+        rpc_floor = 8000
+        for r in runs:
+            assert r.counters.get("rpcs", 0) >= rpc_floor
+
+
+class TestFigure8Shape:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        pcts = (1, 30, 70, 100)
+        data = run_figure8(n_users=120, mean_follows=6, posts=100,
+                           active_pcts=pcts)
+        return pcts, {k: [r.modeled_us for r in v] for k, v in data.items()}
+
+    def test_dynamic_beats_none_everywhere_measured(self, curves):
+        pcts, series = curves
+        for i in range(1, len(pcts)):  # beyond the tiniest activity
+            assert series["dynamic"][i] < series["none"][i]
+
+    def test_no_materialization_explodes_with_activity(self, curves):
+        pcts, series = curves
+        assert series["none"][-1] > 3 * series["dynamic"][-1]
+
+    def test_dynamic_beats_full_at_low_activity(self, curves):
+        pcts, series = curves
+        assert series["dynamic"][0] < series["full"][0]
+
+    def test_full_close_or_better_at_full_activity(self, curves):
+        """Paper: full materialization is ~1.08x better at 100%."""
+        pcts, series = curves
+        assert series["full"][-1] < series["dynamic"][-1] * 1.15
+
+
+class TestFigure9Shape:
+    def test_interleaved_wins_at_low_vote_rates(self):
+        inter = run_figure9_point(True, 0.1, scale=0.3)
+        separate = run_figure9_point(False, 0.1, scale=0.3)
+        assert inter.modeled_us < separate.modeled_us
+
+    def test_gap_shrinks_with_vote_rate(self):
+        lo_i = run_figure9_point(True, 0.0, scale=0.3).modeled_us
+        lo_s = run_figure9_point(False, 0.0, scale=0.3).modeled_us
+        hi_i = run_figure9_point(True, 1.0, scale=0.3).modeled_us
+        hi_s = run_figure9_point(False, 1.0, scale=0.3).modeled_us
+        assert hi_i / hi_s > lo_i / lo_s
+
+
+class TestFigure10Shape:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_figure10(server_counts=(3, 6, 12), n_users=240,
+                            mean_follows=8, total_ops=4000)
+
+    def test_throughput_increases_with_servers(self, points):
+        qps = [p.throughput_qps for p in points]
+        assert qps[0] < qps[1] < qps[2]
+
+    def test_scaling_is_sublinear(self, points):
+        """Paper: 3x for 4x servers — overheads grow with the fleet.
+
+        At hundreds of users (five orders below the paper) hash-placement
+        imbalance adds noise, so the bound is generous; the canonical
+        benchmark runs the larger scale recorded in EXPERIMENTS.md.
+        """
+        speedup = points[-1].throughput_qps / points[0].throughput_qps
+        servers = points[-1].compute_servers / points[0].compute_servers
+        assert 1.5 < speedup <= servers
+
+    def test_subscription_traffic_grows(self, points):
+        fracs = [p.subscription_fraction for p in points]
+        assert fracs[-1] > fracs[0]
+        assert 0.01 < fracs[0] < 0.6
+
+    def test_base_memory_grows_with_servers(self, points):
+        """§5.5: duplicate subscription state grows base memory."""
+        assert points[-1].base_memory > points[0].base_memory

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemoCommand:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "ann's timeline" in out
+        assert "t|ann|0100|bob" in out
+
+
+class TestBenchCommand:
+    def test_fig7_small_scale(self, capsys):
+        assert main(["bench", "fig7", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "pequod" in out and "postgresql" in out
+
+    def test_fig9_small_scale(self, capsys):
+        assert main(["bench", "fig9", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "interleaved" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])
+
+
+class TestJoinsCommand:
+    def test_valid_file(self, tmp_path, capsys):
+        path = tmp_path / "joins.pql"
+        path.write_text(
+            "// Twip\n"
+            "t|<u>|<tm>|<p> = check s|<u>|<p> copy p|<p>|<tm>;\n"
+            "karma|<a> = count vote|<a>|<id>|<v>\n"
+        )
+        assert main(["joins", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok:") == 2
+
+    def test_invalid_join_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.pql"
+        path.write_text("t|<a> = copy t|<a>")  # recursive
+        assert main(["joins", str(path)]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_circular_joins_rejected(self, tmp_path, capsys):
+        path = tmp_path / "cycle.pql"
+        path.write_text("b|<x> = copy a|<x>; a|<x> = copy b|<x>")
+        assert main(["joins", str(path)]) == 1
+        assert "rejected" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["joins", "/nonexistent/path.pql"]) == 1
+
+
+class TestServeCommand:
+    def test_bad_subtable_spec(self, capsys):
+        assert main(["serve", "--subtable", "nonsense"]) == 2
+
+    def test_serve_over_subprocess(self, tmp_path):
+        """Start a real server process, drive it over TCP, kill it."""
+        joins = tmp_path / "twip.pql"
+        joins.write_text(
+            "t|<u>|<tm>|<p> = check s|<u>|<p> copy p|<p>|<tm>\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--join-file", str(joins), "--subtable", "t:2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            # Parse the bound port from the startup banner.
+            installed = proc.stdout.readline()
+            assert "installed:" in installed
+            banner = proc.stdout.readline()
+            assert "listening on" in banner
+            port = int(banner.rsplit(":", 1)[1])
+
+            from repro.net.rpc_client import SyncRpcClient
+
+            client = SyncRpcClient("127.0.0.1", port)
+            try:
+                client.put("s|ann|bob", "1")
+                client.put("p|bob|0100", "over the wire")
+                assert client.scan("t|ann|", "t|ann}") == [
+                    ("t|ann|0100|bob", "over the wire")
+                ]
+            finally:
+                client.close()
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,123 @@
+"""Tests for the binary wire codec."""
+
+import math
+
+import pytest
+
+from repro.net.codec import (
+    CodecError,
+    decode,
+    decode_varint,
+    encode,
+    encode_varint,
+    unzigzag,
+    zigzag,
+)
+
+
+class TestVarints:
+    def test_small_values_one_byte(self):
+        assert encode_varint(0) == b"\x00"
+        assert encode_varint(127) == b"\x7f"
+
+    def test_multibyte(self):
+        assert encode_varint(128) == b"\x80\x01"
+        assert encode_varint(300) == b"\xac\x02"
+
+    def test_roundtrip(self):
+        for value in [0, 1, 127, 128, 255, 2**14, 2**35, 2**64]:
+            data = encode_varint(value)
+            got, offset = decode_varint(data, 0)
+            assert got == value
+            assert offset == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            encode_varint(-1)
+
+    def test_truncated(self):
+        with pytest.raises(CodecError):
+            decode_varint(b"\x80", 0)
+
+    def test_zigzag_roundtrip(self):
+        for value in [0, -1, 1, -2, 2, 2**40, -(2**40), 2**70, -(2**70)]:
+            assert unzigzag(zigzag(value)) == value
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 2**62, -(2**62), 3.14, -0.0, "hello",
+         "", "ünïcødé |}", b"", b"\x00\xff", [], {}],
+    )
+    def test_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_float_nan(self):
+        assert math.isnan(decode(encode(float("nan"))))
+
+    def test_large_int(self):
+        big = 12345678901234567890123456789
+        assert decode(encode(big)) == big
+
+
+class TestContainers:
+    def test_nested_structures(self):
+        value = {
+            "rows": [["t|ann|0100|bob", "hello"], ["t|ann|0120|liz", "hi"]],
+            "count": 2,
+            "meta": {"server": "pequod", "ok": True, "ratio": 0.5},
+            "none": None,
+        }
+        assert decode(encode(value)) == value
+
+    def test_tuple_encodes_as_list(self):
+        assert decode(encode((1, 2))) == [1, 2]
+
+    def test_deeply_nested(self):
+        value = [[[[["deep"]]]]]
+        assert decode(encode(value)) == value
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(CodecError):
+            encode({1: "x"})
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(CodecError):
+            encode(object())
+
+
+class TestMalformedInput:
+    def test_trailing_bytes(self):
+        with pytest.raises(CodecError):
+            decode(encode(1) + b"x")
+
+    def test_empty_input(self):
+        with pytest.raises(CodecError):
+            decode(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(CodecError):
+            decode(b"Z")
+
+    def test_truncated_string(self):
+        data = encode("hello")[:-2]
+        with pytest.raises(CodecError):
+            decode(data)
+
+    def test_truncated_float(self):
+        with pytest.raises(CodecError):
+            decode(b"d\x00\x00")
+
+    def test_truncated_list(self):
+        data = encode([1, 2, 3])[:-1]
+        with pytest.raises(CodecError):
+            decode(data)
+
+
+class TestCompactness:
+    def test_small_ints_are_compact(self):
+        assert len(encode(5)) == 2  # tag + one varint byte
+
+    def test_string_overhead_is_small(self):
+        assert len(encode("abc")) == 5  # tag + len + 3 bytes

@@ -1,0 +1,151 @@
+"""Tests for the extensions the paper proposes as future work.
+
+* ``echeck`` — eager maintenance for check-source inserts (§3.2: "we
+  would like to offer users more control over maintenance type").
+* Cost-aware eviction (§2.5: "considering the expected costs of
+  reloading a range").
+"""
+
+import pytest
+
+from repro import PequodServer
+from repro.core.eviction import POLICY_COST
+
+ECHECK_TIMELINE = (
+    "t|<user>|<time>|<poster> = echeck s|<user>|<poster> copy p|<poster>|<time>"
+)
+LAZY_TIMELINE = (
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+)
+
+
+class TestEagerCheck:
+    def test_results_match_lazy_check(self):
+        eager = PequodServer()
+        eager.add_join(ECHECK_TIMELINE)
+        lazy = PequodServer()
+        lazy.add_join(LAZY_TIMELINE)
+        for srv in (eager, lazy):
+            srv.put("p|bob|0100", "old tweet")
+            srv.put("s|ann|bob", "1")
+            srv.scan("t|ann|", "t|ann}")
+            srv.put("s|ann|liz", "1")
+            srv.put("p|liz|0200", "liz tweet")
+        assert eager.scan("t|ann|", "t|ann}") == lazy.scan("t|ann|", "t|ann}")
+
+    def test_subscription_insert_applies_at_write_time(self):
+        srv = PequodServer()
+        srv.add_join(ECHECK_TIMELINE)
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "existing")
+        srv.scan("t|ann|", "t|ann}")  # materialize; install echeck updater
+        srv.put("p|liz|0050", "liz old tweet")
+        srv.put("s|ann|liz", "1")  # eager: backfills immediately
+        assert srv.stats.get("eager_check_inserts") >= 1
+        assert srv.stats.get("partial_invalidations") == 0
+        # The copy is already in the store before any read.
+        assert srv.store.get("t|ann|0050|liz") == "liz old tweet"
+
+    def test_lazy_check_defers_instead(self):
+        srv = PequodServer()
+        srv.add_join(LAZY_TIMELINE)
+        srv.put("s|ann|bob", "1")
+        srv.scan("t|ann|", "t|ann}")
+        srv.put("p|liz|0050", "liz old tweet")
+        srv.put("s|ann|liz", "1")
+        # Lazy: nothing in the store until the next read.
+        assert srv.store.get("t|ann|0050|liz") is None
+        assert srv.scan("t|ann|", "t|ann}")[0][0] == "t|ann|0050|liz"
+
+    def test_echeck_removal_invalidates(self):
+        srv = PequodServer()
+        srv.add_join(ECHECK_TIMELINE)
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "x")
+        srv.scan("t|ann|", "t|ann}")
+        srv.remove("s|ann|bob")
+        assert srv.scan("t|ann|", "t|ann}") == []
+        srv.put("p|bob|0300", "after unsub")
+        assert srv.scan("t|ann|", "t|ann}") == []
+
+    def test_echeck_future_posts_flow(self):
+        srv = PequodServer()
+        srv.add_join(ECHECK_TIMELINE)
+        srv.put("s|ann|bob", "1")
+        srv.scan("t|ann|", "t|ann}")
+        srv.put("s|ann|liz", "1")  # eager backfill installs p|liz updater
+        srv.put("p|liz|0500", "future tweet")
+        assert srv.store.get("t|ann|0500|liz") == "future tweet"
+
+    def test_grammar_accepts_echeck(self):
+        srv = PequodServer()
+        joins = srv.add_join(ECHECK_TIMELINE)
+        assert joins[0].sources[0].is_check
+        assert joins[0].sources[0].is_eager_check
+
+    def test_echeck_counts_toward_check_quota(self):
+        from repro.core.joins import CacheJoin, JoinError
+
+        with pytest.raises(JoinError):
+            CacheJoin("o|<a>", [("echeck", "x|<a>")])  # no value source
+
+
+class TestCostAwareEviction:
+    def build_server(self, policy):
+        """Two cold ranges with opposite byte/recompute profiles:
+
+        * ``karma|bob`` — one tiny output computed by scanning 80
+          votes: expensive to rebuild, frees almost nothing;
+        * ``t|ann|…`` — a timeline of copies: recompute cost scales
+          with its size, so bytes-per-cost is much higher.
+        """
+        srv = PequodServer(eviction_policy=policy)
+        srv.add_join(LAZY_TIMELINE)
+        srv.add_join("karma|<author> = count vote|<author>|<id>|<voter>")
+        for i in range(80):
+            srv.put(f"vote|bob|{i:03d}|v{i:03d}", "1")
+        srv.get("karma|bob")  # materialize the aggregate FIRST (coldest)
+        srv.put("s|ann|bob", "1")
+        for t in range(6):
+            srv.put(f"p|bob|{t:04d}", "tweet text " * 4)
+        srv.scan("t|ann|", "t|ann}")
+        return srv
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PequodServer(eviction_policy="bogus")
+
+    def test_cost_policy_keeps_expensive_aggregate(self):
+        srv = self.build_server(POLICY_COST)
+        srv.eviction.evict_one()
+        # The timeline frees more bytes per recompute unit; the karma
+        # range (80 source scans for ~2 bytes) survives despite being
+        # colder.
+        assert srv.get("karma|bob") == "80"
+        assert srv.store.count("karma|", "karma}") == 1
+        assert srv.store.count("t|ann|", "t|ann}") == 0
+
+    def test_lru_policy_ignores_cost(self):
+        srv = self.build_server("lru")
+        srv.eviction.evict_one()
+        # Plain LRU evicts the aggregate purely because it is coldest.
+        assert srv.store.count("karma|", "karma}") == 0
+        assert srv.store.count("t|ann|", "t|ann}") == 6
+
+    def test_compute_cost_recorded(self):
+        srv = self.build_server(POLICY_COST)
+        stable = srv.engine.status["t"]
+        costs = [sr.compute_cost for sr in stable.ranges()]
+        assert any(c > 0 for c in costs)
+
+    def test_cost_eviction_under_memory_limit(self):
+        srv = PequodServer(eviction_policy=POLICY_COST, memory_limit=30_000)
+        srv.add_join(LAZY_TIMELINE)
+        for u in range(25):
+            srv.put(f"s|u{u:02d}|star", "1")
+        for t in range(25):
+            srv.put(f"p|star|{t:04d}", "tweet " * 10)
+        for u in range(25):
+            srv.scan(f"t|u{u:02d}|", f"t|u{u:02d}}}")
+        assert srv.memory_bytes() <= 30_000
+        assert srv.eviction.evictions > 0

@@ -1,0 +1,124 @@
+"""Unit tests for the cache-join grammar (paper Figure 2)."""
+
+import pytest
+
+from repro.core.grammar import GrammarError, parse_join, parse_joins
+from repro.core.joins import MaintenanceType
+
+
+class TestBasicParsing:
+    def test_timeline_join(self):
+        j = parse_join(
+            "t|<user>|<time>|<poster> = "
+            "check s|<user>|<poster> copy p|<poster>|<time>"
+        )
+        assert j.output.text == "t|<user>|<time>|<poster>"
+        assert [s.operator for s in j.sources] == ["check", "copy"]
+        assert j.maintenance is MaintenanceType.PUSH
+        assert j.value_index == 1
+
+    def test_trailing_semicolon(self):
+        j = parse_join("k|<a> = count v|<a>|<b>;")
+        assert j.value_source.operator == "count"
+
+    def test_explicit_push(self):
+        j = parse_join("k|<a> = push copy v|<a>")
+        assert j.maintenance is MaintenanceType.PUSH
+
+    def test_pull_annotation(self):
+        j = parse_join("k|<a> = pull copy v|<a>")
+        assert j.maintenance is MaintenanceType.PULL
+
+    def test_snapshot_annotation(self):
+        j = parse_join("k|<a> = snapshot 30 copy v|<a>")
+        assert j.maintenance is MaintenanceType.SNAPSHOT
+        assert j.snapshot_interval == 30.0
+
+    def test_snapshot_fractional(self):
+        j = parse_join("k|<a> = snapshot 0.5 copy v|<a>")
+        assert j.snapshot_interval == 0.5
+
+    def test_multiple_joins(self):
+        joins = parse_joins(
+            "ct|<time>|<poster> = copy cp|<poster>|<time>;"
+            "t|<u>|<time>|<poster> = check s|<u>|<poster> copy p|<poster>|<time>"
+        )
+        assert len(joins) == 2
+
+    def test_comments_stripped(self):
+        joins = parse_joins(
+            "// the timeline join\n"
+            "k|<a> = copy v|<a>; # another\n"
+        )
+        assert len(joins) == 1
+
+    def test_newp_interleaved_figure1(self):
+        """The Figure-1 join set parses with explicit slots."""
+        joins = parse_joins(
+            """
+            karma|<author> = count vote|<author>|<id>|<voter>;
+            rank|<author>|<id> = count vote|<author>|<id>|<voter>;
+            page|<author>|<id>|a = copy article|<author>|<id>;
+            page|<author>|<id>|r = copy rank|<author>|<id>;
+            page|<author>|<id>|c|<cid>|<commenter> =
+                copy comment|<author>|<id>|<cid>|<commenter>;
+            page|<author>|<id>|k|<cid>|<commenter> =
+                check comment|<author>|<id>|<cid>|<commenter>
+                copy karma|<commenter>
+            """
+        )
+        assert len(joins) == 6
+
+
+class TestBareStyle:
+    def test_paper_bare_timeline(self):
+        """The paper's §2.2 syntax, with bare slot names."""
+        j = parse_join(
+            "t|user|time|poster = check s|user|poster copy p|poster|time"
+        )
+        assert j.output.text == "t|<user>|<time>|<poster>"
+        assert j.sources[0].pattern.text == "s|<user>|<poster>"
+
+    def test_bare_mode_not_mixed(self):
+        # One explicit slot anywhere disables bare rewriting entirely.
+        j = parse_join("t|<user> = copy p|<user>|x")
+        assert j.sources[0].pattern.text == "p|<user>|x"  # x stays literal
+
+    def test_bare_with_invalid_segment_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_join("t|user-name = copy p|user-name")
+
+
+class TestErrors:
+    def test_missing_equals(self):
+        with pytest.raises(GrammarError):
+            parse_join("t|<a> copy v|<a>")
+
+    def test_no_sources(self):
+        with pytest.raises(GrammarError):
+            parse_join("t|<a> = ")
+
+    def test_odd_tokens(self):
+        with pytest.raises(GrammarError):
+            parse_join("t|<a> = copy")
+
+    def test_unknown_operator(self):
+        with pytest.raises(GrammarError):
+            parse_join("t|<a> = grab v|<a>")
+
+    def test_snapshot_without_interval(self):
+        with pytest.raises(GrammarError):
+            parse_join("t|<a> = snapshot copy v|<a>")
+
+    def test_multiple_joins_where_one_expected(self):
+        with pytest.raises(GrammarError):
+            parse_join("a|<x> = copy b|<x>; c|<x> = copy d|<x>")
+
+    def test_output_with_space(self):
+        with pytest.raises(GrammarError):
+            parse_join("t |<a> = copy v|<a>")
+
+    def test_roundtrip_text(self):
+        text = "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+        j = parse_join(text)
+        assert parse_join(j.text).text == j.text

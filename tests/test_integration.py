@@ -1,0 +1,148 @@
+"""Cross-module integration tests.
+
+The strongest one: a full Twip workload produces identical timelines on
+a single Pequod server and on a distributed cluster (after update
+propagation settles) — distribution changes performance, never results.
+"""
+
+import asyncio
+
+from repro import PequodServer, SimClock
+from repro.apps.social_graph import generate_graph
+from repro.apps.twip import TIMELINE_JOIN, format_time
+from repro.apps.workload import TwipWorkload
+from repro.backing import BackingDatabase, WriteAroundDeployment
+from repro.distrib import Cluster
+from repro.net.rpc_client import RpcClient
+from repro.net.rpc_server import RpcServer
+
+
+class TestDistributedEquivalence:
+    def test_cluster_matches_single_server(self):
+        graph = generate_graph(40, 5, seed=13)
+        workload = TwipWorkload(graph, total_ops=400, seed=13)
+        ops = workload.generate()
+
+        single = PequodServer()
+        single.add_join(TIMELINE_JOIN)
+        cluster = Cluster(2, 3, ("p", "s"), joins=TIMELINE_JOIN)
+
+        last_seen = {}
+        for tick, op in enumerate(ops):
+            now = format_time(tick)
+            if op.kind == "post":
+                key, text = f"p|{op.user}|{now}", f"tweet {tick}"
+                single.put(key, text)
+                cluster.put(key, text)
+            elif op.kind == "subscribe":
+                key = f"s|{op.user}|{op.target}"
+                single.put(key, "1")
+                cluster.put(key, "1")
+            else:
+                since = (
+                    format_time(0) if op.kind == "login"
+                    else last_seen.get(op.user, format_time(0))
+                )
+                lo, hi = f"t|{op.user}|{since}", f"t|{op.user}}}"
+                single.scan(lo, hi)
+                cluster.scan(op.user, lo, hi)
+                last_seen[op.user] = now
+        cluster.settle()
+
+        for user in graph.users:
+            lo, hi = f"t|{user}|", f"t|{user}}}"
+            assert cluster.scan(user, lo, hi) == single.scan(lo, hi), user
+
+    def test_cluster_single_compute_equals_many(self):
+        graph = generate_graph(30, 4, seed=17)
+        results = []
+        for computes in (1, 4):
+            cluster = Cluster(2, computes, ("p", "s"), joins=TIMELINE_JOIN)
+            for follower, followee in graph.edges:
+                cluster.put(f"s|{follower}|{followee}", "1")
+            for i, user in enumerate(graph.users):
+                cluster.put(f"p|{user}|{format_time(i)}", f"tweet {i}")
+            cluster.settle()
+            snapshot = {
+                u: cluster.scan(u, f"t|{u}|", f"t|{u}}}") for u in graph.users
+            }
+            results.append(snapshot)
+        assert results[0] == results[1]
+
+
+class TestDeploymentOverRpc:
+    def test_full_stack_twip_over_tcp(self):
+        """Workload -> RPC client -> TCP -> RPC server -> joins."""
+
+        async def body():
+            server = RpcServer(PequodServer(subtable_config={"t": 2}))
+            await server.start()
+            client = RpcClient("127.0.0.1", server.port)
+            await client.connect()
+            try:
+                await client.add_join(TIMELINE_JOIN)
+                graph = generate_graph(20, 3, seed=19)
+                await client.call_many(
+                    [("put", [f"s|{a}|{b}", "1"]) for a, b in graph.edges]
+                )
+                await client.call_many(
+                    [
+                        ("put", [f"p|{u}|{format_time(i)}", f"tweet {i}"])
+                        for i, u in enumerate(graph.users)
+                    ]
+                )
+                # Compare against a local server fed identically.
+                local = PequodServer()
+                local.add_join(TIMELINE_JOIN)
+                for a, b in graph.edges:
+                    local.put(f"s|{a}|{b}", "1")
+                for i, u in enumerate(graph.users):
+                    local.put(f"p|{u}|{format_time(i)}", f"tweet {i}")
+                for user in graph.users[:8]:
+                    remote = await client.scan(f"t|{user}|", f"t|{user}}}")
+                    assert remote == local.scan(f"t|{user}|", f"t|{user}}}")
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.new_event_loop().run_until_complete(body())
+
+
+class TestWriteAroundWithSnapshots:
+    def test_snapshot_join_over_database(self):
+        """Snapshot joins + DB deployment: staleness bounded by T."""
+        clock = SimClock()
+        db = BackingDatabase()
+        srv = PequodServer(clock=clock)
+        srv.add_join(
+            "trending|<poster>|<time> = snapshot 60 copy p|<poster>|<time>"
+        )
+        dep = WriteAroundDeployment(srv, db, base_tables={"p"})
+        dep.put("p|bob|0001", "first")
+        assert dep.scan("trending|", "trending}") == [
+            ("trending|bob|0001", "first")
+        ]
+        dep.put("p|bob|0002", "second")
+        # Within the snapshot window: stale by design.
+        assert len(dep.scan("trending|", "trending}")) == 1
+        clock.advance(61)
+        assert len(dep.scan("trending|", "trending}")) == 2
+
+
+class TestEndToEndNewpOverTwipServer:
+    def test_twip_and_newp_coexist(self):
+        """Both applications' join sets share one server peacefully."""
+        from repro.apps.newp import AGGREGATE_JOINS, INTERLEAVED_JOINS
+
+        srv = PequodServer()
+        srv.add_join(TIMELINE_JOIN)
+        srv.add_join(AGGREGATE_JOINS)
+        srv.add_join(INTERLEAVED_JOINS)
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "tweet")
+        srv.put("article|bob|a1", "an article")
+        srv.put("vote|bob|a1|ann", "1")
+        assert srv.scan("t|ann|", "t|ann}") == [("t|ann|0100|bob", "tweet")]
+        page = dict(srv.scan("page|bob|a1|", "page|bob|a1}"))
+        assert page["page|bob|a1|a"] == "an article"
+        assert page["page|bob|a1|r"] == "1"

@@ -1,0 +1,148 @@
+"""Tests for interleaved cache joins and join layering (paper §2.3, Fig 1)."""
+
+import pytest
+
+from repro import JoinError, PequodServer
+
+NEWP_JOINS = """
+karma|<author> = count vote|<author>|<id>|<voter>;
+rank|<author>|<id> = count vote|<author>|<id>|<voter>;
+page|<author>|<id>|a = copy article|<author>|<id>;
+page|<author>|<id>|r = copy rank|<author>|<id>;
+page|<author>|<id>|c|<cid>|<commenter> =
+    copy comment|<author>|<id>|<cid>|<commenter>;
+page|<author>|<id>|k|<cid>|<commenter> =
+    check comment|<author>|<id>|<cid>|<commenter>
+    copy karma|<commenter>
+"""
+
+
+def make_newp():
+    srv = PequodServer()
+    srv.add_join(NEWP_JOINS)
+    return srv
+
+
+class TestNewpInterleaved:
+    def test_single_scan_renders_article(self):
+        """§2.3: one scan retrieves all data needed to render a page."""
+        srv = make_newp()
+        srv.put("article|bob|101", "A great article")
+        srv.put("comment|bob|101|c1|liz", "nice!")
+        srv.put("comment|bob|101|c2|jim", "meh")
+        srv.put("vote|bob|101|ann", "1")
+        srv.put("vote|bob|101|liz", "1")
+        # liz has karma from votes on her own article
+        srv.put("vote|liz|200|ann", "1")
+        got = srv.scan("page|bob|101|", "page|bob|101}")
+        assert got == [
+            ("page|bob|101|a", "A great article"),
+            ("page|bob|101|c|c1|liz", "nice!"),
+            ("page|bob|101|c|c2|jim", "meh"),
+            ("page|bob|101|k|c1|liz", "1"),
+            ("page|bob|101|r", "2"),
+        ]
+
+    def test_vote_updates_interleaved_rank(self):
+        srv = make_newp()
+        srv.put("article|bob|101", "art")
+        srv.scan("page|bob|101|", "page|bob|101}")
+        srv.put("vote|bob|101|ann", "1")
+        got = dict(srv.scan("page|bob|101|", "page|bob|101}"))
+        assert got["page|bob|101|r"] == "1"
+        srv.put("vote|bob|101|liz", "1")
+        got = dict(srv.scan("page|bob|101|", "page|bob|101}"))
+        assert got["page|bob|101|r"] == "2"
+
+    def test_karma_update_cascades_to_page(self):
+        """Layered joins: vote -> karma -> page|..|k copy (two hops)."""
+        srv = make_newp()
+        srv.put("article|bob|101", "art")
+        srv.put("comment|bob|101|c1|liz", "hi")
+        srv.scan("page|bob|101|", "page|bob|101}")
+        # New vote on liz's article raises her karma, which must
+        # propagate through the karma table into the page range.
+        srv.put("vote|liz|300|ann", "1")
+        got = dict(srv.scan("page|bob|101|", "page|bob|101}"))
+        assert got["page|bob|101|k|c1|liz"] == "1"
+        srv.put("vote|liz|300|jim", "1")
+        got = dict(srv.scan("page|bob|101|", "page|bob|101}"))
+        assert got["page|bob|101|k|c1|liz"] == "2"
+
+    def test_new_comment_appears_with_karma(self):
+        srv = make_newp()
+        srv.put("article|bob|101", "art")
+        srv.put("vote|jim|1|x", "1")  # jim has karma 1
+        srv.scan("page|bob|101|", "page|bob|101}")
+        srv.put("comment|bob|101|c9|jim", "late comment")
+        got = dict(srv.scan("page|bob|101|", "page|bob|101}"))
+        assert got["page|bob|101|c|c9|jim"] == "late comment"
+        assert got["page|bob|101|k|c9|jim"] == "1"
+
+    def test_tag_scan_selects_one_class(self):
+        """Scanning just the |c| tag returns only comments."""
+        srv = make_newp()
+        srv.put("article|bob|101", "art")
+        srv.put("comment|bob|101|c1|liz", "first")
+        srv.put("vote|bob|101|ann", "1")
+        got = srv.scan("page|bob|101|c|", "page|bob|101|c}")
+        assert got == [("page|bob|101|c|c1|liz", "first")]
+
+    def test_separate_pages_independent(self):
+        srv = make_newp()
+        srv.put("article|bob|101", "one")
+        srv.put("article|bob|102", "two")
+        page1 = srv.scan("page|bob|101|", "page|bob|101}")
+        page2 = srv.scan("page|bob|102|", "page|bob|102}")
+        assert dict(page1)["page|bob|101|a"] == "one"
+        assert dict(page2)["page|bob|102|a"] == "two"
+
+
+class TestJoinLayering:
+    def test_permutation_join(self):
+        """§3: joins can permute keys into a more convenient order."""
+        srv = PequodServer()
+        srv.add_join("bytime|<time>|<poster> = copy p|<poster>|<time>")
+        srv.put("p|bob|0200", "later")
+        srv.put("p|ann|0100", "earlier")
+        got = srv.scan("bytime|", "bytime}")
+        assert got == [
+            ("bytime|0100|ann", "earlier"),
+            ("bytime|0200|bob", "later"),
+        ]
+
+    def test_chain_of_joins_cascades(self):
+        srv = PequodServer()
+        srv.add_join("mid|<a> = copy base|<a>")
+        srv.add_join("top|<a> = copy mid|<a>")
+        srv.put("base|x", "v1")
+        assert srv.scan("top|", "top}") == [("top|x", "v1")]
+        srv.put("base|x", "v2")
+        assert srv.scan("top|", "top}") == [("top|x", "v2")]
+
+    def test_circular_chain_rejected(self):
+        srv = PequodServer()
+        srv.add_join("b|<x> = copy a|<x>")
+        srv.add_join("c|<x> = copy b|<x>")
+        with pytest.raises(JoinError):
+            srv.add_join("a|<x> = copy c|<x>")
+
+    def test_pull_join_as_source_rejected(self):
+        srv = PequodServer()
+        srv.add_join("mid|<a> = pull copy base|<a>")
+        with pytest.raises(JoinError):
+            srv.add_join("top|<a> = copy mid|<a>")
+
+    def test_pull_join_into_sourced_table_rejected(self):
+        srv = PequodServer()
+        srv.add_join("top|<a> = copy mid|<a>")
+        with pytest.raises(JoinError):
+            srv.add_join("mid|<a> = pull copy base|<a>")
+
+    def test_multiple_joins_same_output_table_different_tags(self):
+        srv = PequodServer()
+        srv.add_join("o|<u>|x = copy a|<u>")
+        srv.add_join("o|<u>|y = copy b|<u>")
+        srv.put("a|ann", "1")
+        srv.put("b|ann", "2")
+        assert srv.scan("o|ann|", "o|ann}") == [("o|ann|x", "1"), ("o|ann|y", "2")]

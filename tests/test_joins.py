@@ -1,0 +1,101 @@
+"""Unit tests for cache-join validation (paper §3)."""
+
+import pytest
+
+from repro.core.joins import CacheJoin, JoinError, MaintenanceType, Source
+
+
+class TestValidation:
+    def test_simple_copy_join(self):
+        j = CacheJoin("out|<a>", [("copy", "in|<a>")])
+        assert j.value_index == 0
+        assert not j.is_aggregate
+
+    def test_check_copy_join(self):
+        j = CacheJoin(
+            "t|<u>|<tm>|<p>",
+            [("check", "s|<u>|<p>"), ("copy", "p|<p>|<tm>")],
+        )
+        assert j.value_index == 1
+        assert j.value_source.operator == "copy"
+
+    def test_aggregate_join(self):
+        j = CacheJoin("karma|<a>", [("count", "vote|<a>|<id>|<v>")])
+        assert j.is_aggregate
+
+    def test_no_sources_rejected(self):
+        with pytest.raises(JoinError):
+            CacheJoin("out|<a>", [])
+
+    def test_two_value_sources_rejected(self):
+        """Exactly n-1 operators must be check (§3)."""
+        with pytest.raises(JoinError):
+            CacheJoin(
+                "o|<a>|<b>", [("copy", "x|<a>"), ("copy", "y|<b>")]
+            )
+
+    def test_all_check_rejected(self):
+        with pytest.raises(JoinError):
+            CacheJoin("o|<a>", [("check", "x|<a>")])
+
+    def test_unbound_output_slot_rejected(self):
+        with pytest.raises(JoinError):
+            CacheJoin("o|<a>|<missing>", [("copy", "x|<a>")])
+
+    def test_recursive_join_rejected(self):
+        """A join's output cannot be one of its sources (§3)."""
+        with pytest.raises(JoinError):
+            CacheJoin("t|<a>", [("copy", "t|<a>")])
+
+    def test_recursion_detected_with_different_patterns(self):
+        with pytest.raises(JoinError):
+            CacheJoin(
+                "t|<u>|<x>",
+                [("check", "s|<u>|<x>"), ("copy", "t|<x>|<u>")],
+            )
+
+    def test_snapshot_requires_interval(self):
+        with pytest.raises(JoinError):
+            CacheJoin(
+                "o|<a>", [("copy", "x|<a>")],
+                maintenance=MaintenanceType.SNAPSHOT,
+            )
+
+    def test_snapshot_interval_positive(self):
+        with pytest.raises(JoinError):
+            CacheJoin(
+                "o|<a>", [("copy", "x|<a>")],
+                maintenance=MaintenanceType.SNAPSHOT, snapshot_interval=-1,
+            )
+
+    def test_interval_only_for_snapshot(self):
+        with pytest.raises(JoinError):
+            CacheJoin("o|<a>", [("copy", "x|<a>")], snapshot_interval=5)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(JoinError):
+            Source("grab", "x|<a>")
+
+    def test_source_accepts_tuple_or_object(self):
+        j1 = CacheJoin("o|<a>", [Source("copy", "x|<a>")])
+        j2 = CacheJoin("o|<a>", [("copy", "x|<a>")])
+        assert j1.text == j2.text
+
+    def test_aggregate_with_extra_source_slots_ok(self):
+        """Aggregated-away slots (id, voter) are legitimate (§2.3)."""
+        j = CacheJoin("rank|<a>|<id>", [("count", "vote|<a>|<id>|<v>")])
+        assert j.is_aggregate
+
+    def test_source_tables(self):
+        j = CacheJoin(
+            "t|<u>|<tm>|<p>",
+            [("check", "s|<u>|<p>"), ("copy", "p|<p>|<tm>")],
+        )
+        assert j.source_tables() == ["s", "p"]
+
+    def test_text_rendering(self):
+        j = CacheJoin(
+            "o|<a>", [("copy", "x|<a>")],
+            maintenance=MaintenanceType.SNAPSHOT, snapshot_interval=2.0,
+        )
+        assert "snapshot 2.0" in j.text

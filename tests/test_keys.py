@@ -1,0 +1,92 @@
+"""Unit tests for key-space helpers."""
+
+import pytest
+
+from repro.store import keys as K
+
+
+class TestSplitJoin:
+    def test_split(self):
+        assert K.split_key("t|ann|0100|bob") == ["t", "ann", "0100", "bob"]
+
+    def test_split_single(self):
+        assert K.split_key("t") == ["t"]
+
+    def test_join_roundtrip(self):
+        key = "p|bob|0100"
+        assert K.join_key(K.split_key(key)) == key
+
+    def test_empty_segments_preserved(self):
+        assert K.split_key("t|ann|") == ["t", "ann", ""]
+
+
+class TestBounds:
+    def test_prefix_upper_bound_paper_form(self):
+        # Paper footnote 1: upper bound of t|ann| is t|ann}
+        assert K.prefix_upper_bound("t|ann|") == "t|ann}"
+
+    def test_prefix_upper_bound_plain(self):
+        assert K.prefix_upper_bound("ab") == "ac"
+
+    def test_prefix_upper_bound_orders_correctly(self):
+        prefix = "t|ann|"
+        hi = K.prefix_upper_bound(prefix)
+        assert prefix < hi
+        assert prefix + "anything" < hi
+        assert "t|annz" < prefix  # sibling user sorts outside the range
+        assert not (prefix <= "t|anz" < hi)
+
+    def test_prefix_upper_bound_empty_raises(self):
+        with pytest.raises(ValueError):
+            K.prefix_upper_bound("")
+
+    def test_prefix_upper_bound_carries_over_max_codepoint(self):
+        prefix = "a" + chr(0x10FFFF)
+        assert K.prefix_upper_bound(prefix) == "b"
+
+    def test_key_successor_is_tightest(self):
+        key = "p|bob|0100"
+        succ = K.key_successor(key)
+        assert key < succ
+        assert not (key < key + "" < succ)  # nothing strictly between
+
+    def test_table_range(self):
+        lo, hi = K.table_range("t")
+        assert lo == "t"
+        assert lo <= "t" < hi
+        assert lo <= "t|ann|0100|bob" < hi
+        assert not (lo <= "u|x" < hi)
+
+
+class TestTableAndSubtable:
+    def test_table_of(self):
+        assert K.table_of("t|ann|0100") == "t"
+        assert K.table_of("solo") == "solo"
+
+    def test_subtable_prefix_depth2(self):
+        assert K.subtable_prefix("t|ann|0100|bob", 2) == "t|ann"
+
+    def test_subtable_prefix_short_key(self):
+        assert K.subtable_prefix("t|ann", 2) == "t|ann"
+        assert K.subtable_prefix("t", 2) == "t"
+
+    def test_subtable_prefix_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            K.subtable_prefix("t|a", 0)
+
+
+class TestRangeAlgebra:
+    def test_ranges_overlap(self):
+        assert K.ranges_overlap("a", "m", "l", "z")
+        assert not K.ranges_overlap("a", "m", "m", "z")  # touching: disjoint
+        assert not K.ranges_overlap("a", "b", "c", "d")
+
+    def test_range_contains(self):
+        assert K.range_contains("a", "z", "b", "c")
+        assert K.range_contains("a", "z", "a", "z")
+        assert not K.range_contains("b", "z", "a", "c")
+
+    def test_clamp_range(self):
+        assert K.clamp_range("a", "m", "c", "z") == ("c", "m")
+        lo, hi = K.clamp_range("a", "b", "x", "z")
+        assert lo >= hi  # empty on disjoint

@@ -1,0 +1,74 @@
+"""Tests for the materialized-view database baseline (§5.2 footnote 3:
+true-matview databases "performed similarly to PostgreSQL")."""
+
+from repro.apps.social_graph import generate_graph
+from repro.apps.twip import PequodTwipBackend, format_time
+from repro.apps.workload import TwipWorkload
+from repro.baselines import MatViewBackend, SqlViewBackend
+from repro.bench.costmodel import DEFAULT_MODEL
+
+
+class TestMatViewSemantics:
+    def test_basic_delivery(self):
+        b = MatViewBackend()
+        b.subscribe("ann", "bob")
+        b.post("bob", format_time(100), "hello")
+        assert b.timeline("ann", format_time(0)) == [
+            (format_time(100), "bob", "hello")
+        ]
+
+    def test_refresh_on_read_after_write(self):
+        b = MatViewBackend()
+        b.subscribe("ann", "bob")
+        b.timeline("ann", format_time(0))
+        refreshes = b.meter.get("sql_view_refreshes")
+        b.post("bob", format_time(5), "new")
+        assert b.timeline("ann", format_time(0))[-1][2] == "new"
+        assert b.meter.get("sql_view_refreshes") == refreshes + 1
+
+    def test_no_refresh_when_fresh(self):
+        b = MatViewBackend()
+        b.subscribe("ann", "bob")
+        b.post("bob", format_time(5), "x")
+        b.timeline("ann", format_time(0))
+        refreshes = b.meter.get("sql_view_refreshes")
+        b.timeline("ann", format_time(0))  # no writes in between
+        assert b.meter.get("sql_view_refreshes") == refreshes
+
+    def test_agrees_with_trigger_database(self):
+        graph = generate_graph(30, 4, seed=12)
+        workload = TwipWorkload(graph, 250, seed=12)
+        ops = workload.generate()
+        trig, mat = SqlViewBackend(), MatViewBackend()
+        counts_t = workload.run(trig, ops=ops)
+        counts_m = workload.run(mat, ops=ops)
+        assert counts_t == counts_m
+
+    def test_agrees_with_pequod(self):
+        graph = generate_graph(30, 4, seed=14)
+        workload = TwipWorkload(graph, 250, seed=14)
+        ops = workload.generate()
+        a, b = PequodTwipBackend(), MatViewBackend()
+        assert workload.run(a, ops=ops) == workload.run(b, ops=ops)
+
+
+class TestMatViewPerformsLikePostgres:
+    def test_same_order_of_magnitude_as_triggers(self):
+        """The paper's footnote: matview databases performed similarly
+        to (trigger-based) PostgreSQL — both far behind the caches."""
+        graph = generate_graph(120, 8, seed=15)
+        workload = TwipWorkload(graph, 1500, seed=15)
+        ops = workload.generate()
+
+        def modeled(backend):
+            workload.run(backend, ops=ops)
+            return DEFAULT_MODEL.runtime_us(backend.meter.snapshot())
+
+        pequod = modeled(PequodTwipBackend())
+        triggers = modeled(SqlViewBackend())
+        matview = modeled(MatViewBackend())
+        assert triggers > 2 * pequod
+        assert matview > 2 * pequod
+        # "Similar": within a factor of four of each other either way.
+        ratio = matview / triggers
+        assert 0.25 < ratio < 4.0, ratio

@@ -1,0 +1,151 @@
+"""Deeper join shapes: three sources, mixed annotations, layered
+aggregates."""
+
+from repro import PequodServer, SimClock
+
+
+class TestThreeSourceJoins:
+    """A copy filtered through two check sources."""
+
+    JOIN = (
+        "feed|<user>|<topic>|<time>|<author> = "
+        "check follow|<user>|<author> "
+        "check tag|<topic>|<author>|<time> "
+        "copy story|<author>|<time>"
+    )
+
+    def setup_method(self):
+        self.srv = PequodServer()
+        self.srv.add_join(self.JOIN)
+        self.srv.put("follow|ann|bob", "1")
+        self.srv.put("tag|rust|bob|0100", "1")
+        self.srv.put("story|bob|0100", "a rust story")
+
+    def test_triple_match_emits(self):
+        got = self.srv.scan("feed|ann|", "feed|ann}")
+        assert got == [("feed|ann|rust|0100|bob", "a rust story")]
+
+    def test_missing_middle_check_blocks(self):
+        self.srv.remove("tag|rust|bob|0100")
+        assert self.srv.scan("feed|ann|", "feed|ann}") == []
+
+    def test_eager_copy_through_two_checks(self):
+        self.srv.scan("feed|ann|", "feed|ann}")
+        self.srv.put("tag|go|bob|0200", "1")
+        self.srv.put("story|bob|0200", "a go story")
+        got = self.srv.scan("feed|ann|", "feed|ann}")
+        assert ("feed|ann|go|0200|bob", "a go story") in got
+
+    def test_unfollow_clears_whole_feed(self):
+        self.srv.scan("feed|ann|", "feed|ann}")
+        self.srv.remove("follow|ann|bob")
+        assert self.srv.scan("feed|ann|", "feed|ann}") == []
+
+    def test_new_tag_backfills_lazily(self):
+        self.srv.scan("feed|ann|", "feed|ann}")
+        self.srv.put("story|bob|0300", "untagged story")
+        self.srv.put("tag|ml|bob|0300", "1")  # lazy partial invalidation
+        got = self.srv.scan("feed|ann|", "feed|ann}")
+        assert ("feed|ann|ml|0300|bob", "untagged story") in got
+
+
+class TestMixedAnnotationsOneRange:
+    """Push and snapshot joins sharing one output range (§3.4)."""
+
+    def setup_method(self):
+        self.clock = SimClock()
+        self.srv = PequodServer(clock=self.clock)
+        self.srv.add_join("mix|<k>|live = copy live|<k>")
+        self.srv.add_join("mix|<k>|slow = snapshot 30 copy slow|<k>")
+
+    def test_both_classes_served_in_one_scan(self):
+        self.srv.put("live|a", "1")
+        self.srv.put("slow|a", "2")
+        got = self.srv.scan("mix|a|", "mix|a}")
+        assert got == [("mix|a|live", "1"), ("mix|a|slow", "2")]
+
+    def test_push_half_stays_fresh_within_snapshot_window(self):
+        self.srv.put("live|a", "1")
+        self.srv.put("slow|a", "2")
+        self.srv.scan("mix|a|", "mix|a}")
+        self.srv.put("live|a", "1b")
+        self.srv.put("slow|a", "2b")
+        got = dict(self.srv.scan("mix|a|", "mix|a}"))
+        # The shared range carries the snapshot expiry, so within the
+        # window both halves serve the cached values; the push half's
+        # eager update already refreshed its key in place.
+        assert got["mix|a|live"] == "1b"
+        assert got["mix|a|slow"] == "2"
+
+    def test_expiry_refreshes_both(self):
+        self.srv.put("live|a", "1")
+        self.srv.put("slow|a", "2")
+        self.srv.scan("mix|a|", "mix|a}")
+        self.srv.put("slow|a", "2b")
+        self.clock.advance(31)
+        got = dict(self.srv.scan("mix|a|", "mix|a}"))
+        assert got["mix|a|slow"] == "2b"
+
+
+class TestLayeredAggregates:
+    def test_sum_over_count_chain(self):
+        """sum join sourced by a count join's output."""
+        srv = PequodServer()
+        srv.add_join("percat|<cat>|<item> = count ev|<cat>|<item>|<id>")
+        srv.add_join("total|<cat> = sum percat|<cat>|<item>")
+        srv.put("ev|fruit|apple|1", "")
+        srv.put("ev|fruit|apple|2", "")
+        srv.put("ev|fruit|pear|3", "")
+        assert srv.get("total|fruit") == "3"
+        srv.put("ev|fruit|pear|4", "")
+        assert srv.get("total|fruit") == "4"
+
+    def test_copy_of_aggregate_tracks_updates(self):
+        srv = PequodServer()
+        srv.add_join("karma|<a> = count vote|<a>|<id>")
+        srv.add_join("board|<a>|k = copy karma|<a>")
+        srv.put("vote|ann|1", "")
+        assert srv.scan("board|ann|", "board|ann}") == [("board|ann|k", "1")]
+        srv.put("vote|ann|2", "")
+        assert srv.scan("board|ann|", "board|ann}") == [("board|ann|k", "2")]
+        srv.remove("vote|ann|1")
+        srv.remove("vote|ann|2")
+        assert srv.scan("board|ann|", "board|ann}") == []
+
+
+class TestReplicatedReads:
+    """§2.4: directing reads for popular ranges to multiple servers
+    establishes incrementally-maintained replicas."""
+
+    def test_replicas_on_multiple_compute_nodes_stay_fresh(self):
+        from repro.apps.twip import TIMELINE_JOIN
+        from repro.distrib import Cluster
+
+        cluster = Cluster(2, 3, ("p", "s"), joins=TIMELINE_JOIN)
+        cluster.put("s|ann|star", "1")
+        cluster.put("p|star|0100", "first")
+        # Load-balance ann's reads across two explicit replicas.
+        replica_a, replica_b = cluster.compute_nodes[0], cluster.compute_nodes[1]
+        assert replica_a.scan("t|ann|", "t|ann}") == [
+            ("t|ann|0100|star", "first")
+        ]
+        assert replica_b.scan("t|ann|", "t|ann}") == [
+            ("t|ann|0100|star", "first")
+        ]
+        # Both replicas are now incrementally maintained.
+        cluster.put("p|star|0200", "second")
+        cluster.settle()
+        for replica in (replica_a, replica_b):
+            got = replica.scan("t|ann|", "t|ann}")
+            assert [v for _, v in got] == ["first", "second"], replica.name
+
+    def test_home_tracks_subscription_per_replica(self):
+        from repro.apps.twip import TIMELINE_JOIN
+        from repro.distrib import Cluster
+
+        cluster = Cluster(1, 2, ("p", "s"), joins=TIMELINE_JOIN)
+        cluster.put("s|ann|star", "1")
+        cluster.compute_nodes[0].scan("t|ann|", "t|ann}")
+        one = cluster.total_subscriptions()
+        cluster.compute_nodes[1].scan("t|ann|", "t|ann}")
+        assert cluster.total_subscriptions() > one

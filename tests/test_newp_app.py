@@ -1,0 +1,126 @@
+"""Tests for the Newp application (§2.3, §5.4)."""
+
+from repro.apps.newp import NewpApp
+from repro.apps.workload import NewpWorkload
+
+
+class TestNewpReads:
+    def make_article(self, app):
+        app.author_article("bob", "a1", "The Article")
+        app.comment("bob", "a1", "c1", "liz", "great read")
+        app.comment("bob", "a1", "c2", "jim", "disagree")
+        app.vote("bob", "a1", "v1")
+        app.vote("bob", "a1", "v2")
+        app.vote("bob", "a1", "v3")
+        # liz authored something popular: karma 2
+        app.author_article("liz", "a9", "liz stuff")
+        app.vote("liz", "a9", "x1")
+        app.vote("liz", "a9", "x2")
+
+    def test_interleaved_page(self):
+        app = NewpApp(interleaved=True)
+        self.make_article(app)
+        page = app.read_article("bob", "a1")
+        assert page.text == "The Article"
+        assert page.votes == 3
+        assert sorted(c[0] for c in page.comments) == ["c1", "c2"]
+        assert page.karma == {"liz": 2}
+
+    def test_separate_page(self):
+        app = NewpApp(interleaved=False)
+        self.make_article(app)
+        page = app.read_article("bob", "a1")
+        assert page.text == "The Article"
+        assert page.votes == 3
+        assert page.karma == {"liz": 2}
+
+    def test_modes_agree(self):
+        """Both join layouts must render identical pages."""
+        a = NewpApp(interleaved=True)
+        b = NewpApp(interleaved=False)
+        self.make_article(a)
+        self.make_article(b)
+        assert a.read_article("bob", "a1") == b.read_article("bob", "a1")
+
+    def test_missing_article(self):
+        app = NewpApp(interleaved=True)
+        page = app.read_article("ghost", "a0")
+        assert page.text is None
+        assert page.votes == 0
+        assert page.comments == []
+
+    def test_vote_updates_page(self):
+        app = NewpApp(interleaved=True)
+        app.author_article("bob", "a1", "x")
+        assert app.read_article("bob", "a1").votes == 0
+        app.vote("bob", "a1", "v1")
+        assert app.read_article("bob", "a1").votes == 1
+
+    def test_karma_cascade_after_read(self):
+        app = NewpApp(interleaved=True)
+        app.author_article("bob", "a1", "x")
+        app.comment("bob", "a1", "c1", "liz", "hi")
+        app.read_article("bob", "a1")  # materialize
+        app.author_article("liz", "a2", "liz article")
+        app.vote("liz", "a2", "v1")  # raises liz's karma
+        assert app.read_article("bob", "a1").karma == {"liz": 1}
+
+
+class TestRpcCounts:
+    def test_interleaved_uses_one_rpc_per_read(self):
+        app = NewpApp(interleaved=True)
+        app.author_article("bob", "a1", "x")
+        app.comment("bob", "a1", "c1", "liz", "hi")
+        app.read_article("bob", "a1")
+        app.meter.reset()
+        app.read_article("bob", "a1")
+        assert app.meter.get("rpcs") == 1
+
+    def test_separate_uses_many_rpcs_per_read(self):
+        """§5.4: many gets per article (e.g., for karma)."""
+        app = NewpApp(interleaved=False)
+        app.author_article("bob", "a1", "x")
+        for i, commenter in enumerate(["liz", "jim", "kay"]):
+            app.comment("bob", "a1", f"c{i}", commenter, "text")
+        app.read_article("bob", "a1")
+        app.meter.reset()
+        app.read_article("bob", "a1")
+        # article + rank + comments scan + 3 karma gets
+        assert app.meter.get("rpcs") == 6
+
+
+class TestNewpWorkload:
+    def test_prepopulate_and_run(self):
+        wl = NewpWorkload(
+            n_articles=10, n_users=5, n_comments=30, n_votes=40,
+            n_sessions=50, vote_rate=0.5, seed=3,
+        )
+        app = NewpApp(interleaved=True)
+        wl.prepopulate(app)
+        counts = wl.run(app)
+        assert counts["reads"] == 50
+        assert 10 <= counts["votes"] <= 40  # ~50% of 50
+        assert counts["comments"] <= 5
+
+    def test_deterministic(self):
+        results = []
+        for _ in range(2):
+            wl = NewpWorkload(n_articles=8, n_users=4, n_comments=10,
+                              n_votes=10, n_sessions=30, vote_rate=0.3, seed=5)
+            app = NewpApp(interleaved=True)
+            wl.prepopulate(app)
+            results.append(wl.run(app))
+        assert results[0] == results[1]
+
+    def test_both_modes_same_final_state(self):
+        pages = []
+        for interleaved in (True, False):
+            wl = NewpWorkload(n_articles=6, n_users=4, n_comments=12,
+                              n_votes=15, n_sessions=40, vote_rate=0.4, seed=6)
+            app = NewpApp(interleaved=interleaved)
+            wl.prepopulate(app)
+            wl.run(app)
+            pages.append([
+                app.read_article(author, aid) for author, aid in wl.articles
+            ])
+        assert pages[0] == pages[1]

@@ -1,0 +1,78 @@
+"""Property-based oracle for Newp: rendered pages always equal the
+brute-force relational answer, in both join layouts, after arbitrary
+op sequences."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.newp import ArticlePage, NewpApp
+
+authors = st.sampled_from(["bob", "liz"])
+article_ids = st.sampled_from(["a1", "a2"])
+users = st.sampled_from(["ann", "jim", "kay"])
+
+newp_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("article"), authors, article_ids),
+        st.tuples(st.just("comment"), authors, article_ids, users,
+                  st.integers(0, 99)),
+        st.tuples(st.just("vote"), authors, article_ids,
+                  st.integers(0, 99)),
+        st.tuples(st.just("read"), authors, article_ids),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def brute_force_page(state, author, aid):
+    """The relational answer for one article page."""
+    page = ArticlePage(author, aid)
+    page.text = state["articles"].get((author, aid))
+    page.votes = len(state["votes"].get((author, aid), set()))
+    karma = {}
+    for (a, _), voters in state["votes"].items():
+        karma[a] = karma.get(a, 0) + len(voters)
+    for (a, i, cid), (commenter, text) in sorted(state["comments"].items()):
+        if (a, i) == (author, aid):
+            page.comments.append((cid, commenter, text))
+            if karma.get(commenter):
+                page.karma[commenter] = karma[commenter]
+    return page
+
+
+class TestNewpOracle:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(newp_ops, st.booleans())
+    def test_pages_match_bruteforce(self, ops, interleaved):
+        app = NewpApp(interleaved=interleaved)
+        state = {"articles": {}, "comments": {}, "votes": {}}
+        for op in ops:
+            if op[0] == "article":
+                _, author, aid = op
+                text = f"article {author}/{aid}"
+                app.author_article(author, aid, text)
+                state["articles"][(author, aid)] = text
+            elif op[0] == "comment":
+                _, author, aid, commenter, n = op
+                cid = f"c{n:03d}"
+                text = f"comment {n}"
+                app.comment(author, aid, cid, commenter, text)
+                state["comments"][(author, aid, cid)] = (commenter, text)
+            elif op[0] == "vote":
+                _, author, aid, n = op
+                voter = f"v{n:03d}"
+                app.vote(author, aid, voter)
+                state["votes"].setdefault((author, aid), set()).add(voter)
+            else:
+                _, author, aid = op
+                app.read_article(author, aid)  # interleave reads
+        for author in ("bob", "liz"):
+            for aid in ("a1", "a2"):
+                got = app.read_article(author, aid)
+                expected = brute_force_page(state, author, aid)
+                assert got == expected, f"{author}/{aid} ({interleaved=})"

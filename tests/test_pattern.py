@@ -1,0 +1,126 @@
+"""Unit tests for key patterns."""
+
+import pytest
+
+from repro.core.pattern import Pattern, PatternError, common_prefix_segments
+
+
+class TestParsing:
+    def test_literal_and_slots(self):
+        p = Pattern("t|<user>|<time>|<poster>")
+        assert p.table == "t"
+        assert p.slots == ("user", "time", "poster")
+        assert [s.is_slot for s in p.segments] == [False, True, True, True]
+
+    def test_pure_literal_pattern(self):
+        p = Pattern("config|version")
+        assert p.slots == ()
+        assert p.table == "config"
+
+    def test_repeated_slot(self):
+        p = Pattern("x|<a>|<a>")
+        assert p.slots == ("a",)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern("")
+
+    def test_leading_slot_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern("<user>|x")
+
+    def test_malformed_slot_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern("t|<user")
+        with pytest.raises(PatternError):
+            Pattern("t|us<er>")
+
+    def test_equality_and_hash(self):
+        assert Pattern("t|<a>") == Pattern("t|<a>")
+        assert Pattern("t|<a>") != Pattern("t|<b>")
+        assert len({Pattern("t|<a>"), Pattern("t|<a>")}) == 1
+
+
+class TestMatching:
+    def test_match_extracts_slots(self):
+        p = Pattern("s|<user>|<poster>")
+        assert p.match("s|ann|bob") == {"user": "ann", "poster": "bob"}
+
+    def test_match_wrong_literal(self):
+        p = Pattern("s|<user>|<poster>")
+        assert p.match("p|ann|bob") is None
+
+    def test_match_wrong_arity(self):
+        p = Pattern("s|<user>|<poster>")
+        assert p.match("s|ann") is None
+        assert p.match("s|ann|bob|extra") is None
+
+    def test_match_repeated_slot_consistency(self):
+        p = Pattern("x|<a>|<a>")
+        assert p.match("x|v|v") == {"a": "v"}
+        assert p.match("x|v|w") is None
+
+    def test_match_interleaved_tag(self):
+        p = Pattern("page|<author>|<id>|a")
+        assert p.match("page|bob|101|a") == {"author": "bob", "id": "101"}
+        assert p.match("page|bob|101|r") is None
+
+    def test_matches_predicate(self):
+        p = Pattern("p|<poster>|<time>")
+        assert p.matches("p|bob|0100")
+        assert not p.matches("q|bob|0100")
+
+    def test_empty_segment_values_match(self):
+        p = Pattern("t|<a>|<b>")
+        assert p.match("t||x") == {"a": "", "b": "x"}
+
+
+class TestExpansion:
+    def test_expand_full(self):
+        p = Pattern("t|<user>|<time>|<poster>")
+        slots = {"user": "ann", "time": "0100", "poster": "bob"}
+        assert p.expand(slots) == "t|ann|0100|bob"
+
+    def test_expand_missing_slot_raises(self):
+        p = Pattern("t|<user>")
+        with pytest.raises(PatternError):
+            p.expand({})
+
+    def test_expand_extra_slots_ignored(self):
+        p = Pattern("t|<user>")
+        assert p.expand({"user": "ann", "other": "x"}) == "t|ann"
+
+    def test_expand_prefix_partial(self):
+        p = Pattern("t|<user>|<time>|<poster>")
+        prefix, complete = p.expand_prefix({"user": "ann"})
+        assert prefix == "t|ann|"
+        assert not complete
+
+    def test_expand_prefix_complete(self):
+        p = Pattern("s|<user>|<poster>")
+        prefix, complete = p.expand_prefix({"user": "a", "poster": "b"})
+        assert prefix == "s|a|b"
+        assert complete
+
+    def test_roundtrip_match_expand(self):
+        p = Pattern("page|<author>|<id>|k|<cid>|<commenter>")
+        key = "page|bob|101|k|c5|liz"
+        assert p.expand(p.match(key)) == key
+
+
+class TestHelpers:
+    def test_slot_positions(self):
+        p = Pattern("x|<a>|<b>|<a>")
+        assert p.slot_positions("a") == [1, 3]
+        assert p.slot_positions("b") == [2]
+        assert p.slot_positions("missing") == []
+
+    def test_shared_slots(self):
+        a = Pattern("t|<user>|<time>|<poster>")
+        b = Pattern("s|<user>|<poster>")
+        assert a.shared_slots(b) == ["user", "poster"]
+
+    def test_common_prefix_segments(self):
+        pats = [Pattern("page|<a>|x"), Pattern("page|<b>|y")]
+        assert common_prefix_segments(pats) == 1
+        assert common_prefix_segments([]) == 0

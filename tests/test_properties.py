@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) for core data structures and the
+join engine's central invariant.
+
+The headline property: after ANY sequence of base-data writes, removes,
+and interleaved reads, a cache join's output equals the brute-force
+relational join of the current base data — incremental maintenance is
+indistinguishable from recomputation (§3.2's correctness contract).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import PequodServer
+from repro.core.pattern import Pattern
+from repro.net.codec import decode, encode
+from repro.store.interval_tree import IntervalTree
+from repro.store.rbtree import RBTree
+from repro.store.table import Table
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+keys = st.text(
+    alphabet=st.sampled_from("abc|0123"), min_size=1, max_size=8
+).filter(lambda s: not s.startswith("|"))
+
+users = st.sampled_from(["ann", "bob", "liz", "jim", "kay"])
+times = st.integers(min_value=0, max_value=30).map(lambda t: f"{t:04d}")
+
+
+class TestRBTreeProperties:
+    @given(st.lists(st.tuples(keys, st.integers()), max_size=80))
+    def test_matches_dict_model(self, pairs):
+        tree = RBTree()
+        model = {}
+        for key, value in pairs:
+            tree.insert(key, value)
+            model[key] = value
+        assert sorted(model.items()) == list(tree.items())
+        tree.check_invariants()
+
+    @given(
+        st.lists(st.tuples(st.booleans(), keys), max_size=100),
+    )
+    def test_insert_remove_interleaved(self, ops):
+        tree = RBTree()
+        model = {}
+        for is_insert, key in ops:
+            if is_insert:
+                tree.insert(key, key)
+                model[key] = key
+            else:
+                assert tree.remove(key) == (key in model)
+                model.pop(key, None)
+        assert list(tree.keys()) == sorted(model)
+        tree.check_invariants()
+
+    @given(st.lists(keys, min_size=1, max_size=50), keys, keys)
+    def test_range_queries_match_model(self, inserted, lo, hi):
+        tree = RBTree()
+        for key in inserted:
+            tree.insert(key, None)
+        expected = sorted({k for k in inserted if lo <= k < hi})
+        assert list(tree.keys(lo, hi)) == expected
+
+
+class TestIntervalTreeProperties:
+    @given(
+        st.lists(
+            st.tuples(times, times, st.integers(0, 99)), max_size=50
+        ),
+        times,
+    )
+    def test_stab_matches_bruteforce(self, intervals, point):
+        tree = IntervalTree()
+        live = []
+        for lo, hi, payload in intervals:
+            if lo < hi:
+                tree.add(lo, hi, payload)
+                live.append((lo, hi, payload))
+        expected = sorted(p for lo, hi, p in live if lo <= point < hi)
+        got = sorted(p for e in tree.stab(point) for p in e.payloads)
+        assert got == expected
+        tree.check_invariants()
+
+
+class TestTableProperties:
+    @given(st.lists(st.tuples(st.booleans(), users, times), max_size=80))
+    def test_subtable_table_equals_flat_table(self, ops):
+        flat = Table("t")
+        sub = Table("t", subtable_depth=2)
+        model = {}
+        for is_put, user, time in ops:
+            key = f"t|{user}|{time}"
+            if is_put:
+                flat.put(key, time)
+                sub.put(key, time)
+                model[key] = time
+            else:
+                flat.remove(key)
+                sub.remove(key)
+                model.pop(key, None)
+        assert list(flat.scan("t|", "t}")) == sorted(model.items())
+        assert list(sub.scan("t|", "t}")) == sorted(model.items())
+
+
+class TestPatternProperties:
+    @given(users, times, users)
+    def test_match_expand_roundtrip(self, user, time, poster):
+        pattern = Pattern("t|<user>|<time>|<poster>")
+        key = f"t|{user}|{time}|{poster}"
+        slots = pattern.match(key)
+        assert slots is not None
+        assert pattern.expand(slots) == key
+
+
+class TestCodecProperties:
+    values = st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers()
+        | st.floats(allow_nan=False)
+        | st.text(max_size=20)
+        | st.binary(max_size=20),
+        lambda children: st.lists(children, max_size=5)
+        | st.dictionaries(st.text(max_size=8), children, max_size=5),
+        max_leaves=20,
+    )
+
+    @given(values)
+    def test_roundtrip(self, value):
+        def normalize(v):
+            if isinstance(v, tuple):
+                return [normalize(x) for x in v]
+            if isinstance(v, list):
+                return [normalize(x) for x in v]
+            if isinstance(v, dict):
+                return {k: normalize(x) for k, x in v.items()}
+            return v
+
+        assert decode(encode(value)) == normalize(value)
+
+
+# ----------------------------------------------------------------------
+# The engine's central invariant
+# ----------------------------------------------------------------------
+def brute_force_timeline(subs, posts, user):
+    """The relational answer: SELECT time, poster, text ... (§2.1)."""
+    out = []
+    for (s_user, poster) in subs:
+        if s_user != user:
+            continue
+        for (p_poster, time), text in posts.items():
+            if p_poster == poster:
+                out.append((f"t|{user}|{time}|{poster}", text))
+    return sorted(out)
+
+
+engine_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("sub"), users, users),
+        st.tuples(st.just("unsub"), users, users),
+        st.tuples(st.just("post"), users, times),
+        st.tuples(st.just("unpost"), users, times),
+        st.tuples(st.just("read"), users, users),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestJoinEngineOracle:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(engine_ops, st.booleans())
+    def test_timeline_matches_bruteforce_oracle(self, ops, eager_checks):
+        op_name = "echeck" if eager_checks else "check"
+        srv = PequodServer()
+        srv.add_join(
+            f"t|<user>|<time>|<poster> = {op_name} s|<user>|<poster> "
+            "copy p|<poster>|<time>"
+        )
+        subs = set()
+        posts = {}
+        for op in ops:
+            kind = op[0]
+            if kind == "sub":
+                _, user, poster = op
+                srv.put(f"s|{user}|{poster}", "1")
+                subs.add((user, poster))
+            elif kind == "unsub":
+                _, user, poster = op
+                srv.remove(f"s|{user}|{poster}")
+                subs.discard((user, poster))
+            elif kind == "post":
+                _, poster, time = op
+                text = f"tweet-{poster}-{time}"
+                srv.put(f"p|{poster}|{time}", text)
+                posts[(poster, time)] = text
+            elif kind == "unpost":
+                _, poster, time = op
+                srv.remove(f"p|{poster}|{time}")
+                posts.pop((poster, time), None)
+            else:  # read mid-stream: materializes ranges, applies pending
+                _, user, _ = op
+                srv.scan(f"t|{user}|", f"t|{user}}}")
+        # Final check: every user's timeline equals the relational join.
+        for user in ["ann", "bob", "liz", "jim", "kay"]:
+            got = srv.scan(f"t|{user}|", f"t|{user}}}")
+            expected = brute_force_timeline(subs, posts, user)
+            assert got == expected, f"user {user}"
+
+    @settings(max_examples=30, deadline=None)
+    @given(engine_ops)
+    def test_aggregate_matches_bruteforce_oracle(self, ops):
+        srv = PequodServer()
+        srv.add_join("karma|<poster> = count s|<user>|<poster>")
+        subs = set()
+        for op in ops:
+            kind = op[0]
+            if kind in ("sub", "unsub"):
+                _, user, poster = op
+                if kind == "sub":
+                    srv.put(f"s|{user}|{poster}", "1")
+                    subs.add((user, poster))
+                else:
+                    srv.remove(f"s|{user}|{poster}")
+                    subs.discard((user, poster))
+            elif kind == "read":
+                _, user, _ = op
+                srv.get(f"karma|{user}")
+        for poster in ["ann", "bob", "liz", "jim", "kay"]:
+            expected = sum(1 for _, p in subs if p == poster)
+            got = srv.get(f"karma|{poster}")
+            assert got == (str(expected) if expected else None), poster

@@ -1,0 +1,91 @@
+"""Tests for the framed RPC protocol."""
+
+import pytest
+
+from repro.net import protocol
+from repro.net.protocol import FrameBuffer, ProtocolError
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        payload = b"hello world"
+        framed = protocol.frame(payload)
+        buf = FrameBuffer()
+        assert buf.feed(framed) == [payload]
+
+    def test_partial_delivery(self):
+        payload = b"x" * 100
+        framed = protocol.frame(payload)
+        buf = FrameBuffer()
+        assert buf.feed(framed[:50]) == []
+        assert buf.feed(framed[50:]) == [payload]
+        assert buf.pending_bytes() == 0
+
+    def test_multiple_frames_in_one_read(self):
+        f1 = protocol.frame(b"one")
+        f2 = protocol.frame(b"two")
+        buf = FrameBuffer()
+        assert buf.feed(f1 + f2) == [b"one", b"two"]
+
+    def test_frame_boundary_straddling(self):
+        f1 = protocol.frame(b"one")
+        f2 = protocol.frame(b"two")
+        data = f1 + f2
+        buf = FrameBuffer()
+        got = []
+        for i in range(0, len(data), 3):
+            got.extend(buf.feed(data[i : i + 3]))
+        assert got == [b"one", b"two"]
+
+    def test_oversized_frame_rejected(self):
+        buf = FrameBuffer()
+        with pytest.raises(ProtocolError):
+            buf.feed(b"\xff\xff\xff\xff")
+
+    def test_empty_frame(self):
+        buf = FrameBuffer()
+        assert buf.feed(protocol.frame(b"")) == [b""]
+
+
+class TestMessages:
+    def test_request_roundtrip(self):
+        data = protocol.encode_request(7, "scan", ["t|ann|", "t|ann}"])
+        buf = FrameBuffer()
+        (payload,) = buf.feed(data)
+        message = protocol.decode_message(payload)
+        request_id, method, args = protocol.parse_request(message)
+        assert (request_id, method, args) == (7, "scan", ["t|ann|", "t|ann}"])
+
+    def test_response_roundtrip(self):
+        data = protocol.encode_response(7, protocol.OK, [["k", "v"]])
+        buf = FrameBuffer()
+        (payload,) = buf.feed(data)
+        message = protocol.decode_message(payload)
+        request_id, status, body = protocol.parse_response(message)
+        assert (request_id, status, body) == (7, "ok", [["k", "v"]])
+
+    def test_error_response(self):
+        data = protocol.encode_response(3, protocol.ERR, "boom")
+        buf = FrameBuffer()
+        (payload,) = buf.feed(data)
+        _, status, body = protocol.parse_response(protocol.decode_message(payload))
+        assert status == protocol.ERR
+        assert body == "boom"
+
+    def test_malformed_message_rejected(self):
+        from repro.net.codec import encode
+
+        with pytest.raises(ProtocolError):
+            protocol.decode_message(b"\x00garbage")
+        with pytest.raises(ProtocolError):
+            protocol.decode_message(encode("not a list"))
+        with pytest.raises(ProtocolError):
+            protocol.parse_response(protocol.decode_message(encode([1, "bad-status", 2])))
+
+    def test_request_with_no_args(self):
+        data = protocol.encode_request(1, "ping", [])
+        buf = FrameBuffer()
+        (payload,) = buf.feed(data)
+        _, method, args = protocol.parse_request(protocol.decode_message(payload))
+        assert method == "ping"
+        assert args == []

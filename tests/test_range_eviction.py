@@ -1,0 +1,108 @@
+"""Eviction of the other two §2.5 data kinds: remote subscribed copies
+and cached base data."""
+
+from repro import PequodServer
+from repro.apps.twip import TIMELINE_JOIN
+from repro.backing import BackingDatabase, WriteAroundDeployment
+from repro.distrib import Cluster
+
+
+class TestCachedBaseEviction:
+    def make(self):
+        db = BackingDatabase()
+        srv = PequodServer()
+        srv.add_join(TIMELINE_JOIN)
+        dep = WriteAroundDeployment(srv, db, base_tables={"p", "s"})
+        dep.put("s|ann|bob", "1")
+        dep.put("p|bob|0100", "cached row")
+        dep.scan("t|ann|", "t|ann}")
+        return dep, db, srv
+
+    def test_base_ranges_tracked_in_lru(self):
+        dep, db, srv = self.make()
+        assert dep.resolver.ranges_loaded >= 2  # s range + p range
+
+    def test_evicting_base_range_cancels_subscription(self):
+        dep, db, srv = self.make()
+        subs_before = db.hub.subscription_count()
+        while srv.eviction.evict_one():
+            pass
+        assert dep.resolver.ranges_evicted >= 1
+        assert db.hub.subscription_count() < subs_before
+
+    def test_evicted_base_range_reloads_on_demand(self):
+        dep, db, srv = self.make()
+        while srv.eviction.evict_one():
+            pass
+        assert srv.store.get("p|bob|0100") is None
+        # The next read refetches from the database transparently.
+        assert dep.scan("t|ann|", "t|ann}") == [("t|ann|0100|bob", "cached row")]
+
+    def test_db_write_after_eviction_not_misapplied(self):
+        dep, db, srv = self.make()
+        while srv.eviction.evict_one():
+            pass
+        dep.put("p|bob|0200", "written while evicted")
+        got = dep.scan("t|ann|", "t|ann}")
+        assert ("t|ann|0200|bob", "written while evicted") in got
+
+    def test_memory_limit_evicts_base_data(self):
+        db = BackingDatabase()
+        srv = PequodServer(memory_limit=25_000)
+        srv.add_join(TIMELINE_JOIN)
+        dep = WriteAroundDeployment(srv, db, base_tables={"p", "s"})
+        for u in range(20):
+            dep.put(f"s|u{u:02d}|star", "1")
+        for t in range(20):
+            dep.put(f"p|star|{t:04d}", "content " * 20)
+        for u in range(20):
+            dep.scan(f"t|u{u:02d}|", f"t|u{u:02d}}}")
+        assert srv.memory_bytes() <= 25_000
+        # Data is still correct after all that eviction.
+        got = dep.scan("t|u00|", "t|u00}")
+        assert len(got) == 20
+
+
+class TestRemoteRangeEviction:
+    def make(self):
+        cluster = Cluster(2, 2, ("p", "s"), joins=TIMELINE_JOIN)
+        cluster.put("s|ann|bob", "1")
+        cluster.put("p|bob|0100", "mirrored")
+        cluster.scan("ann", "t|ann|", "t|ann}")
+        return cluster
+
+    def test_remote_ranges_tracked(self):
+        cluster = self.make()
+        node = cluster.compute_node_for("ann")
+        assert node.resolver.fetches >= 2
+
+    def test_evicting_remote_range_unsubscribes(self):
+        cluster = self.make()
+        node = cluster.compute_node_for("ann")
+        subs_before = cluster.total_subscriptions()
+        while node.server.eviction.evict_one():
+            pass
+        assert node.resolver.evicted_ranges >= 1
+        assert cluster.total_subscriptions() < subs_before
+
+    def test_evicted_remote_range_refetches(self):
+        cluster = self.make()
+        node = cluster.compute_node_for("ann")
+        while node.server.eviction.evict_one():
+            pass
+        assert node.server.store.get("p|bob|0100") is None
+        got = cluster.scan("ann", "t|ann|", "t|ann}")
+        assert got == [("t|ann|0100|bob", "mirrored")]
+
+    def test_no_updates_delivered_after_unsubscribe(self):
+        cluster = self.make()
+        node = cluster.compute_node_for("ann")
+        while node.server.eviction.evict_one():
+            pass
+        applied_before = node.updates_applied
+        cluster.put("p|bob|0200", "post after eviction")
+        cluster.settle()
+        assert node.updates_applied == applied_before
+        # Correctness recovers on the next read via refetch.
+        got = cluster.scan("ann", "t|ann|", "t|ann}")
+        assert [v for _, v in got] == ["mirrored", "post after eviction"]

@@ -1,0 +1,260 @@
+"""Unit tests for the red-black tree."""
+
+import random
+
+import pytest
+
+from repro.store.rbtree import RBTree
+
+
+def build(pairs):
+    tree = RBTree()
+    for k, v in pairs:
+        tree.insert(k, v)
+    return tree
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree = RBTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.get("a") is None
+        assert "a" not in tree
+        assert tree.min_node() is None
+        assert tree.max_node() is None
+        assert list(tree.nodes()) == []
+
+    def test_single_insert_and_get(self):
+        tree = RBTree()
+        tree.insert("k", "v")
+        assert len(tree) == 1
+        assert tree.get("k") == "v"
+        assert "k" in tree
+        tree.check_invariants()
+
+    def test_overwrite_keeps_size(self):
+        tree = RBTree()
+        tree.insert("k", "v1")
+        tree.insert("k", "v2")
+        assert len(tree) == 1
+        assert tree.get("k") == "v2"
+
+    def test_get_default(self):
+        tree = RBTree()
+        assert tree.get("missing", "fallback") == "fallback"
+
+    def test_remove_present(self):
+        tree = build([("a", 1), ("b", 2)])
+        assert tree.remove("a") is True
+        assert len(tree) == 1
+        assert tree.get("a") is None
+        tree.check_invariants()
+
+    def test_remove_absent(self):
+        tree = build([("a", 1)])
+        assert tree.remove("zz") is False
+        assert len(tree) == 1
+
+    def test_clear(self):
+        tree = build([("a", 1), ("b", 2)])
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.nodes()) == []
+
+    def test_insert_returns_node(self):
+        tree = RBTree()
+        node = tree.insert("a", 1)
+        assert node.key == "a"
+        assert node.value == 1
+
+
+class TestOrderedIteration:
+    def test_items_sorted(self):
+        keys = ["m", "c", "x", "a", "q", "b"]
+        tree = build([(k, k.upper()) for k in keys])
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_range_iteration_half_open(self):
+        tree = build([(f"k{i}", i) for i in range(10)])
+        got = list(tree.keys("k2", "k5"))
+        assert got == ["k2", "k3", "k4"]
+
+    def test_range_iteration_unbounded_hi(self):
+        tree = build([(f"k{i}", i) for i in range(5)])
+        assert list(tree.keys("k3", None)) == ["k3", "k4"]
+
+    def test_range_iteration_empty_range(self):
+        tree = build([(f"k{i}", i) for i in range(5)])
+        assert list(tree.keys("k9", "k99")) == []
+
+    def test_count_range(self):
+        tree = build([(f"{i:03d}", i) for i in range(100)])
+        assert tree.count_range("010", "020") == 10
+
+    def test_iter_protocol(self):
+        tree = build([("b", 2), ("a", 1)])
+        assert list(tree) == ["a", "b"]
+
+
+class TestNavigation:
+    @pytest.fixture
+    def tree(self):
+        return build([(f"{i:02d}", i) for i in range(0, 20, 2)])  # 00,02,..18
+
+    def test_ceiling_exact(self, tree):
+        assert tree.ceiling_node("04").key == "04"
+
+    def test_ceiling_between(self, tree):
+        assert tree.ceiling_node("05").key == "06"
+
+    def test_ceiling_past_end(self, tree):
+        assert tree.ceiling_node("19") is None
+
+    def test_higher_skips_exact(self, tree):
+        assert tree.higher_node("04").key == "06"
+
+    def test_floor_exact(self, tree):
+        assert tree.floor_node("04").key == "04"
+
+    def test_floor_between(self, tree):
+        assert tree.floor_node("05").key == "04"
+
+    def test_floor_before_start(self, tree):
+        assert tree.floor_node("//") is None
+
+    def test_lower_skips_exact(self, tree):
+        assert tree.lower_node("04").key == "02"
+
+    def test_min_max(self, tree):
+        assert tree.min_node().key == "00"
+        assert tree.max_node().key == "18"
+
+    def test_next_prev_walk(self, tree):
+        node = tree.min_node()
+        seen = []
+        while node is not None:
+            seen.append(node.key)
+            node = tree.next_node(node)
+        assert seen == [f"{i:02d}" for i in range(0, 20, 2)]
+        node = tree.max_node()
+        seen = []
+        while node is not None:
+            seen.append(node.key)
+            node = tree.prev_node(node)
+        assert seen == [f"{i:02d}" for i in range(18, -1, -2)]
+
+
+class TestInsertNodeAfter:
+    def test_append_after_max(self):
+        tree = build([("a", 1), ("b", 2)])
+        node = tree.max_node()
+        fresh = tree.insert_node_after(node, "c", 3)
+        assert fresh.key == "c"
+        assert list(tree.keys()) == ["a", "b", "c"]
+        tree.check_invariants()
+
+    def test_insert_in_gap(self):
+        tree = build([("a", 1), ("c", 3)])
+        node = tree.find_node("a")
+        tree.insert_node_after(node, "b", 2)
+        assert list(tree.keys()) == ["a", "b", "c"]
+        tree.check_invariants()
+
+    def test_stale_hint_falls_back(self):
+        tree = build([("a", 1), ("c", 3)])
+        node = tree.find_node("c")
+        # "b" sorts before the hint; must still insert correctly.
+        tree.insert_node_after(node, "b", 2)
+        assert list(tree.keys()) == ["a", "b", "c"]
+        tree.check_invariants()
+
+    def test_existing_successor_key_overwrites(self):
+        tree = build([("a", 1), ("b", 2)])
+        node = tree.find_node("a")
+        tree.insert_node_after(node, "b", 99)
+        assert len(tree) == 2
+        assert tree.get("b") == 99
+
+    def test_many_sequential_appends(self):
+        tree = RBTree()
+        node = tree.insert("000", 0)
+        for i in range(1, 300):
+            node = tree.insert_node_after(node, f"{i:03d}", i)
+        assert len(tree) == 300
+        assert list(tree.keys()) == [f"{i:03d}" for i in range(300)]
+        tree.check_invariants()
+
+
+class TestStressInvariants:
+    def test_random_insert_remove_keeps_invariants(self):
+        rng = random.Random(42)
+        tree = RBTree()
+        model = {}
+        for step in range(2000):
+            key = f"{rng.randrange(400):04d}"
+            if rng.random() < 0.6:
+                tree.insert(key, step)
+                model[key] = step
+            else:
+                assert tree.remove(key) == (key in model)
+                model.pop(key, None)
+            if step % 250 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert sorted(model.items()) == list(tree.items())
+
+    def test_ascending_descending_inserts(self):
+        up = build([(f"{i:04d}", i) for i in range(500)])
+        up.check_invariants()
+        down = build([(f"{i:04d}", i) for i in range(499, -1, -1)])
+        down.check_invariants()
+        assert list(up.keys()) == list(down.keys())
+
+    def test_remove_all_in_order(self):
+        tree = build([(f"{i:03d}", i) for i in range(200)])
+        for i in range(200):
+            assert tree.remove(f"{i:03d}")
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_remove_all_reverse_order(self):
+        tree = build([(f"{i:03d}", i) for i in range(200)])
+        for i in range(199, -1, -1):
+            assert tree.remove(f"{i:03d}")
+        assert len(tree) == 0
+
+    def test_tuple_keys(self):
+        tree = RBTree()
+        tree.insert(("a", "b"), 1)
+        tree.insert(("a", "a"), 2)
+        tree.insert(("b", "a"), 3)
+        assert list(tree.keys()) == [("a", "a"), ("a", "b"), ("b", "a")]
+        tree.check_invariants()
+
+
+class TestAugmentation:
+    def test_augment_maintained_through_rotations(self):
+        # Maintain subtree size as augmentation; verify after heavy churn.
+        def aug(node):
+            node.aug = 1
+            if node.left.aug is not None:
+                node.aug += node.left.aug
+            if node.right.aug is not None:
+                node.aug += node.right.aug
+
+        tree = RBTree(augment=aug)
+        rng = random.Random(7)
+        present = set()
+        for step in range(1500):
+            key = rng.randrange(300)
+            if rng.random() < 0.55:
+                tree.insert(key, None)
+                present.add(key)
+            elif present:
+                victim = rng.choice(sorted(present))
+                tree.remove(victim)
+                present.discard(victim)
+        assert len(tree) == len(present)
+        if tree.root is not tree.nil:
+            assert tree.root.aug == len(present)

@@ -1,0 +1,130 @@
+"""Integration tests: Pequod served over real asyncio TCP RPC (§5.1)."""
+
+import asyncio
+
+import pytest
+
+from repro import PequodServer
+from repro.net.rpc_client import RpcClient, RpcError
+from repro.net.rpc_server import RpcServer
+
+TIMELINE = (
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+)
+
+
+def run(coro):
+    return asyncio.new_event_loop().run_until_complete(coro)
+
+
+async def with_server(fn):
+    server = RpcServer(PequodServer())
+    await server.start()
+    client = RpcClient("127.0.0.1", server.port)
+    await client.connect()
+    try:
+        return await fn(server, client)
+    finally:
+        await client.close()
+        await server.stop()
+
+
+class TestRpcBasics:
+    def test_ping(self):
+        async def body(server, client):
+            assert await client.ping() == "pong"
+
+        run(with_server(body))
+
+    def test_put_get_remove(self):
+        async def body(server, client):
+            await client.put("p|bob|0100", "hello")
+            assert await client.get("p|bob|0100") == "hello"
+            assert await client.remove("p|bob|0100") is True
+            assert await client.get("p|bob|0100") is None
+
+        run(with_server(body))
+
+    def test_scan(self):
+        async def body(server, client):
+            await client.put("p|a|1", "x")
+            await client.put("p|b|1", "y")
+            rows = await client.scan("p|", "p}")
+            assert rows == [("p|a|1", "x"), ("p|b|1", "y")]
+
+        run(with_server(body))
+
+    def test_join_over_rpc(self):
+        async def body(server, client):
+            installed = await client.add_join(TIMELINE)
+            assert len(installed) == 1
+            await client.put("s|ann|bob", "1")
+            await client.put("p|bob|0100", "tweet")
+            rows = await client.scan("t|ann|", "t|ann}")
+            assert rows == [("t|ann|0100|bob", "tweet")]
+
+        run(with_server(body))
+
+    def test_error_propagates_as_rpc_error(self):
+        async def body(server, client):
+            with pytest.raises(RpcError):
+                await client.call("add_join", "not a join at all")
+            with pytest.raises(RpcError):
+                await client.call("no_such_method")
+            # The connection remains usable after errors.
+            assert await client.ping() == "pong"
+
+        run(with_server(body))
+
+    def test_stats_over_rpc(self):
+        async def body(server, client):
+            await client.put("p|a|1", "x")
+            stats = await client.call("stats")
+            assert stats["op_put"] == 1
+
+        run(with_server(body))
+
+
+class TestPipelining:
+    def test_many_outstanding_requests(self):
+        """§5.1: clients keep many RPCs outstanding."""
+
+        async def body(server, client):
+            calls = [("put", [f"p|u|{i:04d}", f"v{i}"]) for i in range(200)]
+            await client.call_many(calls)
+            rows = await client.scan("p|u|", "p|u}")
+            assert len(rows) == 200
+            assert server.requests_served >= 201
+
+        run(with_server(body))
+
+    def test_interleaved_reads_and_writes(self):
+        async def body(server, client):
+            results = await client.call_many(
+                [
+                    ("put", ["p|x|1", "a"]),
+                    ("get", ["p|x|1"]),
+                    ("put", ["p|x|2", "b"]),
+                    ("scan", ["p|x|", "p|x}"]),
+                ]
+            )
+            assert results[1] == "a"
+            assert [tuple(r) for r in results[3]] == [
+                ("p|x|1", "a"),
+                ("p|x|2", "b"),
+            ]
+
+        run(with_server(body))
+
+    def test_multiple_clients(self):
+        async def body(server, client):
+            other = RpcClient("127.0.0.1", server.port)
+            await other.connect()
+            try:
+                await client.put("p|shared|1", "from-first")
+                assert await other.get("p|shared|1") == "from-first"
+            finally:
+                await other.close()
+            assert server.connections == 2
+
+        run(with_server(body))

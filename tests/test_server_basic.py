@@ -1,0 +1,231 @@
+"""End-to-end tests of PequodServer: the paper's §2.1–§2.2 semantics."""
+
+import pytest
+
+from repro import JoinError, PequodServer
+
+TIMELINE = (
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+)
+
+
+def make_twip_server(**kwargs):
+    srv = PequodServer(**kwargs)
+    srv.add_join(TIMELINE)
+    return srv
+
+
+class TestBasicKV:
+    def test_put_get_remove(self):
+        srv = PequodServer()
+        srv.put("p|bob|0100", "hi")
+        assert srv.get("p|bob|0100") == "hi"
+        assert srv.remove("p|bob|0100")
+        assert srv.get("p|bob|0100") is None
+        assert not srv.remove("p|bob|0100")
+
+    def test_non_string_value_rejected(self):
+        srv = PequodServer()
+        with pytest.raises(TypeError):
+            srv.put("k|1", 42)
+
+    def test_scan_base_data(self):
+        srv = PequodServer()
+        srv.put("p|ann|0100", "a")
+        srv.put("p|bob|0100", "b")
+        assert srv.scan("p|", "p}") == [("p|ann|0100", "a"), ("p|bob|0100", "b")]
+
+    def test_scan_prefix_helper(self):
+        srv = PequodServer()
+        srv.put("s|ann|bob", "1")
+        srv.put("s|ann|liz", "1")
+        srv.put("s|bob|ann", "1")
+        assert [k for k, _ in srv.scan_prefix("s|ann|")] == [
+            "s|ann|bob",
+            "s|ann|liz",
+        ]
+
+    def test_exists_and_count(self):
+        srv = PequodServer()
+        srv.put("p|a|1", "x")
+        assert srv.exists("p|a|1")
+        assert not srv.exists("p|a|2")
+        assert srv.count("p|", "p}") == 1
+
+
+class TestTimelineJoin:
+    """The paper's running example (§2.1, §2.2, Figure 4)."""
+
+    def test_demand_computation(self):
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "hello, world!")
+        assert srv.scan("t|ann|", "t|ann}") == [("t|ann|0100|bob", "hello, world!")]
+
+    def test_figure4_example(self):
+        """Figure 4: bob follows ann, jim, liz; scan [t|bob|100, t|bob|+)."""
+        srv = make_twip_server()
+        for poster in ["ann", "jim", "liz"]:
+            srv.put(f"s|bob|{poster}", "")
+        for time, text in [
+            ("0124", "hello, world!"),
+            ("0177", "i'm hungry"),
+            ("0245", "going to bed"),
+        ]:
+            srv.put(f"p|liz|{time}", text)
+        got = srv.scan("t|bob|0100", "t|bob}")
+        assert got == [
+            ("t|bob|0124|liz", "hello, world!"),
+            ("t|bob|0177|liz", "i'm hungry"),
+            ("t|bob|0245|liz", "going to bed"),
+        ]
+
+    def test_eager_incremental_update(self):
+        """§2.2: after a timeline is materialized, new posts flow in."""
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "first")
+        srv.scan("t|ann|", "t|ann}")  # materialize
+        srv.put("p|bob|0120", "second")
+        # No recomputation should be needed; the updater already copied.
+        before = srv.stats.get("recomputations")
+        got = srv.scan("t|ann|", "t|ann}")
+        assert ("t|ann|0120|bob", "second") in got
+        assert srv.stats.get("recomputations") == before
+
+    def test_uninteresting_posts_not_materialized(self):
+        """Dynamic materialization: only requested ranges are computed."""
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("s|liz|bob", "1")
+        srv.put("p|bob|0100", "x")
+        srv.scan("t|ann|", "t|ann}")
+        # liz never checked her timeline: nothing materialized for her.
+        assert srv.store.count("t|liz|", "t|liz}") == 0
+        assert srv.store.count("t|ann|", "t|ann}") == 1
+
+    def test_post_update_propagates(self):
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "original")
+        srv.scan("t|ann|", "t|ann}")
+        srv.put("p|bob|0100", "edited")
+        assert srv.scan("t|ann|", "t|ann}") == [("t|ann|0100|bob", "edited")]
+
+    def test_post_removal_propagates(self):
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "oops")
+        srv.scan("t|ann|", "t|ann}")
+        srv.remove("p|bob|0100")
+        assert srv.scan("t|ann|", "t|ann}") == []
+
+    def test_multiple_followers_fanout(self):
+        srv = make_twip_server()
+        followers = [f"u{i:02d}" for i in range(10)]
+        for u in followers:
+            srv.put(f"s|{u}|star", "1")
+            srv.scan(f"t|{u}|", f"t|{u}}}")  # materialize all timelines
+        srv.put("p|star|0100", "fanout!")
+        for u in followers:
+            assert srv.scan(f"t|{u}|", f"t|{u}}}") == [
+                (f"t|{u}|0100|star", "fanout!")
+            ]
+
+    def test_timeline_window_scan(self):
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        for t in range(100, 200, 20):
+            srv.put(f"p|bob|{t:04d}", str(t))
+        got = srv.scan("t|ann|0120", "t|ann|0160")
+        assert [k for k, _ in got] == ["t|ann|0120|bob", "t|ann|0140|bob"]
+
+    def test_same_time_different_posters_disambiguated(self):
+        """§2.1: the poster suffix disambiguates simultaneous tweets."""
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("s|ann|liz", "1")
+        srv.put("p|bob|0100", "from bob")
+        srv.put("p|liz|0100", "from liz")
+        got = srv.scan("t|ann|", "t|ann}")
+        assert got == [
+            ("t|ann|0100|bob", "from bob"),
+            ("t|ann|0100|liz", "from liz"),
+        ]
+
+
+class TestSubscriptionChanges:
+    def test_new_subscription_backfills_lazily(self):
+        """§3.2: subscription inserts are partial invalidations."""
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "bob tweet")
+        srv.put("p|liz|0050", "old liz tweet")
+        srv.scan("t|ann|", "t|ann}")
+        srv.put("s|ann|liz", "1")  # logged, not applied
+        assert srv.stats.get("partial_invalidations") >= 1
+        got = srv.scan("t|ann|", "t|ann}")
+        assert ("t|ann|0050|liz", "old liz tweet") in got
+        assert ("t|ann|0100|bob", "bob tweet") in got
+
+    def test_new_subscription_future_posts_flow(self):
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.scan("t|ann|", "t|ann}")
+        srv.put("s|ann|liz", "1")
+        srv.scan("t|ann|", "t|ann}")  # pending applied; updaters installed
+        srv.put("p|liz|0200", "new liz tweet")
+        assert ("t|ann|0200|liz", "new liz tweet") in srv.scan("t|ann|", "t|ann}")
+
+    def test_unsubscribe_removes_tweets(self):
+        """§3.2: subscription removal is a complete invalidation."""
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("s|ann|liz", "1")
+        srv.put("p|bob|0100", "bob")
+        srv.put("p|liz|0150", "liz")
+        srv.scan("t|ann|", "t|ann}")
+        srv.remove("s|ann|liz")
+        assert srv.stats.get("complete_invalidations") >= 1
+        assert srv.scan("t|ann|", "t|ann}") == [("t|ann|0100|bob", "bob")]
+
+    def test_stale_updater_does_not_resurrect(self):
+        """After unsubscribe + recompute, old updaters must not fire."""
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "x")
+        srv.scan("t|ann|", "t|ann}")
+        srv.remove("s|ann|bob")
+        srv.scan("t|ann|", "t|ann}")  # recompute (empty now)
+        srv.put("p|bob|0300", "stale?")
+        assert srv.scan("t|ann|", "t|ann}") == []
+
+    def test_resubscribe_works(self):
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "x")
+        srv.scan("t|ann|", "t|ann}")
+        srv.remove("s|ann|bob")
+        srv.scan("t|ann|", "t|ann}")
+        srv.put("s|ann|bob", "1")
+        assert srv.scan("t|ann|", "t|ann}") == [("t|ann|0100|bob", "x")]
+        srv.put("p|bob|0200", "y")
+        assert ("t|ann|0200|bob", "y") in srv.scan("t|ann|", "t|ann}")
+
+
+class TestGets:
+    def test_get_of_computed_key(self):
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "hello")
+        assert srv.get("t|ann|0100|bob") == "hello"
+
+    def test_get_of_missing_computed_key(self):
+        srv = make_twip_server()
+        srv.put("s|ann|bob", "1")
+        assert srv.get("t|ann|0100|liz") is None
+
+    def test_join_error_surfaces(self):
+        srv = make_twip_server()
+        with pytest.raises(JoinError):
+            srv.add_join("s|<user>|<poster> = copy t|<user>|<x>|<poster>")

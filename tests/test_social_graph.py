@@ -1,0 +1,64 @@
+"""Tests for the synthetic social graph generator."""
+
+import pytest
+
+from repro.apps.social_graph import degree_histogram, generate_graph
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = generate_graph(100, 5, seed=3)
+        b = generate_graph(100, 5, seed=3)
+        assert a.edges == b.edges
+
+    def test_different_seeds_differ(self):
+        a = generate_graph(100, 5, seed=3)
+        b = generate_graph(100, 5, seed=4)
+        assert a.edges != b.edges
+
+    def test_mean_out_degree_near_target(self):
+        g = generate_graph(300, 10, seed=1)
+        assert 8.0 <= g.mean_out_degree() <= 10.5
+
+    def test_no_self_follows_or_duplicates(self):
+        g = generate_graph(150, 8, seed=2)
+        assert all(a != b for a, b in g.edges)
+        assert len(set(g.edges)) == len(g.edges)
+
+    def test_minimum_users(self):
+        with pytest.raises(ValueError):
+            generate_graph(1)
+
+    def test_adjacency_consistency(self):
+        g = generate_graph(120, 6, seed=5)
+        for follower, followee in g.edges:
+            assert followee in g.following[follower]
+            assert follower in g.followers[followee]
+        assert sum(len(v) for v in g.following.values()) == len(g.edges)
+
+
+class TestHeavyTail:
+    def test_in_degree_is_heavy_tailed(self):
+        """A few celebrities collect a large share of followers (§2.3)."""
+        g = generate_graph(500, 15, seed=1)
+        counts = sorted((g.follower_count(u) for u in g.users), reverse=True)
+        top_1pct = sum(counts[: len(counts) // 100 or 1])
+        assert top_1pct > len(g.edges) * 0.05
+        assert counts[0] > 10 * (len(g.edges) / len(g.users))
+
+    def test_celebrities_identified(self):
+        g = generate_graph(400, 12, seed=1)
+        threshold = g.max_follower_count() // 2
+        celebs = g.celebrities(threshold)
+        assert 1 <= len(celebs) < len(g.users) // 10
+
+    def test_post_weight_increases_with_followers(self):
+        g = generate_graph(300, 10, seed=1)
+        popular = max(g.users, key=g.follower_count)
+        lonely = min(g.users, key=g.follower_count)
+        assert g.post_weight(popular) > g.post_weight(lonely)
+
+    def test_degree_histogram_buckets(self):
+        g = generate_graph(200, 5, seed=1)
+        hist = degree_histogram(g, [1, 10, 100])
+        assert sum(hist.values()) == 200

@@ -1,0 +1,155 @@
+"""Unit tests for join status ranges (paper §3.2)."""
+
+import pytest
+
+from repro.core.status import RangeState, StatusRange, StatusTable
+
+
+class TestStatusRange:
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            StatusRange("b", "a")
+        with pytest.raises(ValueError):
+            StatusRange("a", "a")
+
+    def test_validity_with_expiry(self):
+        sr = StatusRange("a", "b")
+        assert sr.is_valid_at(100.0)
+        sr.expires_at = 50.0
+        assert sr.is_valid_at(49.9)
+        assert not sr.is_valid_at(50.0)
+
+    def test_invalidate_clears_bookkeeping(self):
+        sr = StatusRange("a", "b")
+        sr.pending.append(object())
+        sr.expires_at = 10.0
+        sr.invalidate()
+        assert sr.state is RangeState.INVALID
+        assert sr.pending == []
+        assert sr.expires_at is None
+
+    def test_needs_work(self):
+        sr = StatusRange("a", "b")
+        assert not sr.needs_work(0.0)
+        sr.pending.append(object())
+        assert sr.needs_work(0.0)
+
+
+class TestPieces:
+    def test_empty_table_is_one_gap(self):
+        st = StatusTable()
+        assert st.pieces("a", "z") == [("a", "z", None)]
+
+    def test_exact_cover(self):
+        st = StatusTable()
+        sr = st.add(StatusRange("c", "f"))
+        assert st.pieces("c", "f") == [("c", "f", sr)]
+
+    def test_gap_range_gap(self):
+        st = StatusTable()
+        sr = st.add(StatusRange("c", "f"))
+        pieces = st.pieces("a", "z")
+        assert pieces == [("a", "c", None), ("c", "f", sr), ("f", "z", None)]
+
+    def test_query_clipped_to_range_interior(self):
+        st = StatusTable()
+        sr = st.add(StatusRange("c", "f"))
+        assert st.pieces("d", "e") == [("d", "e", sr)]
+
+    def test_adjacent_ranges(self):
+        st = StatusTable()
+        a = st.add(StatusRange("a", "c"))
+        b = st.add(StatusRange("c", "e"))
+        assert st.pieces("a", "e") == [("a", "c", a), ("c", "e", b)]
+
+    def test_empty_query(self):
+        st = StatusTable()
+        assert st.pieces("c", "c") == []
+        assert st.pieces("d", "c") == []
+
+    def test_find(self):
+        st = StatusTable()
+        sr = st.add(StatusRange("c", "f"))
+        assert st.find("c") is sr
+        assert st.find("e") is sr
+        assert st.find("f") is None
+        assert st.find("b") is None
+
+    def test_overlap_rejected_on_add(self):
+        st = StatusTable()
+        st.add(StatusRange("c", "f"))
+        with pytest.raises(ValueError):
+            st.add(StatusRange("e", "g"))
+
+    def test_overlapping_query(self):
+        st = StatusTable()
+        a = st.add(StatusRange("a", "c"))
+        b = st.add(StatusRange("x", "z"))
+        assert st.overlapping("b", "y") == [a, b]
+        assert st.overlapping("c", "x") == []
+
+
+class TestSplitAndIsolate:
+    def test_split_preserves_cover(self):
+        st = StatusTable()
+        sr = st.add(StatusRange("a", "z"))
+        right = st.split(sr, "m")
+        assert (sr.lo, sr.hi) == ("a", "m")
+        assert (right.lo, right.hi) == ("m", "z")
+        st.check_disjoint_cover()
+
+    def test_split_copies_state_and_pending(self):
+        st = StatusTable()
+        sr = st.add(StatusRange("a", "z", RangeState.INVALID))
+        entry = object()
+        sr.pending.append(entry)
+        sr.generation = 7
+        sr.expires_at = 42.0
+        right = st.split(sr, "m")
+        assert right.state is RangeState.INVALID
+        assert right.pending == [entry]
+        assert right.generation == 7
+        assert right.expires_at == 42.0
+        # pending lists are independent afterwards
+        right.pending.clear()
+        assert sr.pending == [entry]
+
+    def test_split_point_must_be_interior(self):
+        st = StatusTable()
+        sr = st.add(StatusRange("a", "z"))
+        with pytest.raises(ValueError):
+            st.split(sr, "a")
+        with pytest.raises(ValueError):
+            st.split(sr, "z")
+
+    def test_isolate_middle(self):
+        st = StatusTable()
+        st.add(StatusRange("a", "z"))
+        parts = st.isolate("f", "m")
+        assert len(parts) == 1
+        assert (parts[0].lo, parts[0].hi) == ("f", "m")
+        assert [((s.lo, s.hi)) for s in st.ranges()] == [
+            ("a", "f"), ("f", "m"), ("m", "z"),
+        ]
+        st.check_disjoint_cover()
+
+    def test_isolate_across_multiple_ranges(self):
+        st = StatusTable()
+        st.add(StatusRange("a", "f"))
+        st.add(StatusRange("f", "m"))
+        parts = st.isolate("c", "h")
+        assert [(p.lo, p.hi) for p in parts] == [("c", "f"), ("f", "h")]
+        st.check_disjoint_cover()
+
+    def test_isolate_exact_fit_no_split(self):
+        st = StatusTable()
+        sr = st.add(StatusRange("c", "f"))
+        parts = st.isolate("c", "f")
+        assert parts == [sr]
+        assert len(st.ranges()) == 1
+
+    def test_remove(self):
+        st = StatusTable()
+        sr = st.add(StatusRange("a", "c"))
+        st.remove(sr)
+        assert st.pieces("a", "c") == [("a", "c", None)]

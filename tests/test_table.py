@@ -1,0 +1,230 @@
+"""Unit tests for the table/subtable layer."""
+
+import random
+
+from repro.store.stats import StoreStats
+from repro.store.table import SUBTABLE_OVERHEAD, Table
+from repro.store.values import NODE_OVERHEAD
+
+
+class TestFlatTable:
+    def test_put_get_remove(self):
+        tbl = Table("p")
+        tbl.put("p|bob|0100", "hi")
+        assert tbl.get("p|bob|0100") == "hi"
+        assert tbl.remove("p|bob|0100") == "hi"
+        assert tbl.get("p|bob|0100") is None
+        assert tbl.remove("p|bob|0100") is None
+
+    def test_put_returns_old_value(self):
+        tbl = Table("p")
+        _, old = tbl.put("k", "v1")
+        assert old is None
+        _, old = tbl.put("k", "v2")
+        assert old == "v1"
+        assert len(tbl) == 1
+
+    def test_scan_ordering(self):
+        tbl = Table("p")
+        for poster, time in [("bob", 120), ("ann", 100), ("bob", 100)]:
+            tbl.put(f"p|{poster}|{time:04d}", "x")
+        got = [k for k, _ in tbl.scan("p|", "p}")]
+        assert got == ["p|ann|0100", "p|bob|0100", "p|bob|0120"]
+
+    def test_scan_empty_range(self):
+        tbl = Table("p")
+        tbl.put("p|a", "1")
+        assert list(tbl.scan("p|z", "p|a")) == []
+
+    def test_count_range(self):
+        tbl = Table("p")
+        for i in range(20):
+            tbl.put(f"p|u|{i:03d}", str(i))
+        assert tbl.count_range("p|u|005", "p|u|015") == 10
+
+    def test_first_node(self):
+        tbl = Table("p")
+        tbl.put("p|b", "2")
+        tbl.put("p|a", "1")
+        assert tbl.first_node("p|", "p}").key == "p|a"
+        assert tbl.first_node("p|c", "p}") is None
+
+
+class TestMemoryAccounting:
+    def test_memory_grows_and_shrinks(self):
+        tbl = Table("p")
+        assert tbl.memory_bytes == 0
+        tbl.put("p|k", "value")
+        expected = len("p|k") + NODE_OVERHEAD + len("value")
+        assert tbl.memory_bytes == expected
+        tbl.remove("p|k")
+        assert tbl.memory_bytes == 0
+
+    def test_overwrite_adjusts_value_bytes(self):
+        tbl = Table("p")
+        tbl.put("p|k", "aa")
+        before = tbl.memory_bytes
+        tbl.put("p|k", "aaaa")
+        assert tbl.memory_bytes == before + 2
+
+    def test_subtable_overhead_charged(self):
+        tbl = Table("t", subtable_depth=2)
+        tbl.put("t|ann|0100|bob", "x")
+        assert tbl.memory_bytes >= SUBTABLE_OVERHEAD
+        tbl.remove("t|ann|0100|bob")
+        assert tbl.memory_bytes == 0  # empty subtable dropped
+
+
+class TestSubtables:
+    def test_subtable_created_per_prefix(self):
+        tbl = Table("t", subtable_depth=2)
+        tbl.put("t|ann|0100|bob", "x")
+        tbl.put("t|ann|0120|liz", "y")
+        tbl.put("t|bob|0100|ann", "z")
+        assert tbl.subtable_count() == 2
+        assert len(tbl) == 3
+
+    def test_in_subtable_scan(self):
+        tbl = Table("t", subtable_depth=2)
+        tbl.put("t|ann|0100|bob", "1")
+        tbl.put("t|ann|0120|liz", "2")
+        tbl.put("t|bob|0050|ann", "3")
+        got = [k for k, _ in tbl.scan("t|ann|", "t|ann}")]
+        assert got == ["t|ann|0100|bob", "t|ann|0120|liz"]
+
+    def test_cross_subtable_scan(self):
+        tbl = Table("t", subtable_depth=2)
+        pairs = [
+            ("t|ann|0100|bob", "1"),
+            ("t|bob|0050|ann", "2"),
+            ("t|liz|0010|jim", "3"),
+        ]
+        for k, v in pairs:
+            tbl.put(k, v)
+        got = [k for k, _ in tbl.scan("t|", "t}")]
+        assert got == sorted(k for k, _ in pairs)
+
+    def test_partial_cross_subtable_scan(self):
+        """Paper §3.1: queries like [t|ann|100, t|bob|200) must work."""
+        tbl = Table("t", subtable_depth=2)
+        for k in [
+            "t|ann|0050|x",
+            "t|ann|0150|x",
+            "t|bob|0100|x",
+            "t|bob|0250|x",
+            "t|liz|0100|x",
+        ]:
+            tbl.put(k, "v")
+        got = [k for k, _ in tbl.scan("t|ann|0100", "t|bob|0200")]
+        assert got == ["t|ann|0150|x", "t|bob|0100|x"]
+
+    def test_residual_keys_interleave_correctly(self):
+        # A key with exactly `depth` segments lives in the residual tree
+        # but must still appear in ordered scans at the right position.
+        tbl = Table("t", subtable_depth=2)
+        tbl.put("t|ann", "bare")
+        tbl.put("t|ann|0100|bob", "in-sub")
+        tbl.put("t|an", "bare2")
+        got = [k for k, _ in tbl.scan("t|", "t}")]
+        assert got == sorted(["t|ann", "t|ann|0100|bob", "t|an"])
+
+    def test_matches_flat_table_on_random_workload(self):
+        rng = random.Random(3)
+        flat = Table("t")
+        sub = Table("t", subtable_depth=2)
+        model = {}
+        users = [f"u{i:02d}" for i in range(12)]
+        for step in range(1500):
+            user = rng.choice(users)
+            key = f"t|{user}|{rng.randrange(50):03d}"
+            if rng.random() < 0.7:
+                flat.put(key, str(step))
+                sub.put(key, str(step))
+                model[key] = str(step)
+            else:
+                flat.remove(key)
+                sub.remove(key)
+                model.pop(key, None)
+        assert len(flat) == len(sub) == len(model)
+        full_flat = list(flat.scan("t|", "t}"))
+        full_sub = list(sub.scan("t|", "t}"))
+        assert full_flat == full_sub == sorted(model.items())
+        for _ in range(25):
+            u1, u2 = rng.choice(users), rng.choice(users)
+            lo = f"t|{u1}|{rng.randrange(50):03d}"
+            hi = f"t|{u2}|{rng.randrange(50):03d}"
+            assert list(flat.scan(lo, hi)) == list(sub.scan(lo, hi))
+
+
+class TestHints:
+    def test_hinted_append_hits(self):
+        stats = StoreStats()
+        tbl = Table("t", stats=stats)
+        handle, _ = tbl.put("t|u|001", "a")
+        handle, _ = tbl.put("t|u|002", "b", hint=handle)
+        handle, _ = tbl.put("t|u|003", "c", hint=handle)
+        assert stats.get("hint_hits") == 2
+        assert [k for k, _ in tbl.scan("t|", "t}")] == [
+            "t|u|001",
+            "t|u|002",
+            "t|u|003",
+        ]
+
+    def test_hinted_overwrite_same_key(self):
+        stats = StoreStats()
+        tbl = Table("t", stats=stats)
+        handle, _ = tbl.put("t|u|001", "a")
+        handle, old = tbl.put("t|u|001", "b", hint=handle)
+        assert old == "a"
+        assert stats.get("hint_hits") == 1
+        assert len(tbl) == 1
+
+    def test_hint_wrong_position_falls_back(self):
+        tbl = Table("t")
+        handle, _ = tbl.put("t|u|005", "a")
+        tbl.put("t|u|001", "early", hint=handle)  # key before hint
+        assert [k for k, _ in tbl.scan("t|", "t}")] == ["t|u|001", "t|u|005"]
+
+    def test_hint_with_existing_successor_overwrites(self):
+        tbl = Table("t")
+        handle, _ = tbl.put("t|u|001", "a")
+        tbl.put("t|u|002", "b")
+        _, old = tbl.put("t|u|002", "b2", hint=handle)
+        assert old == "b"
+        assert len(tbl) == 2
+
+    def test_stale_hint_after_removal(self):
+        tbl = Table("t")
+        handle, _ = tbl.put("t|u|001", "a")
+        tbl.remove("t|u|001")
+        assert not handle.is_valid()
+        tbl.put("t|u|002", "b", hint=handle)  # must not crash
+        assert tbl.get("t|u|002") == "b"
+
+    def test_hint_across_subtables_rejected(self):
+        tbl = Table("t", subtable_depth=2)
+        handle, _ = tbl.put("t|ann|001", "a")
+        tbl.put("t|bob|002", "b", hint=handle)  # different subtable
+        assert [k for k, _ in tbl.scan("t|", "t}")] == [
+            "t|ann|001",
+            "t|bob|002",
+        ]
+        assert tbl.subtable_count() == 2
+
+
+class TestStats:
+    def test_hash_jumps_counted_with_subtables(self):
+        stats = StoreStats()
+        tbl = Table("t", subtable_depth=2, stats=stats)
+        tbl.put("t|ann|001", "x")
+        tbl.get("t|ann|001")
+        assert stats.get("hash_jumps") >= 2
+
+    def test_tree_descents_counted(self):
+        stats = StoreStats()
+        tbl = Table("t", stats=stats)
+        tbl.put("t|a", "x")
+        tbl.get("t|a")
+        assert stats.get("tree_descents") == 2
+        assert stats.get("puts") == 1
+        assert stats.get("gets") == 1

@@ -1,0 +1,102 @@
+"""Unit tests for the value protocol and the stats counters."""
+
+import pytest
+
+from repro.core.operators import AggValue
+from repro.store.stats import StoreStats
+from repro.store.values import (
+    POINTER_SIZE,
+    SharedValue,
+    acquire_value,
+    materialize,
+    release_value,
+)
+
+
+class TestValueProtocol:
+    def test_materialize_str(self):
+        assert materialize("plain") == "plain"
+
+    def test_materialize_shared(self):
+        assert materialize(SharedValue("buf")) == "buf"
+
+    def test_materialize_agg(self):
+        acc = AggValue("count")
+        acc.include("x")
+        assert materialize(acc) == "1"
+
+    def test_str_accounting_is_length(self):
+        assert acquire_value("abcd") == 4
+        assert release_value("abcd") == 4
+
+    def test_shared_first_ref_charges_payload(self):
+        shared = SharedValue("x" * 100)
+        assert acquire_value(shared) == 100 + POINTER_SIZE
+        assert acquire_value(shared) == POINTER_SIZE
+        assert shared.refs == 2
+
+    def test_shared_last_release_refunds_payload(self):
+        shared = SharedValue("x" * 100)
+        acquire_value(shared)
+        acquire_value(shared)
+        assert release_value(shared) == POINTER_SIZE
+        assert release_value(shared) == 100 + POINTER_SIZE
+        assert shared.refs == 0
+
+    def test_agg_accounting_fixed(self):
+        acc = AggValue("sum")
+        assert acquire_value(acc) == acc.memory_size()
+        assert release_value(acc) == acc.memory_size()
+
+    def test_shared_equality(self):
+        assert SharedValue("a") == SharedValue("a")
+        assert SharedValue("a") == "a"
+        assert SharedValue("a") != SharedValue("b")
+        assert len({SharedValue("a"), SharedValue("a")}) == 1
+
+
+class TestStoreStats:
+    def test_add_and_get(self):
+        stats = StoreStats()
+        stats.add("x")
+        stats.add("x", 2.5)
+        assert stats.get("x") == 3.5
+        assert stats["x"] == 3.5
+        assert stats.get("missing") == 0.0
+
+    def test_tree_descent_accumulates_log_cost(self):
+        stats = StoreStats()
+        stats.tree_descent(0)
+        stats.tree_descent(1000)
+        assert stats.get("tree_descents") == 2
+        assert stats.get("tree_descent_cost") > 10  # log2(2) + log2(1002)
+
+    def test_snapshot_is_independent_copy(self):
+        stats = StoreStats()
+        stats.add("a")
+        snap = stats.snapshot()
+        stats.add("a")
+        assert snap["a"] == 1.0
+        assert stats.get("a") == 2.0
+
+    def test_reset(self):
+        stats = StoreStats()
+        stats.add("a")
+        stats.reset()
+        assert stats.get("a") == 0.0
+
+    def test_merged_with(self):
+        a, b = StoreStats(), StoreStats()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 5)
+        merged = a.merged_with(b)
+        assert merged.get("x") == 3
+        assert merged.get("y") == 5
+        assert a.get("x") == 1  # originals untouched
+
+    def test_items_sorted(self):
+        stats = StoreStats()
+        stats.add("zeta")
+        stats.add("alpha")
+        assert [k for k, _ in stats.items()] == ["alpha", "zeta"]

@@ -1,0 +1,107 @@
+"""Tests for the Twip workload generator (§5.1)."""
+
+from collections import Counter
+
+from repro.apps.social_graph import generate_graph
+from repro.apps.twip import PequodTwipBackend
+from repro.apps.workload import (
+    DEFAULT_MIX,
+    OP_CHECK,
+    OP_LOGIN,
+    OP_POST,
+    OP_SUBSCRIBE,
+    TwipWorkload,
+    checks_and_posts_workload,
+)
+
+
+class TestGeneration:
+    def make(self, total=2000, seed=4):
+        graph = generate_graph(100, 6, seed=seed)
+        return graph, TwipWorkload(graph, total, seed=seed)
+
+    def test_deterministic(self):
+        _, w1 = self.make()
+        _, w2 = self.make()
+        ops1 = [(o.kind, o.user, o.target) for o in w1.generate()]
+        ops2 = [(o.kind, o.user, o.target) for o in w2.generate()]
+        assert ops1 == ops2
+
+    def test_mix_proportions_respected(self):
+        """§5.1: roughly 5% logins, 9% subs, 85% checks, 1% posts."""
+        _, workload = self.make(total=5000)
+        counts = Counter(op.kind for op in workload.generate())
+        total = sum(counts.values())
+        assert abs(counts[OP_CHECK] / total - 0.85) < 0.03
+        assert abs(counts[OP_SUBSCRIBE] / total - 0.09) < 0.02
+        assert abs(counts[OP_LOGIN] / total - 0.05) < 0.02
+        assert counts[OP_POST] / total < 0.03
+
+    def test_popular_users_post_more(self):
+        """Posting probability ∝ log(follower count) (§5.1)."""
+        graph, workload = self.make(total=8000)
+        posts = Counter(
+            op.user for op in workload.generate() if op.kind == OP_POST
+        )
+        by_followers = sorted(graph.users, key=graph.follower_count)
+        bottom = sum(posts.get(u, 0) for u in by_followers[:50])
+        top = sum(posts.get(u, 0) for u in by_followers[50:])
+        assert top > bottom
+
+    def test_only_active_users_check(self):
+        graph, workload = self.make()
+        active = set(workload.active_users)
+        for op in workload.generate():
+            if op.kind in (OP_CHECK, OP_LOGIN):
+                assert op.user in active
+
+    def test_no_self_subscription(self):
+        _, workload = self.make()
+        for op in workload.generate():
+            if op.kind == OP_SUBSCRIBE:
+                assert op.user != op.target
+
+
+class TestRun:
+    def test_run_counts_match_ops(self):
+        graph = generate_graph(40, 4, seed=6)
+        workload = TwipWorkload(graph, 300, seed=6)
+        backend = PequodTwipBackend()
+        counts = workload.run(backend)
+        assert sum(
+            counts[k] for k in (OP_LOGIN, OP_CHECK, OP_SUBSCRIBE, OP_POST)
+        ) == 300
+
+    def test_incremental_checks_deliver_less_than_logins(self):
+        """§5.1: incremental updates return many fewer tweets."""
+        graph = generate_graph(40, 6, seed=8)
+        workload = TwipWorkload(graph, 1200, seed=8)
+        backend = PequodTwipBackend()
+        counts = workload.run(backend)
+        checks = counts[OP_CHECK] + counts[OP_LOGIN]
+        if checks:
+            # Deliveries per check are far below total posts because
+            # checks only cover the window since last_seen.
+            assert counts["tweets_delivered"] / checks < max(
+                1, counts[OP_POST]
+            )
+
+
+class TestChecksAndPosts:
+    def test_ratio_scales_with_activity(self):
+        graph = generate_graph(60, 5, seed=9)
+        low = checks_and_posts_workload(graph, 1, posts=50, seed=9)
+        high = checks_and_posts_workload(graph, 100, posts=50, seed=9)
+        low_checks = sum(1 for op in low if op.kind == OP_CHECK)
+        high_checks = sum(1 for op in high if op.kind == OP_CHECK)
+        assert low_checks == 50  # 1:1 at 1% active
+        assert high_checks == 5000  # 100:1 at 100% active
+
+    def test_invalid_percentage_rejected(self):
+        import pytest
+
+        graph = generate_graph(20, 3, seed=1)
+        with pytest.raises(ValueError):
+            checks_and_posts_workload(graph, 0, posts=10)
+        with pytest.raises(ValueError):
+            checks_and_posts_workload(graph, 101, posts=10)
