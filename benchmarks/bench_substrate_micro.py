@@ -9,8 +9,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.core.server import PequodServer
 from repro.net.codec import decode, encode
 from repro.store.interval_tree import IntervalTree

@@ -1,0 +1,62 @@
+"""Write batching: throughput of grouped vs per-key writes.
+
+Not a paper figure — this measures the batched write-propagation
+subsystem on the high-write Twip workload (posts plus edit bursts,
+every timeline warmed so each write fans out to its followers).  The
+claims locked in here:
+
+* batched application at sizes >= 32 beats per-key application on
+  ops/sec — per-write maintenance overheads amortize across the group
+  and intra-batch superseded writes skip their fan-out entirely;
+* output state is byte-identical across batch sizes (coalescing is
+  invisible to readers).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import print_block
+from repro.bench.harness import run_write_batching
+from repro.bench.report import write_batching_table
+
+
+@pytest.fixture(scope="module")
+def batching_result():
+    # REPRO_BENCH_POSTS shrinks the stream for smoke runs (CI).
+    posts = int(os.environ.get("REPRO_BENCH_POSTS", "4096"))
+    return run_write_batching(posts=posts)
+
+
+@pytest.mark.parametrize("batch_size", (1, 8, 32, 128))
+def test_write_batching_point(benchmark, batch_size):
+    result = benchmark.pedantic(
+        lambda: run_write_batching(
+            posts=1024, batch_sizes=(batch_size,)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    point = result["points"][0]
+    benchmark.extra_info["ops_per_sec"] = round(point["ops_per_sec"])
+    benchmark.extra_info["coalesced_ops"] = int(point["coalesced_ops"])
+
+
+def test_write_batching_series(benchmark, batching_result):
+    """The batch-size sweep: speedups and the correctness guard."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    points = batching_result["points"]
+    print_block(write_batching_table(points))
+    assert batching_result["state_identical"]
+    by_size = {int(p["batch_size"]): p for p in points}
+    # The headline claim: grouped writes win from batch size 32 up.
+    # Smoke runs (REPRO_BENCH_POSTS set, e.g. CI on a shared runner)
+    # get a tolerance: the shrunken stream thins the ~1.3-1.5x margin
+    # and the claim is asserted strictly at full scale.
+    margin = 0.85 if "REPRO_BENCH_POSTS" in os.environ else 1.0
+    assert by_size[32]["ops_per_sec"] > by_size[1]["ops_per_sec"] * margin
+    assert by_size[128]["ops_per_sec"] > by_size[1]["ops_per_sec"] * margin
+    benchmark.extra_info["speedup_at_32"] = round(by_size[32]["speedup"], 3)
+    benchmark.extra_info["speedup_at_128"] = round(by_size[128]["speedup"], 3)

@@ -13,7 +13,22 @@ in tables at the end of each module's run.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Every test in benchmarks/ carries the registered ``bench``
+    marker, so CI (and developers) can deselect them with
+    ``-m "not bench"`` without unknown-marker warnings.  The path
+    guard matters: in a combined ``pytest tests benchmarks`` run this
+    hook sees the whole session's items, not just ours."""
+    for item in items:
+        if Path(item.fspath).is_relative_to(_BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
 
 
 def print_block(text: str) -> None:

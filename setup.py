@@ -1,11 +1,38 @@
-"""Legacy setup shim.
+"""Legacy setup shim with the package metadata.
 
 The offline environment lacks the ``wheel`` package, so PEP 660
 editable installs fail; this shim enables ``pip install -e .
 --no-use-pep517 --no-build-isolation`` (setup.py develop), which needs
-no wheel building.  Configuration lives in pyproject.toml.
+no wheel building.  CI uses the same path via ``pip install -e
+.[test]``.  Tool configuration (pytest, ruff) lives in pyproject.toml.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
+
+setup(
+    name="pequod-repro",
+    version=VERSION,
+    description=(
+        "Reproduction of Pequod (NSDI '14): an application-level "
+        "key-value cache with incrementally maintained cache joins"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    extras_require={
+        "test": [
+            "pytest>=7",
+            "hypothesis>=6",
+            "pytest-benchmark>=4",
+        ],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+)

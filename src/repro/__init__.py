@@ -52,7 +52,13 @@ from .core import (
     parse_join,
     parse_joins,
 )
-from .store import OrderedStore, SharedValue, StoreStats, prefix_upper_bound
+from .store import (
+    OrderedStore,
+    SharedValue,
+    StoreStats,
+    WriteBatch,
+    prefix_upper_bound,
+)
 
 __version__ = "1.0.0"
 
@@ -72,6 +78,7 @@ __all__ = [
     "Source",
     "StoreStats",
     "SystemClock",
+    "WriteBatch",
     "parse_join",
     "parse_joins",
     "prefix_upper_bound",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 class SocialGraph:

@@ -17,7 +17,7 @@ Key schema (times zero-padded so lexicographic order is time order):
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set
 
 from ..core.server import PequodServer
 from ..store.keys import prefix_upper_bound

@@ -15,7 +15,7 @@ deliveries drain in publish order via :meth:`drain`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from ..store.interval_tree import IntervalTree
 from ..core.operators import ChangeKind

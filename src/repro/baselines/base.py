@@ -17,7 +17,7 @@ performs, not from tuned constants.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..store.stats import StoreStats
 

@@ -18,7 +18,7 @@ from typing import List
 
 from ..core.server import PequodServer
 from ..store.keys import prefix_upper_bound
-from .base import Tweet, TwipBackend, decode_tweet, encode_tweet
+from .base import Tweet, TwipBackend
 
 
 class ClientPequodBackend(TwipBackend):

@@ -14,7 +14,7 @@ caches even when fully in memory with relaxed durability.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from ..store.rbtree import RBTree
 from .base import Tweet, TwipBackend

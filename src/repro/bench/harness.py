@@ -17,9 +17,7 @@ from ..apps.social_graph import SocialGraph, generate_graph
 from ..apps.twip import PequodTwipBackend, TIMELINE_JOIN, format_time
 from ..apps.workload import (
     NewpWorkload,
-    OP_CHECK,
     OP_POST,
-    TwipOp,
     TwipWorkload,
     checks_and_posts_workload,
 )
@@ -30,7 +28,6 @@ from ..baselines import (
     SqlViewBackend,
     TwipBackend,
 )
-from ..core.joins import MaintenanceType
 from ..core.server import PequodServer
 from ..distrib.cluster import Cluster
 from ..store.keys import prefix_upper_bound
@@ -336,3 +333,125 @@ def run_figure10(
     **kwargs,
 ) -> List[ScalabilityPoint]:
     return [run_figure10_point(count, **kwargs) for count in server_counts]
+
+
+# ======================================================================
+# Write batching: throughput at high write rates
+# ======================================================================
+def run_write_batching(
+    n_users: int = 400,
+    mean_follows: float = 12.0,
+    posts: int = 4096,
+    batch_sizes: Sequence[int] = (1, 8, 32, 128),
+    edit_fraction: float = 0.35,
+    edit_window: int = 8,
+    seed: int = 11,
+    model: CostModel = DEFAULT_MODEL,
+) -> Dict[str, object]:
+    """Per-key writes vs ``WriteBatch`` on the high-write Twip workload.
+
+    Every fully-warmed timeline makes each post fan out to its
+    followers, so the write path dominates: this is the regime where
+    update cost eats the freshness budget and grouping writes pays.
+    The stream is log-follower-weighted posts with ``edit_fraction``
+    of writes rewriting one of the last ``edit_window`` posts — the
+    edit/metadata-update bursts of a write-heavy feed.  Batching wins
+    two ways: per-write overheads (interval-tree stab, status-range
+    resolution per updater firing) amortize across the group, and a
+    post superseded within its batch coalesces away, skipping its
+    per-follower fan-out entirely.  The same stream is applied once
+    per batch size; batch size 1 is the per-key baseline.  Output
+    state is asserted identical across batch sizes — the benchmark
+    doubles as an end-to-end coalescing-correctness check.
+    """
+    import gc as _gc
+    import random as _random
+
+    graph = generate_graph(n_users, mean_follows, seed=seed)
+    rng = _random.Random(seed + 1)
+    weights = [graph.post_weight(u) for u in graph.users]
+    stream: List[Tuple[str, str]] = []
+    recent: List[str] = []
+    for tick in range(posts):
+        if recent and rng.random() < edit_fraction:
+            key = rng.choice(recent[-edit_window:])
+            stream.append((key, f"edited at {tick}"))
+        else:
+            poster = rng.choices(graph.users, weights)[0]
+            key = f"p|{poster}|{format_time(tick)}"
+            stream.append((key, f"tweet {tick} from {poster}"))
+            recent.append(key)
+
+    def build_server() -> PequodServer:
+        server = PequodServer(subtable_config={"t": 2, "p": 2, "s": 2})
+        server.add_join(TIMELINE_JOIN)
+        for follower, followee in graph.edges:
+            server.put(f"s|{follower}|{followee}", "1")
+        for user in graph.users:
+            server.scan(f"t|{user}|", prefix_upper_bound(f"t|{user}|"))
+        server.stats.reset()
+        return server
+
+    def snapshot(server: PequodServer) -> List[Tuple[str, str]]:
+        return server.scan("t|", "t}") + server.scan("p|", "p}")
+
+    points: List[Dict[str, float]] = []
+    baseline_state: Optional[List[Tuple[str, str]]] = None
+    baseline_rate: Optional[float] = None
+    state_identical = True
+    for size in batch_sizes:
+        server = build_server()
+        coalesced = 0
+
+        def drive() -> None:
+            nonlocal coalesced
+            if size <= 1:
+                for key, value in stream:
+                    server.put(key, value)
+                return
+            for start in range(0, len(stream), size):
+                batch = server.write_batch()
+                batch.update(stream[start : start + size])
+                batch.apply()
+                coalesced += batch.coalesced_ops
+
+        # CPU time, not wall: the write path is pure computation, and
+        # process time is robust to machine load, which would otherwise
+        # dominate the few-percent-to-2x differences measured here.
+        _gc.collect()
+        cpu_start = time.process_time()
+        drive()
+        cpu = time.process_time() - cpu_start
+        state = snapshot(server)
+        if baseline_state is None:
+            baseline_state = state
+        elif state != baseline_state:
+            state_identical = False
+        rate = len(stream) / max(cpu, 1e-9)
+        if baseline_rate is None:
+            baseline_rate = rate
+        counters = server.stats.snapshot()
+        points.append(
+            {
+                "batch_size": size,
+                "cpu_s": cpu,
+                "ops_per_sec": rate,
+                "speedup": rate / baseline_rate,
+                "modeled_us": model.runtime_us(counters),
+                "coalesced_ops": float(coalesced),
+                "updater_groups_fired": counters.get("updater_groups_fired", 0.0),
+                "updaters_fired": counters.get("updaters_fired", 0.0),
+            }
+        )
+    return {
+        "workload": {
+            "n_users": n_users,
+            "mean_follows": mean_follows,
+            "posts": posts,
+            "edit_fraction": edit_fraction,
+            "edit_window": edit_window,
+            "seed": seed,
+        },
+        "points": points,
+        "state_identical": state_identical,
+    }

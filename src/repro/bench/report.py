@@ -8,7 +8,7 @@ line — enough to read off who wins and where curves cross.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence
 
 
 def format_table(
@@ -70,6 +70,24 @@ def format_series(
             row.append(y_format.format(series[name][i]))
         rows.append(row)
     return format_table(headers, rows, title=title)
+
+
+def write_batching_table(points: Sequence[Mapping[str, float]]) -> str:
+    """The write-batching sweep as a table (shared by CLI and bench)."""
+    rows = [
+        (
+            int(point["batch_size"]),
+            f"{point['ops_per_sec']:,.0f}",
+            f"{point['speedup']:.2f}x",
+            int(point["coalesced_ops"]),
+        )
+        for point in points
+    ]
+    return format_table(
+        ["batch size", "ops/sec", "speedup", "coalesced"],
+        rows,
+        title="Write batching — high-write Twip (batch=1 is per-key)",
+    )
 
 
 def crossover_point(

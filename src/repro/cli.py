@@ -52,11 +52,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="regenerate a paper experiment")
     bench.add_argument(
-        "experiment", choices=["fig7", "fig8", "fig9", "fig10"],
+        "experiment",
+        choices=["fig7", "fig8", "fig9", "fig10", "write_batching"],
     )
     bench.add_argument(
         "--scale", type=float, default=1.0,
         help="scale factor on the canonical experiment size",
+    )
+    bench.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="also write the result as JSON (CI artifact / trend seed)",
     )
 
     joins = sub.add_parser("joins", help="validate a cache-join file")
@@ -133,10 +138,28 @@ def _cmd_bench(args) -> int:
         run_figure8,
         run_figure9,
         run_figure10,
+        run_write_batching,
     )
-    from .bench.report import format_series, format_table, normalized
+    from .bench.report import (
+        format_series,
+        format_table,
+        normalized,
+        write_batching_table,
+    )
 
     s = args.scale
+    payload: dict = {"experiment": args.experiment, "scale": s}
+    if args.experiment == "write_batching":
+        result = run_write_batching(
+            n_users=max(20, int(400 * s)),
+            mean_follows=max(3.0, 12 * min(s, 1.0)),
+            posts=max(64, int(4096 * s)),
+        )
+        payload.update(result)
+        print(write_batching_table(result["points"]))
+        print("output state identical across batch sizes:",
+              result["state_identical"])
+        return _finish_bench(args, payload)
     if args.experiment == "fig7":
         runs = run_figure7(
             n_users=int(500 * s), mean_follows=15, total_ops=int(12000 * s)
@@ -147,6 +170,7 @@ def _cmd_bench(args) -> int:
              normalized(r.modeled_us, base))
             for r in runs
         ]
+        payload["systems"] = {r.name: r.modeled_us for r in runs}
         print(format_table(["System", "Modeled runtime", "Factor"], rows,
                            title="Figure 7 — Twip system comparison"))
     elif args.experiment == "fig8":
@@ -159,6 +183,8 @@ def _cmd_bench(args) -> int:
             name: [r.modeled_us / 1e3 for r in runs]
             for name, runs in data.items()
         }
+        payload["active_pcts"] = list(pcts)
+        payload["series_modeled_ms"] = series
         print(format_series("%active", list(pcts), series,
                             title="Figure 8 — materialization (modeled ms)"))
     elif args.experiment == "fig9":
@@ -168,6 +194,8 @@ def _cmd_bench(args) -> int:
             name: [r.modeled_us / 1e3 for r in runs]
             for name, runs in data.items()
         }
+        payload["vote_rates"] = list(rates)
+        payload["series_modeled_ms"] = series
         print(format_series("vote%", [int(r * 100) for r in rates], series,
                             title="Figure 9 — Newp joins (modeled ms)"))
     else:
@@ -180,8 +208,30 @@ def _cmd_bench(args) -> int:
              f"{p.subscription_fraction * 100:.1f}%")
             for p in points
         ]
+        payload["points"] = [
+            {
+                "compute_servers": p.compute_servers,
+                "throughput_qps": p.throughput_qps,
+                "subscription_fraction": p.subscription_fraction,
+            }
+            for p in points
+        ]
         print(format_table(["servers", "modeled qps", "sub traffic"], rows,
                            title="Figure 10 — scalability"))
+    return _finish_bench(args, payload)
+
+
+def _finish_bench(args, payload: dict) -> int:
+    if args.json_path:
+        import json
+
+        try:
+            with open(args.json_path, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+        except OSError as exc:
+            print(f"cannot write {args.json_path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.json_path}")
     return 0
 
 

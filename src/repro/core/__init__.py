@@ -26,7 +26,13 @@ from .operators import (
 from .pattern import Pattern, PatternError, Segment
 from .ranges import SlotConstraints
 from .server import PequodServer
-from .status import PendingEntry, RangeState, StatusRange, StatusTable
+from .status import (
+    PendingEntry,
+    RangeState,
+    StatusRange,
+    StatusTable,
+    compact_pending,
+)
 from .updaters import Updater, install_updater
 
 __all__ = [
@@ -64,6 +70,7 @@ __all__ = [
     "SystemClock",
     "UpdateOutcome",
     "Updater",
+    "compact_pending",
     "install_updater",
     "parse_join",
     "parse_joins",

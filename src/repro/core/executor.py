@@ -28,13 +28,33 @@ Eager updaters apply only to ranges whose generation matches the one
 they were installed under, so updaters derived from since-retracted
 check tuples become inert exactly when the paper would have removed
 them ("complete invalidation removes installed updaters").
+
+Batched writes (``apply_batch`` / ``notify_batch``) amortize the write
+path: a group of writes mutates the store first (in key order, chaining
+§4.2 insertion hints), then maintenance runs as ONE pass per affected
+table — a single interval-tree query over the batch's key span replaces
+one stab per write, and each (interval entry, updater) pair fires once
+over the group of covered keys instead of once per key.  Coalescing
+preserves the paper's staleness guarantees because every deduplicated
+unit is keyed by the same generation machinery that makes sequential
+maintenance safe: a grouped eager firing resolves its status targets
+once but re-checks ``sr.state`` and ``sr.generation`` against the
+updater's installation generation for every applied change, so a range
+recomputed (or invalidated) earlier in the same batch retires the rest
+of the group exactly as it would retire later sequential firings; a
+grouped lazy firing collapses N same-key partial invalidations into one
+compacted pending entry, which is safe because pending application
+re-executes against current store state (the logged values are never
+replayed), and any matching removal still escalates the whole group to
+a complete invalidation whose recomputation bumps the generation and
+thereby retires every updater installed under the old build.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..store.keys import clamp_range, key_successor, prefix_upper_bound
+from ..store.keys import clamp_range, key_successor, prefix_upper_bound, table_of
 from ..store.lru import LRUList
 from ..store.stats import StoreStats
 from ..store.store import OrderedStore
@@ -44,8 +64,17 @@ from .clock import Clock, SystemClock
 from .joins import CacheJoin, JoinError
 from .operators import COPY, AggValue, ChangeKind, UpdateOutcome
 from .ranges import SlotConstraints
-from .status import PendingEntry, RangeState, StatusRange, StatusTable
+from .status import (
+    PendingEntry,
+    RangeState,
+    StatusRange,
+    StatusTable,
+    compact_pending,
+)
 from .updaters import Updater, install_updater
+
+#: A net batch change: ``(key, old_value, new_value, kind)``.
+Change = Tuple[str, Optional[str], Optional[str], ChangeKind]
 
 
 class DataResolver:
@@ -543,6 +572,261 @@ class JoinEngine:
         self.notify_change(key, materialize(old), None, ChangeKind.REMOVE)
         return True
 
+    def apply_batch(self, batch) -> int:
+        """Apply a group of writes as one coalesced maintenance pass.
+
+        ``batch`` is a :class:`~repro.store.batch.WriteBatch` or any
+        operation iterable the store accepts.  The store mutates first
+        (sorted, hint-chained); maintenance then runs once per affected
+        table via :meth:`notify_batch`.  Returns the number of net
+        changes applied.
+        """
+        raw = self.store.apply_batch(batch)
+        if not raw:
+            return 0
+        changes: List[Change] = []
+        for key, old, new in raw:
+            if new is None:
+                kind = ChangeKind.REMOVE
+            elif old is None:
+                kind = ChangeKind.INSERT
+            else:
+                kind = ChangeKind.UPDATE
+            changes.append((key, old, new, kind))
+        self.notify_batch(changes)
+        return len(changes)
+
+    def notify_batch(self, changes: List[Change]) -> None:
+        """Run maintenance for a batch of net changes, then listeners.
+
+        Changes are grouped by table; each table's updater interval
+        tree is queried once over the batch's key span instead of
+        stabbed once per key, and each (entry, updater) pair fires once
+        over the keys it covers.
+        """
+        by_table: Dict[str, List[Change]] = {}
+        for change in changes:
+            by_table.setdefault(table_of(change[0]), []).append(change)
+        for group in by_table.values():
+            table = self.store.existing_table_for_key(group[0][0])
+            if table is not None and table.updaters:
+                group.sort(key=lambda change: change[0])
+                self._notify_table_batch(table, group)
+        for key, old, new, kind in changes:
+            for listener in self.listeners:
+                listener(key, old, new, kind)
+
+    def _notify_table_batch(self, table: Table, group: List[Change]) -> None:
+        """One maintenance pass over ``table`` for a sorted change group.
+
+        The updater tree is stabbed once per distinct written key (the
+        batch already coalesced duplicates) and the hits are regrouped
+        per interval entry, so each affected (entry, updater) pair
+        fires exactly once over the keys it covers — with its status
+        targets resolved once for the whole group instead of twice per
+        key (once for the eviction check, once for application) as on
+        the per-write path.
+        """
+        self.stats.add("batch_tree_passes")
+        shared: Dict[str, Value] = {}
+        groups: Dict[int, List[Change]] = {}
+        entries: Dict[int, object] = {}
+        order: List[int] = []
+        for change in group:
+            for entry in table.updaters.stab(change[0]):
+                ident = id(entry)
+                covered = groups.get(ident)
+                if covered is None:
+                    groups[ident] = [change]
+                    entries[ident] = entry
+                    order.append(ident)
+                else:
+                    covered.append(change)
+        for ident in order:
+            entry = entries[ident]
+            covered = groups[ident]
+            for updater in list(entry.payloads):
+                self._fire_updater_group(table, entry, updater, covered, shared)
+
+    def _fire_updater_group(
+        self,
+        table: Table,
+        entry,
+        updater: Updater,
+        covered: List[Change],
+        shared: Dict[str, Value],
+    ) -> None:
+        """Fire one updater once for the group of changes it covers."""
+        stable = self.status.get(updater.join.output.table)
+        if stable is None:
+            return
+        overlapping = stable.overlapping(updater.output_lo, updater.output_hi)
+        if not overlapping:
+            # Entire output range evicted: lazily garbage-collect (§2.5).
+            table.updaters.discard(entry.lo, entry.hi, updater)
+            self.updater_bytes -= updater.memory_size()
+            self.stats.add("updaters_collected")
+            return
+        self.stats.add("updater_groups_fired")
+        # One firing charge per covered change, before matching — the
+        # same accounting point as the per-key path, so counters (and
+        # modeled runtimes) stay comparable across batch sizes.
+        self.stats.add("updaters_fired", len(covered))
+        src = updater.join.sources[updater.source_index]
+        if updater.lazy:
+            self._fire_lazy_group(stable, updater, covered, overlapping)
+        elif src.is_check or updater.join.is_aggregate:
+            # echeck and aggregate updaters can invalidate or split
+            # status ranges mid-group; keep exact per-change semantics.
+            for key, old, new, kind in covered:
+                copy_value: Optional[Value] = None
+                if kind is not ChangeKind.REMOVE and not src.is_check:
+                    copy_value = self._group_source_value(shared, key, new)
+                self._fire_eager(stable, updater, key, old, new, kind, copy_value)
+        else:
+            self._fire_eager_group(stable, updater, covered, shared, overlapping)
+
+    def _fire_lazy_group(
+        self,
+        stable: StatusTable,
+        updater: Updater,
+        covered: List[Change],
+        overlapping: List[StatusRange],
+    ) -> None:
+        """Grouped lazy maintenance: one invalidation, or one compacted
+        pending append per range, for the whole covered group.
+
+        Any matching removal escalates to a complete invalidation that
+        covers the group (invalidation clears the pending log, so the
+        group's inserts contribute nothing either way — identical to
+        the per-key outcome in both orders).
+        """
+        inserts: List[Change] = []
+        for change in covered:
+            key, old, new, kind = change
+            if kind is ChangeKind.UPDATE:
+                continue  # check sources: values are uninteresting
+            if not self._lazy_match(updater, key):
+                continue
+            if kind is ChangeKind.REMOVE:
+                self.stats.add("complete_invalidations")
+                for sr in overlapping:
+                    sr.invalidate()
+                return
+            inserts.append(change)
+        if not inserts:
+            return
+        ranges = [sr for sr in overlapping if sr.state is RangeState.VALID]
+        if not ranges:
+            return
+        for key, old, new, kind in inserts:
+            self.stats.add("partial_invalidations")
+            pending = PendingEntry(
+                updater.join, updater.source_index, key, old, new, kind
+            )
+            for sr in ranges:
+                if not sr.log_pending(pending):
+                    self.stats.add("pending_compacted")
+
+    def _fire_eager_group(
+        self,
+        stable: StatusTable,
+        updater: Updater,
+        covered: List[Change],
+        shared: Dict[str, Value],
+        overlapping: List[StatusRange],
+    ) -> None:
+        """Grouped eager copy maintenance: resolve the updater's output
+        targets once, then apply every covered change to them.
+
+        The copy path never splits this output table's status cover, so
+        the target list stays exact across the group; per-change
+        ``state``/``generation`` re-checks keep the paper's staleness
+        safety — a range invalidated or recomputed earlier in the batch
+        retires the remaining group members just as it would retire
+        later sequential firings.
+        """
+        join = updater.join
+        targets: Optional[List[Tuple[StatusRange, str, str]]] = None
+        for key, old, new, kind in covered:
+            child = self._eager_child(updater, key)
+            if child is None:
+                continue
+            if targets is None:
+                targets = []
+                for sr in overlapping:
+                    lo, hi = clamp_range(
+                        updater.output_lo, updater.output_hi, sr.lo, sr.hi
+                    )
+                    if lo < hi:
+                        targets.append((sr, lo, hi))
+            value: Value
+            if kind is ChangeKind.REMOVE:
+                value = old or ""
+                mode = ChangeKind.REMOVE
+            else:
+                value = self._group_source_value(shared, key, new)
+                mode = ChangeKind.INSERT
+            applied = False
+            for sr, lo, hi in targets:
+                if sr.state is not RangeState.VALID:
+                    continue
+                if sr.generation != updater.generation:
+                    continue  # superseded by a recomputation
+                applied = True
+                self._exec_source(
+                    join, updater.source_index + 1, child, lo, hi, value, sr,
+                    None, None, mode=mode, skip_source=updater.source_index,
+                )
+            if applied:
+                self.stats.add("eager_updates")
+
+    @staticmethod
+    def _lazy_match(updater: Updater, key: str) -> bool:
+        """Does ``key`` concern this lazy updater's context?
+
+        Shared by the per-key and batched lazy paths so their matching
+        can never drift apart.
+        """
+        src = updater.join.sources[updater.source_index]
+        match = src.pattern.match(key)
+        if match is None:
+            return False
+        merged = dict(updater.context)
+        return all(merged.setdefault(n, v) == v for n, v in match.items())
+
+    @staticmethod
+    def _eager_child(updater: Updater, key: str) -> Optional[SlotConstraints]:
+        """The constraint set for ``key`` pinned into this updater's
+        context, or None when the key doesn't concern it.
+
+        Shared by the per-key and batched eager paths so their matching
+        can never drift apart.
+        """
+        src = updater.join.sources[updater.source_index]
+        match = src.pattern.match(key)
+        if match is None:
+            return None
+        return SlotConstraints(exact=dict(updater.context)).child_with(match)
+
+    def _group_source_value(
+        self, shared: Dict[str, Value], key: str, new_value: Optional[str]
+    ) -> Value:
+        """The batch-wide shared source value for ``key`` (§4.3).
+
+        Promoted at most once per batch per key, however many updaters
+        copy it — the batched analogue of ``notify_change``'s
+        once-per-notification promotion.
+        """
+        value = shared.get(key)
+        if value is None:
+            if self.enable_sharing:
+                value = self._shared_source_value(key, new_value or "")
+            else:
+                value = new_value or ""
+            shared[key] = value
+        return value
+
     def notify_change(
         self,
         key: str,
@@ -618,14 +902,8 @@ class JoinEngine:
         """
         if kind is ChangeKind.UPDATE:
             return  # check sources: values are uninteresting
-        src = updater.join.sources[updater.source_index]
-        match = src.pattern.match(key)
-        if match is None:
+        if not self._lazy_match(updater, key):
             return
-        merged = dict(updater.context)
-        for name, val in match.items():
-            if merged.setdefault(name, val) != val:
-                return
         if kind is ChangeKind.INSERT:
             self.stats.add("partial_invalidations")
             pending = PendingEntry(
@@ -634,7 +912,8 @@ class JoinEngine:
             )
             for sr in stable.overlapping(updater.output_lo, updater.output_hi):
                 if sr.state is RangeState.VALID:
-                    sr.pending.append(pending)
+                    if not sr.log_pending(pending):
+                        self.stats.add("pending_compacted")
         else:
             self.stats.add("complete_invalidations")
             for sr in stable.overlapping(updater.output_lo, updater.output_hi):
@@ -645,12 +924,14 @@ class JoinEngine:
     ) -> None:
         """Apply this range's pending log before serving a read (§3.2).
 
-        Each entry re-executes the join with the changed source key
-        pinned, restricted to this (already isolated) output range; only
-        the work the query strictly requires is performed.
+        The log is compacted first — entries superseded by a later
+        write of the same source key collapse to one.  Each surviving
+        entry re-executes the join with the changed source key pinned,
+        restricted to this (already isolated) output range; only the
+        work the query strictly requires is performed.
         """
-        pending, sr.pending = sr.pending, []
-        for i, entry in enumerate(pending):
+        pending, sr.pending = compact_pending(sr.pending), []
+        for entry in pending:
             self.stats.add("pending_applied")
             cs = SlotConstraints.for_output_range(entry.join.output, sr.lo, sr.hi)
             if not cs.compatible:
@@ -689,11 +970,7 @@ class JoinEngine:
         """Apply a value-source change to the output immediately."""
         join = updater.join
         src = join.sources[updater.source_index]
-        match = src.pattern.match(key)
-        if match is None:
-            return
-        cs = SlotConstraints(exact=dict(updater.context))
-        child = cs.child_with(match)
+        child = self._eager_child(updater, key)
         if child is None:
             return
         if src.is_check:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..store.batch import WriteBatch
 from ..store.keys import key_successor, prefix_upper_bound
 from ..store.stats import StoreStats
 from ..store.store import OrderedStore
@@ -119,6 +120,33 @@ class PequodServer:
         """Remove ``key``; returns True if it was present."""
         self.stats.add("op_remove")
         return self.engine.apply_remove(key)
+
+    def write_batch(self) -> WriteBatch:
+        """A maintenance-aware write batch bound to this server.
+
+        Buffered writes coalesce per key and apply as one batched
+        maintenance pass (see ``repro.store.batch``)::
+
+            with srv.write_batch() as batch:
+                batch.put("p|bob|0100", "hello")
+                batch.put("p|bob|0101", "again")
+        """
+        return WriteBatch(sink=self)
+
+    def apply_batch(self, batch) -> int:
+        """Apply a :class:`WriteBatch` (or operation iterable) at once.
+
+        Incremental maintenance runs once per affected updater range
+        instead of once per write; returns the number of net changes.
+        """
+        self.stats.add("op_batch")
+        applied = self.engine.apply_batch(batch)
+        self.eviction.maybe_evict()
+        return applied
+
+    def put_many(self, pairs: Sequence[Tuple[str, str]]) -> int:
+        """Batch-write ``(key, value)`` pairs; returns changes applied."""
+        return self.apply_batch(WriteBatch().update(pairs))
 
     def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
         """Ordered pairs with ``first <= key < last`` (§2's scan)."""

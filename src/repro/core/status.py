@@ -64,8 +64,44 @@ class PendingEntry:
         self.new_value = new_value
         self.kind = kind
 
+    def identity(self) -> tuple:
+        """The compaction key: entries sharing it repeat identical work.
+
+        Application re-executes the join with ``key`` pinned against
+        the *current* store state, so two entries for the same (join,
+        source, key, kind) are interchangeable — the values logged at
+        write time do not feed the re-execution (aggregates recompute
+        wholesale instead).  This is what makes pending-log compaction
+        safe.
+        """
+        return (id(self.join), self.source_index, self.key, self.kind)
+
+    def same_as(self, other: "PendingEntry") -> bool:
+        """True when applying both entries would repeat identical work."""
+        return self.identity() == other.identity()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Pending {self.kind.value} {self.key!r}>"
+
+
+def compact_pending(entries: List["PendingEntry"]) -> List["PendingEntry"]:
+    """Drop superseded pending entries, keeping the latest of each kind.
+
+    Entries that would re-derive the same output tuples (see
+    :meth:`PendingEntry.same_as`) collapse to one, at the position of
+    the first occurrence with the payload of the last — a hot source
+    key written N times between reads costs one re-execution, not N.
+    """
+    out: List[PendingEntry] = []
+    slots: dict = {}
+    for entry in entries:
+        slot = slots.get(entry.identity())
+        if slot is None:
+            slots[entry.identity()] = len(out)
+            out.append(entry)
+        else:
+            out[slot] = entry
+    return out
 
 
 class StatusRange:
@@ -81,6 +117,7 @@ class StatusRange:
         "lru_entry",
         "generation",
         "compute_cost",
+        "_pending_index",
     )
 
     def __init__(self, lo: str, hi: str, state: RangeState = RangeState.VALID) -> None:
@@ -91,6 +128,12 @@ class StatusRange:
         self.state = state
         self.expires_at: Optional[float] = None
         self.pending: List[PendingEntry] = []
+        #: Identity -> position index over ``pending``, maintained by
+        #: :meth:`log_pending` for O(1) supersede-in-place.  Rebuilt
+        #: whenever its size disagrees with the log (every other
+        #: mutation path — invalidate, split, apply — empties or
+        #: replaces the list, so the sizes diverge).
+        self._pending_index: dict = {}
         self.hint: Optional[PutHandle] = None
         self.lru_entry: Optional["LRUEntry"] = None
         #: Bumped on every recomputation.  Eager updaters capture the
@@ -113,6 +156,28 @@ class StatusRange:
 
     def needs_work(self, now: float) -> bool:
         return not self.is_valid_at(now) or bool(self.pending)
+
+    def log_pending(self, entry: PendingEntry) -> bool:
+        """Append ``entry`` to the pending log, compacting on arrival.
+
+        An equivalent entry already logged (same join, source, key, and
+        kind — see :meth:`PendingEntry.same_as`) is superseded in place
+        instead of duplicated, in O(1) via the identity index, so a hot
+        source key written N times between reads holds one log slot.
+        Returns True when the log grew.
+        """
+        index = self._pending_index
+        if len(index) != len(self.pending):
+            index = self._pending_index = {
+                e.identity(): i for i, e in enumerate(self.pending)
+            }
+        slot = index.get(entry.identity())
+        if slot is None:
+            index[entry.identity()] = len(self.pending)
+            self.pending.append(entry)
+            return True
+        self.pending[slot] = entry
+        return False
 
     def invalidate(self) -> None:
         """Complete invalidation: recompute from scratch on next read."""

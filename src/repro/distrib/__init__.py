@@ -6,13 +6,21 @@ from .node import (
     MSG_FETCH_REPLY,
     MSG_SUBSCRIBE,
     MSG_UPDATE,
+    MSG_UPDATE_BATCH,
     ROLE_BASE,
     ROLE_COMPUTE,
     DistributedNode,
     RemoteResolver,
 )
 from .partition import Partitioner, stable_hash
-from .subscription import SubscriptionRegistry, decode_update, encode_update
+from .subscription import (
+    SubscriptionRegistry,
+    UpdateBuffer,
+    decode_update,
+    decode_update_batch,
+    encode_update,
+    encode_update_batch,
+)
 
 __all__ = [
     "Cluster",
@@ -21,13 +29,17 @@ __all__ = [
     "MSG_FETCH_REPLY",
     "MSG_SUBSCRIBE",
     "MSG_UPDATE",
+    "MSG_UPDATE_BATCH",
     "Partitioner",
     "ROLE_BASE",
     "ROLE_COMPUTE",
     "RemoteResolver",
     "Session",
     "SubscriptionRegistry",
+    "UpdateBuffer",
     "decode_update",
+    "decode_update_batch",
     "encode_update",
+    "encode_update_batch",
     "stable_hash",
 ]

@@ -22,7 +22,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.operators import ChangeKind
 from ..core.server import PequodServer
 from ..net.codec import encode
+from ..net.protocol import encode_batch_args
 from ..net.simnet import SimNetwork
+from ..store.batch import PUT, as_ops
 from .node import (
     MSG_WRITE_FWD,
     ROLE_BASE,
@@ -115,6 +117,37 @@ class Cluster:
         result = node.remove(key)
         self.net.account(node.name, "client", KIND_CLIENT_REPLY, 8)
         return result
+
+    def apply_batch(self, batch) -> int:
+        """Batched lookaside writes: one shipment per home server.
+
+        The batch (a WriteBatch or operation iterable) is coalesced,
+        split by home server, and each home receives its slice as one
+        client message; every home then runs one maintenance pass and
+        flushes one coalesced update message per subscriber.  Returns
+        the number of net changes applied across homes.
+        """
+        by_home: Dict[str, List[Tuple[str, Optional[str]]]] = {}
+        nodes: Dict[str, DistributedNode] = {}
+        for op in as_ops(batch):
+            node = self.home_node(op.key)
+            nodes[node.name] = node
+            by_home.setdefault(node.name, []).append(
+                (op.key, op.value if op.kind == PUT else None)
+            )
+        applied = 0
+        for name, pairs in by_home.items():
+            node = nodes[name]
+            self.client_ops += 1
+            wire = encode_batch_args(pairs)
+            self.net.account("client", name, KIND_CLIENT_OP, len(encode(wire)))
+            applied += node.apply_batch(pairs)
+            self.net.account(name, "client", KIND_CLIENT_REPLY, 8)
+        return applied
+
+    def put_many(self, pairs: Sequence[Tuple[str, str]]) -> int:
+        """Convenience: batch-write ``(key, value)`` pairs."""
+        return self.apply_batch(pairs)
 
     def scan(self, affinity: str, first: str, last: str) -> List[Tuple[str, str]]:
         """Read routed to the user's compute server."""

@@ -18,7 +18,7 @@ exactly as described.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional
 
 from ..core.eviction import Evictable
 from ..core.executor import DataResolver, JoinEngine
@@ -28,10 +28,16 @@ from ..core.status import StatusRange, StatusTable
 from ..net.codec import encode
 from ..net.simnet import SimHost, SimNetwork
 from .partition import Partitioner
-from .subscription import SubscriptionRegistry, decode_update, encode_update
+from .subscription import (
+    SubscriptionRegistry,
+    Update,
+    UpdateBuffer,
+    decode_update,
+    decode_update_batch,
+    encode_update,
+    encode_update_batch,
+)
 
-if TYPE_CHECKING:  # pragma: no cover
-    from .cluster import Cluster
 
 ROLE_BASE = "base"
 ROLE_COMPUTE = "compute"
@@ -41,6 +47,7 @@ MSG_FETCH = "sub_fetch"
 MSG_FETCH_REPLY = "sub_fetch_reply"
 MSG_SUBSCRIBE = "sub_install"
 MSG_UPDATE = "sub_update"
+MSG_UPDATE_BATCH = "sub_update_batch"
 MSG_WRITE_FWD = "client_write_fwd"
 
 
@@ -137,8 +144,11 @@ class DistributedNode:
         self.server.add_listener(self._on_local_change)
         self.updates_sent = 0
         self.updates_applied = 0
+        self.update_batches_sent = 0
         self._applying_remote = False
+        self._outbox: Optional[UpdateBuffer] = None
         self.host.on(MSG_UPDATE, self._on_update_message)
+        self.host.on(MSG_UPDATE_BATCH, self._on_update_batch_message)
         self.host.on(MSG_WRITE_FWD, self._on_forwarded_write)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -152,6 +162,25 @@ class DistributedNode:
 
     def remove(self, key: str) -> bool:
         return self.server.remove(key)
+
+    def apply_batch(self, batch) -> int:
+        """Apply a write batch locally with coalesced propagation.
+
+        Subscriber notifications generated during the batch are
+        buffered per destination and flushed as ONE ``sub_update_batch``
+        message each — the cross-node analogue of the engine's single
+        maintenance pass.  Returns the number of net changes applied.
+        """
+        self._outbox = UpdateBuffer()
+        try:
+            applied = self.server.apply_batch(batch)
+        finally:
+            outbox, self._outbox = self._outbox, None
+        for dst, updates in outbox.flush():
+            self.updates_sent += len(updates)
+            self.update_batches_sent += 1
+            self.host.send(dst, MSG_UPDATE_BATCH, encode_update_batch(updates))
+        return applied
 
     def get(self, key: str) -> Optional[str]:
         return self.server.get(key)
@@ -179,6 +208,11 @@ class DistributedNode:
         if self._applying_remote:
             return  # don't echo remotely-originated updates back out
         subscribers = self.subscriptions.subscribers_of(key)
+        if self._outbox is not None:
+            # Mid-batch: buffer for one coalesced message per subscriber.
+            for dst in subscribers:
+                self._outbox.add(dst, (key, old_value, new_value, kind))
+            return
         for dst in subscribers:
             self.updates_sent += 1
             self.host.send(
@@ -226,6 +260,32 @@ class DistributedNode:
                 self.server.engine.apply_remove(key)
             else:
                 self.server.engine.apply_put(key, new or "")
+        finally:
+            self._applying_remote = False
+
+    def _on_update_batch_message(self, src: str, body) -> None:
+        """A coalesced group of subscription updates arrived.
+
+        Covered updates apply as ONE engine batch, so the mirror's own
+        join maintenance (e.g. a compute node's timelines) also runs as
+        a single coalesced pass.
+        """
+        live: List[Update] = [
+            update
+            for update in decode_update_batch(body)
+            if self.resolver.covers(update[0])  # evicted ranges: ignore
+        ]
+        if not live:
+            return
+        self.updates_applied += len(live)
+        self._applying_remote = True
+        try:
+            self.server.engine.apply_batch(
+                [
+                    (key, None if kind is ChangeKind.REMOVE else (new or ""))
+                    for key, _old, new, kind in live
+                ]
+            )
         finally:
             self._applying_remote = False
 

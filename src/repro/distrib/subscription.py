@@ -86,3 +86,47 @@ def encode_update(update: Update) -> list:
 def decode_update(body: list) -> Update:
     key, old, new, kind = body
     return key, old, new, ChangeKind(kind)
+
+
+def encode_update_batch(updates: List[Update]) -> list:
+    return [encode_update(update) for update in updates]
+
+
+def decode_update_batch(body: list) -> List[Update]:
+    return [decode_update(item) for item in body]
+
+
+class UpdateBuffer:
+    """Per-destination coalescing buffer for outbound updates.
+
+    During a batched write a home server collects every subscriber
+    notification here instead of sending it; flushing ships ONE
+    coalesced message per subscriber.  Updates to the same key
+    coalesce last-write-wins — mirrors apply the carried new value
+    directly, so a superseded update is pure waste on the wire.
+    """
+
+    def __init__(self) -> None:
+        self._by_dst: Dict[str, Dict[str, Update]] = {}
+        self.coalesced = 0
+
+    def add(self, dst: str, update: Update) -> None:
+        buffered = self._by_dst.setdefault(dst, {})
+        if update[0] in buffered:
+            self.coalesced += 1
+        buffered[update[0]] = update
+
+    def __len__(self) -> int:
+        return sum(len(buffered) for buffered in self._by_dst.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._by_dst)
+
+    def flush(self) -> List[Tuple[str, List[Update]]]:
+        """Drain: one (destination, key-ordered updates) pair each."""
+        out = [
+            (dst, [buffered[key] for key in sorted(buffered)])
+            for dst, buffered in self._by_dst.items()
+        ]
+        self._by_dst.clear()
+        return out

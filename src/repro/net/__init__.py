@@ -1,14 +1,16 @@
 """Networking substrate: wire codec, framed RPC over asyncio TCP, and a
 deterministic discrete-event network simulator."""
 
-from .codec import CodecError, decode, decode_prefix, encode
+from .codec import CodecError, KeyList, decode, decode_prefix, encode
 from .protocol import (
     ERR,
     METHODS,
     OK,
     FrameBuffer,
     ProtocolError,
+    decode_batch_args,
     decode_message,
+    encode_batch_args,
     encode_request,
     encode_response,
     frame,
@@ -23,6 +25,7 @@ __all__ = [
     "CodecError",
     "ERR",
     "FrameBuffer",
+    "KeyList",
     "METHODS",
     "OK",
     "ProtocolError",
@@ -34,9 +37,11 @@ __all__ = [
     "SimNetwork",
     "SyncRpcClient",
     "decode",
+    "decode_batch_args",
     "decode_message",
     "decode_prefix",
     "encode",
+    "encode_batch_args",
     "encode_request",
     "encode_response",
     "frame",

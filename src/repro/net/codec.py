@@ -16,6 +16,14 @@ Wire grammar (one tag byte, then payload)::
     b <varint len> <raw>    -> bytes
     l <varint count> items  -> list
     m <varint count> pairs  -> dict (string keys)
+    P <varint count> keys   -> prefix-compressed string list
+
+The ``P`` form carries each string as ``<varint shared> <varint len>
+<utf8 suffix>`` where ``shared`` bytes are reused from the previous
+string.  Batched writes ship sorted key runs (``p|bob|0001``,
+``p|bob|0002``, …) whose long common prefixes make this the dominant
+wire saving for write-heavy traffic; encoders opt in by wrapping a
+string list in :class:`KeyList`, decoders return a plain list.
 
 The codec is strict: unknown tags, trailing bytes, and truncated input
 raise :class:`CodecError` rather than guessing.
@@ -29,6 +37,15 @@ from typing import Any, Tuple
 
 class CodecError(ValueError):
     """Raised on malformed wire data or unencodable values."""
+
+
+class KeyList(list):
+    """A list of strings encoded with shared-prefix compression.
+
+    Behaves exactly like a list; the type only tells :func:`encode` to
+    use the ``P`` wire form.  Decoding yields a plain list (the
+    compression is a transport detail, not a value shape).
+    """
 
 
 # ----------------------------------------------------------------------
@@ -106,6 +123,23 @@ def _encode_into(value: Any, out: bytearray) -> None:
         out.append(ord("b"))
         out.extend(encode_varint(len(value)))
         out.extend(value)
+    elif isinstance(value, KeyList):
+        out.append(ord("P"))
+        out.extend(encode_varint(len(value)))
+        prev = b""
+        for item in value:
+            if not isinstance(item, str):
+                raise CodecError("KeyList items must be strings")
+            raw = item.encode("utf-8")
+            shared = 0
+            limit = min(len(prev), len(raw))
+            while shared < limit and prev[shared] == raw[shared]:
+                shared += 1
+            suffix = raw[shared:]
+            out.extend(encode_varint(shared))
+            out.extend(encode_varint(len(suffix)))
+            out.extend(suffix)
+            prev = raw
     elif isinstance(value, (list, tuple)):
         out.append(ord("l"))
         out.extend(encode_varint(len(value)))
@@ -166,6 +200,22 @@ def decode_prefix(data: bytes, offset: int) -> Tuple[Any, int]:
             item, offset = decode_prefix(data, offset)
             items.append(item)
         return items, offset
+    if tag == ord("P"):
+        count, offset = decode_varint(data, offset)
+        strings = []
+        prev = b""
+        for _ in range(count):
+            shared, offset = decode_varint(data, offset)
+            if shared > len(prev):
+                raise CodecError(f"bad shared prefix {shared} > {len(prev)}")
+            length, offset = decode_varint(data, offset)
+            if offset + length > len(data):
+                raise CodecError("truncated key suffix")
+            raw = prev[:shared] + data[offset : offset + length]
+            offset += length
+            strings.append(raw.decode("utf-8"))
+            prev = raw
+        return strings, offset
     if tag == ord("m"):
         count, offset = decode_varint(data, offset)
         out = {}

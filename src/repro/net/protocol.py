@@ -10,7 +10,10 @@ Request  : ``[id, method, args...]``
 Response : ``[id, status, payload]`` with status "ok" or "err".
 
 Methods mirror the server API: ``get``, ``put``, ``remove``, ``scan``,
-``add_join``, ``count``, ``stats``, ``ping``.
+``add_join``, ``count``, ``stats``, ``ping``, plus ``batch`` — a group
+of coalesced writes shipped as one request (sorted keys travel
+prefix-compressed; a None value marks a remove), applied server-side as
+one maintenance pass.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from __future__ import annotations
 import struct
 from typing import Any, List, Optional, Tuple
 
-from .codec import CodecError, decode, encode
+from .codec import CodecError, KeyList, decode, encode
 
 MAX_FRAME = 64 * 1024 * 1024  # sanity cap
 
@@ -26,7 +29,10 @@ OK = "ok"
 ERR = "err"
 
 #: Methods a Pequod RPC server accepts, mapped to server attributes.
-METHODS = ("get", "put", "remove", "scan", "count", "add_join", "stats", "ping")
+METHODS = (
+    "get", "put", "remove", "scan", "count", "add_join", "stats", "ping",
+    "batch",
+)
 
 
 class ProtocolError(ValueError):
@@ -72,6 +78,36 @@ def parse_response(message: List[Any]) -> Tuple[int, str, Any]:
     if not isinstance(request_id, int) or status not in (OK, ERR):
         raise ProtocolError(f"malformed response: {message!r}")
     return request_id, status, payload
+
+
+def encode_batch_args(pairs: List[Tuple[str, Optional[str]]]) -> List[Any]:
+    """Request args for one ``batch`` RPC.
+
+    ``pairs`` is the coalesced operation list in key order; a None
+    value means remove.  Keys ship as a prefix-compressed
+    :class:`KeyList` — sorted batch keys share long prefixes, so the
+    coalesced message costs far less than per-key requests.
+    """
+    return [KeyList(key for key, _ in pairs), [value for _, value in pairs]]
+
+
+def decode_batch_args(args: List[Any]) -> List[Tuple[str, Optional[str]]]:
+    """Validate and unpack one ``batch`` request's args."""
+    if len(args) != 2:
+        raise ProtocolError(f"batch expects [keys, values], got {len(args)} args")
+    keys, values = args
+    if not isinstance(keys, list) or not isinstance(values, list):
+        raise ProtocolError("batch keys and values must be lists")
+    if len(keys) != len(values):
+        raise ProtocolError(
+            f"batch length mismatch: {len(keys)} keys, {len(values)} values"
+        )
+    for key, value in zip(keys, values):
+        if not isinstance(key, str) or not key:
+            raise ProtocolError(f"bad batch key: {key!r}")
+        if value is not None and not isinstance(value, str):
+            raise ProtocolError(f"bad batch value for {key!r}: {value!r}")
+    return list(zip(keys, values))
 
 
 class FrameBuffer:

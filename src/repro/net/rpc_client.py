@@ -11,9 +11,20 @@ event loop for synchronous callers (examples, tests).
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..store.batch import PUT, WriteBatch, as_ops
 from . import protocol
+
+#: Anything acceptable as a batch: a WriteBatch or (key, value) pairs
+#: with None values meaning removes.
+BatchLike = Union[WriteBatch, Iterable[Tuple[str, Optional[str]]]]
+
+
+def _batch_pairs(batch: BatchLike) -> List[Tuple[str, Optional[str]]]:
+    return [
+        (op.key, op.value if op.kind == PUT else None) for op in as_ops(batch)
+    ]
 
 
 class RpcError(RuntimeError):
@@ -125,6 +136,16 @@ class RpcClient:
     async def ping(self) -> str:
         return await self.call("ping")
 
+    async def apply_batch(self, batch: BatchLike) -> int:
+        """Ship a write batch as ONE coalesced RPC; returns changes
+        applied server-side.  Compare :meth:`call_many`, which
+        pipelines N requests — a batch is a single request, a single
+        server dispatch, and a single maintenance pass."""
+        pairs = _batch_pairs(batch)
+        if not pairs:
+            return 0
+        return await self.call("batch", *protocol.encode_batch_args(pairs))
+
 
 class SyncRpcClient:
     """Blocking facade over :class:`RpcClient` for synchronous code."""
@@ -155,3 +176,13 @@ class SyncRpcClient:
 
     def add_join(self, text: str) -> List[str]:
         return self.call("add_join", text)
+
+    def write_batch(self) -> WriteBatch:
+        """A write batch that flushes through this client on apply."""
+        return WriteBatch(sink=self)
+
+    def apply_batch(self, batch: BatchLike) -> int:
+        pairs = _batch_pairs(batch)
+        if not pairs:
+            return 0
+        return self.call("batch", *protocol.encode_batch_args(pairs))

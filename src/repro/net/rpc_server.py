@@ -118,6 +118,9 @@ class RpcServer:
         if method == "remove":
             (key,) = args
             return srv.remove(key)
+        if method == "batch":
+            pairs = protocol.decode_batch_args(args)
+            return srv.apply_batch(pairs)
         if method == "scan":
             first, last = args
             return [list(pair) for pair in srv.scan(first, last)]

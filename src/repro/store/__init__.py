@@ -5,6 +5,7 @@ index, value sharing, and LRU tracking — the data structures the Pequod
 join engine is built on.
 """
 
+from .batch import BatchOp, WriteBatch, as_ops
 from .interval_tree import IntervalEntry, IntervalTree
 from .keys import (
     SEP,
@@ -41,6 +42,7 @@ __all__ = [
     "SUBTABLE_OVERHEAD",
     "NODE_OVERHEAD",
     "POINTER_SIZE",
+    "BatchOp",
     "IntervalEntry",
     "IntervalTree",
     "LRUEntry",
@@ -53,7 +55,9 @@ __all__ = [
     "StoreStats",
     "Table",
     "Value",
+    "WriteBatch",
     "acquire_value",
+    "as_ops",
     "clamp_range",
     "join_key",
     "key_successor",

@@ -17,11 +17,18 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from .keys import prefix_upper_bound, table_of
+from .batch import PUT, WriteBatch, as_ops
+from .keys import prefix_upper_bound, subtable_prefix, table_of
 from .rbtree import Node
 from .stats import StoreStats
 from .table import PutHandle, Table
 from .values import Value, materialize
+
+#: A net store change: ``(key, old_value, new_value)``; a None old
+#: value means the key was absent before, a None new value means it was
+#: removed.  Kind classification is left to callers (the engine derives
+#: insert/update/remove from the None-ness of the two values).
+Change = Tuple[str, Optional[str], Optional[str]]
 
 
 class OrderedStore:
@@ -112,6 +119,50 @@ class OrderedStore:
         if tbl is None:
             return False
         return tbl.remove(key) is not None
+
+    def write_batch(self) -> WriteBatch:
+        """A :class:`WriteBatch` bound to this store (raw application)."""
+        return WriteBatch(sink=self)
+
+    def apply_batch(self, batch) -> List[Change]:
+        """Apply a coalesced batch of writes; returns the net changes.
+
+        ``batch`` is a :class:`WriteBatch` or anything ``as_ops``
+        accepts.  Operations apply in key order so consecutive keys in
+        the same table chain insertion hints (§4.2's O(1) appends work
+        batch-wide, not just per join range).  Removes of absent keys
+        produce no change entry, matching :meth:`remove`'s behavior.
+        """
+        ops = as_ops(batch)
+        if not ops:
+            return []
+        self.stats.add("batch_applies")
+        self.stats.add("batched_ops", len(ops))
+        changes: List[Change] = []
+        hints: Dict[str, PutHandle] = {}
+        for op in ops:
+            if op.kind == PUT:
+                table = self.table_for_key(op.key)
+                value = op.value if op.value is not None else ""
+                # Chain hints per subtable: sorted keys land adjacent
+                # runs in one subtable tree, so each run after the
+                # first insert is O(1) (§4.2).  Keys in other subtables
+                # get no hint — a cross-subtable hint can never hit.
+                if table.subtable_depth:
+                    hint_id = subtable_prefix(op.key, table.subtable_depth)
+                else:
+                    hint_id = table.name
+                handle, old = table.put(op.key, value, hint=hints.get(hint_id))
+                hints[hint_id] = handle
+                changes.append(
+                    (op.key, materialize(old) if old is not None else None, value)
+                )
+            else:
+                table = self.existing_table_for_key(op.key)
+                old = table.remove(op.key) if table is not None else None
+                if old is not None:
+                    changes.append((op.key, materialize(old), None))
+        return changes
 
     def scan_nodes(self, lo: str, hi: str) -> Iterator[Node]:
         """Stored nodes with ``lo <= key < hi``, across table boundaries."""

@@ -6,7 +6,7 @@ the full benchmarks run the same code at larger scales.
 
 import pytest
 
-from repro.bench.costmodel import CostModel, DEFAULT_MODEL
+from repro.bench.costmodel import CostModel
 from repro.bench.harness import (
     run_figure7,
     run_figure8,
@@ -62,6 +62,7 @@ class TestReport:
         assert crossover_point(xs, b, [9, 9, 9, 9]) is None
 
 
+@pytest.mark.slow
 class TestFigure7Shape:
     @pytest.fixture(scope="class")
     def runs(self):
@@ -96,6 +97,7 @@ class TestFigure7Shape:
             assert r.counters.get("rpcs", 0) >= rpc_floor
 
 
+@pytest.mark.slow
 class TestFigure8Shape:
     @pytest.fixture(scope="class")
     def curves(self):
@@ -123,6 +125,7 @@ class TestFigure8Shape:
         assert series["full"][-1] < series["dynamic"][-1] * 1.15
 
 
+@pytest.mark.slow
 class TestFigure9Shape:
     def test_interleaved_wins_at_low_vote_rates(self):
         inter = run_figure9_point(True, 0.1, scale=0.3)
@@ -137,6 +140,7 @@ class TestFigure9Shape:
         assert hi_i / hi_s > lo_i / lo_s
 
 
+@pytest.mark.slow
 class TestFigure10Shape:
     @pytest.fixture(scope="class")
     def points(self):

@@ -17,16 +17,33 @@ class TestDemoCommand:
 
 
 class TestBenchCommand:
+    @pytest.mark.slow
     def test_fig7_small_scale(self, capsys):
         assert main(["bench", "fig7", "--scale", "0.2"]) == 0
         out = capsys.readouterr().out
         assert "Figure 7" in out
         assert "pequod" in out and "postgresql" in out
 
+    @pytest.mark.slow
     def test_fig9_small_scale(self, capsys):
         assert main(["bench", "fig9", "--scale", "0.1"]) == 0
         out = capsys.readouterr().out
         assert "interleaved" in out
+
+    def test_write_batching_with_json(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_write_batching.json"
+        assert main(
+            ["bench", "write_batching", "--scale", "0.05",
+             "--json", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Write batching" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == "write_batching"
+        assert payload["state_identical"] is True
+        assert [p["batch_size"] for p in payload["points"]] == [1, 8, 32, 128]
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

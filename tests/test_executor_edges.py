@@ -129,7 +129,6 @@ class TestUpdaterInternals:
         srv.put("s|ann|bob", "1")
         srv.put("p|bob|0100", "x")
         srv.scan("t|ann|", "t|ann}")
-        count_installed = srv.stats.get("updaters_installed")
         # Invalidate + recompute: the same logical updater is refreshed
         # rather than duplicated.
         srv.remove("s|ann|bob")

@@ -33,7 +33,10 @@ def brute_force_page(state, author, aid):
     karma = {}
     for (a, _), voters in state["votes"].items():
         karma[a] = karma.get(a, 0) + len(voters)
-    for (a, i, cid), (commenter, text) in sorted(state["comments"].items()):
+    # Comments are identified by (cid, commenter) — the commenter is
+    # part of the stored key, so the same cid by another user is a
+    # distinct comment, while re-commenting overwrites the text.
+    for (a, i, cid, commenter), text in sorted(state["comments"].items()):
         if (a, i) == (author, aid):
             page.comments.append((cid, commenter, text))
             if karma.get(commenter):
@@ -62,7 +65,7 @@ class TestNewpOracle:
                 cid = f"c{n:03d}"
                 text = f"comment {n}"
                 app.comment(author, aid, cid, commenter, text)
-                state["comments"][(author, aid, cid)] = (commenter, text)
+                state["comments"][(author, aid, cid, commenter)] = text
             elif op[0] == "vote":
                 _, author, aid, n = op
                 voter = f"v{n:03d}"

@@ -84,7 +84,6 @@ class TestCelebrityMode:
 
         def run(app):
             app.load_graph(g)
-            celebs = set(g.celebrities(threshold))
             for i, user in enumerate(g.users):
                 app.post(user, i, f"tweet from {user}")
             for user in g.users:

@@ -1,7 +1,5 @@
 """Unit tests for the value protocol and the stats counters."""
 
-import pytest
-
 from repro.core.operators import AggValue
 from repro.store.stats import StoreStats
 from repro.store.values import (

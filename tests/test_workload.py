@@ -5,7 +5,6 @@ from collections import Counter
 from repro.apps.social_graph import generate_graph
 from repro.apps.twip import PequodTwipBackend
 from repro.apps.workload import (
-    DEFAULT_MIX,
     OP_CHECK,
     OP_LOGIN,
     OP_POST,
