@@ -1,63 +1,66 @@
 #!/usr/bin/env python3
-"""Distributed Pequod (§2.4): partitioning, subscriptions, eventual
-consistency, and read-your-own-writes sessions.
+"""Distributed Pequod (§2.4) through the unified client: partitioning,
+subscriptions, eventual consistency, and read-your-own-writes sessions.
 
-Builds a cluster of base (home) servers and compute servers on the
-deterministic simulated network, and demonstrates:
-
-* base-data fetch + subscription installation on first read;
-* asynchronous update propagation (the staleness window is visible);
-* per-user read affinity and replication of popular data;
-* a read-your-own-writes session.
+``ClusterClient`` routes each operation the way the paper deploys
+Twip: writes to the written key's home server, computed reads to the
+user's affinity compute server, base reads to the data's home — while
+the application just calls ``put``/``scan`` on a ``PequodClient``.
 
 Run:  python examples/distributed_cluster.py
 """
 
 from repro.apps.twip import TIMELINE_JOIN
-from repro.distrib import Cluster
+from repro.client import ClusterClient, make_client
 
 
 def main() -> None:
-    cluster = Cluster(
+    client = make_client(
+        "cluster", joins=TIMELINE_JOIN,
         base_count=2, compute_count=3, base_tables=("p", "s"),
-        joins=TIMELINE_JOIN,
     )
+    assert isinstance(client, ClusterClient)
+    cluster = client.cluster
     print(f"nodes: {[n.name for n in cluster.nodes]}")
 
     # Writes go to each key's home server (lookaside, §5.1).
-    cluster.put("s|ann|bob", "1")
+    client.put("s|ann|bob", "1")
     home = cluster.home_node("p|bob|0100")
     print(f"home server for bob's posts: {home.name}")
 
-    # ann's reads all go to one compute server, S(ann).
+    # ann's reads all go to one compute server, S(ann) — the client
+    # derives the affinity from the key's user segment.
     s_ann = cluster.compute_node_for("ann")
     print(f"compute server for ann: {s_ann.name}")
-    print("ann's first timeline check:",
-          cluster.scan("ann", "t|ann|", "t|ann}"))
+    print("ann's first timeline check:", client.scan_prefix("t|ann|"))
     print(f"subscriptions installed at base tier: "
           f"{cluster.total_subscriptions()}")
 
     # A new post reaches the home server immediately; the compute
     # server's mirror is updated asynchronously.
-    cluster.put("p|bob|0100", "hello from bob")
+    client.put("p|bob|0100", "hello from bob")
     mirrored = s_ann.server.store.get("p|bob|0100")
     print(f"\nbefore settle(): compute mirror sees {mirrored!r} (stale ok)")
-    cluster.settle()  # deliver in-flight subscription updates
-    print("after settle(): ", cluster.scan("ann", "t|ann|", "t|ann}"))
+    client.settle()  # deliver in-flight subscription updates
+    print("after settle(): ", client.scan_prefix("t|ann|"))
+
+    # Base data reads go to the home server — the source of truth —
+    # so they are never stale.
+    print(f"home read of the post: {client.get('p|bob|0100')!r}")
 
     # Traffic breakdown, as in §5.5.
     frac = cluster.subscription_traffic_fraction()
     print(f"\nsubscription maintenance share of network bytes: {frac:.1%}")
 
     # Read-your-own-writes (§2.4): one server for reads and writes.
-    session = cluster.session("liz")
+    session = client.session("liz")
     session.put("s|liz|bob", "1")
     session.put("p|bob|0200", "liz sees this immediately")
     rows = session.scan("t|liz|", "t|liz}")
     print(f"\nRYOW session read-after-write: {rows}")
-    cluster.settle()  # forwarded writes reach home servers
+    client.settle()  # forwarded writes reach home servers
     print(f"home now has the forwarded post: "
-          f"{cluster.home_node('p|bob|0200').server.store.get('p|bob|0200')!r}")
+          f"{client.get('p|bob|0200')!r}")
 
 
 if __name__ == "__main__":

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's §2 walkthrough on a live server.
+"""Quickstart: the paper's §2 walkthrough through the unified client.
 
-Installs the Twip timeline cache join, writes base data, and shows
-demand computation, eager incremental maintenance, lazy subscription
-handling, and aggregates — the core of what Pequod does.
+Installs the Twip timeline cache join with the fluent builder, writes
+base data, and shows demand computation, eager incremental
+maintenance, lazy subscription handling, and aggregates — the core of
+what Pequod does.  Everything below runs unchanged on any backend:
+swap ``"local"`` for ``"rpc"`` or ``"cluster"`` in ``make_client``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import PequodServer
+from repro.client import join, make_client
 
 
 def show(title, rows):
@@ -20,52 +22,66 @@ def show(title, rows):
 
 
 def main() -> None:
-    srv = PequodServer(subtable_config={"t": 2})
+    client = make_client(
+        "local", subtable_config={"t": 2}, base_tables=("p", "s", "vote")
+    )
 
-    # The paper's timeline cache join (§2.2): a timeline entry exists
-    # for every (subscription, post) pair that shares a poster.
-    srv.add_join(
-        "t|<user>|<time>|<poster> = "
-        "check s|<user>|<poster> copy p|<poster>|<time>"
+    # The paper's timeline cache join (§2.2), spelled fluently: a
+    # timeline entry exists for every (subscription, post) pair that
+    # shares a poster.  The grammar text
+    #   "t|<user>|<time>|<poster> = check s|<user>|<poster>
+    #                               copy p|<poster>|<time>"
+    # would install the identical join.
+    client.add_join(
+        join("t|<user>|<time>|<poster>")
+        .check("s|<user>|<poster>")
+        .copy("p|<poster>|<time>")
     )
 
     # Base data: ann follows bob; bob tweets at time 0100.
-    srv.put("s|ann|bob", "1")
-    srv.put("p|bob|0100", "hello, world!")
+    client.put("s|ann|bob", "1")
+    client.put("p|bob|0100", "hello, world!")
 
     # The first scan computes the timeline on demand and installs
     # updaters that keep it fresh (dynamic materialization).
-    show("ann checks her timeline", srv.scan("t|ann|", "t|ann}"))
+    show("ann checks her timeline", client.scan_prefix("t|ann|"))
 
     # New posts now flow in eagerly — no recomputation on read.
-    srv.put("p|bob|0120", "i'm hungry")
-    show("after bob tweets again", srv.scan("t|ann|", "t|ann}"))
+    client.put("p|bob|0120", "i'm hungry")
+    show("after bob tweets again", client.scan_prefix("t|ann|"))
 
     # Subscription changes are handled lazily: the new followee's old
     # tweets appear on the next read, shifted in by partial
     # invalidation rather than eager copying (§3.2).
-    srv.put("p|liz|0050", "liz's old tweet")
-    srv.put("s|ann|liz", "1")
-    show("after ann follows liz", srv.scan("t|ann|", "t|ann}"))
+    client.put("p|liz|0050", "liz's old tweet")
+    client.put("s|ann|liz", "1")
+    show("after ann follows liz", client.scan_prefix("t|ann|"))
 
     # Unsubscribing retracts copied tweets (complete invalidation).
-    srv.remove("s|ann|liz")
-    show("after ann unfollows liz", srv.scan("t|ann|", "t|ann}"))
+    client.remove("s|ann|liz")
+    show("after ann unfollows liz", client.scan_prefix("t|ann|"))
+
+    # Batched writes coalesce per key and maintain in one pass.
+    with client.write_batch() as batch:
+        batch.put("p|bob|0130", "draft...")
+        batch.put("p|bob|0130", "final")  # supersedes in-batch
+        batch.put("p|bob|0140", "and another")
+    show("after a coalesced batch", client.scan_prefix("t|ann|"))
 
     # Aggregates: karma counts votes and stays fresh incrementally.
-    srv.add_join("karma|<author> = count vote|<author>|<id>|<voter>")
-    srv.put("vote|bob|001|ann", "1")
-    srv.put("vote|bob|001|liz", "1")
-    print(f"\n== bob's karma: {srv.get('karma|bob')}")
-    srv.put("vote|bob|002|jim", "1")
-    print(f"== after another vote: {srv.get('karma|bob')}")
+    client.add_join(join("karma|<author>").count("vote|<author>|<id>|<voter>"))
+    client.put("vote|bob|001|ann", "1")
+    client.put("vote|bob|001|liz", "1")
+    print(f"\n== bob's karma: {client.get('karma|bob')}")
+    client.put("vote|bob|002|jim", "1")
+    print(f"== after another vote: {client.get('karma|bob')}")
 
-    stats = srv.stats
+    stats = client.stats()
     print(
-        f"\nserver work: {stats.get('updaters_fired'):.0f} updaters fired, "
-        f"{stats.get('partial_invalidations'):.0f} partial / "
-        f"{stats.get('complete_invalidations'):.0f} complete invalidations, "
-        f"{stats.get('recomputations'):.0f} recomputations"
+        f"\nserver work: {stats.get('updaters_fired', 0):.0f} updaters fired, "
+        f"{stats.get('partial_invalidations', 0):.0f} partial / "
+        f"{stats.get('complete_invalidations', 0):.0f} complete invalidations, "
+        f"{stats.get('recomputations', 0):.0f} recomputations"
     )
 
 

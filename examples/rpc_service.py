@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Pequod served over real TCP RPC (§5.1's client/server setup).
 
-Starts an asyncio RPC server on loopback, installs the timeline join
-over the wire, and drives it with a pipelined client that keeps many
-RPCs outstanding — the paper's event-driven client pattern.
+``make_client("rpc")`` starts an asyncio RPC server on a loopback
+socket and connects the unified client to it, so every operation below
+crosses genuine TCP frames.  The second half drives the same server
+with the raw pipelined client that keeps many RPCs outstanding — the
+paper's event-driven client pattern.
 
 Run:  python examples/rpc_service.py
 """
@@ -11,47 +13,58 @@ Run:  python examples/rpc_service.py
 import asyncio
 import time
 
-from repro import PequodServer
-from repro.apps.twip import TIMELINE_JOIN
+from repro.client import join, make_client
 from repro.net.rpc_client import RpcClient
-from repro.net.rpc_server import RpcServer
 
 
-async def main() -> None:
-    server = RpcServer(PequodServer(subtable_config={"t": 2}))
-    await server.start()
-    print(f"pequod listening on 127.0.0.1:{server.port}")
+def main() -> None:
+    client = make_client("rpc", subtable_config={"t": 2})
+    print(f"pequod listening on {client.host}:{client.port}")
+    print("client connected:", client.ping())
 
-    client = RpcClient("127.0.0.1", server.port)
-    await client.connect()
-    print("client connected:", await client.ping())
-
-    installed = await client.add_join(TIMELINE_JOIN)
+    # Install the timeline join over the wire, fluently.
+    installed = client.add_join(
+        join("t|<user>|<time>|<poster>")
+        .check("s|<user>|<poster>")
+        .copy("p|<poster>|<time>")
+    )
     print("installed join:", installed[0])
 
-    # Pipelined writes: many RPCs in flight on one connection.
-    followers = [f"user{i:03d}" for i in range(50)]
-    start = time.perf_counter()
-    await client.call_many(
-        [("put", [f"s|{u}|star", "1"]) for u in followers]
-    )
-    await client.call_many(
-        [("put", [f"p|star|{t:06d}", f"broadcast {t}"]) for t in range(20)]
-    )
-    elapsed = time.perf_counter() - start
-    print(f"pipelined {len(followers) + 20} puts in {elapsed * 1e3:.1f} ms "
-          f"({client.requests_sent} requests on one connection)")
-
-    rows = await client.scan("t|user007|", "t|user007}")
+    # Unified-API traffic: puts, a coalesced batch, scans — all RPCs.
+    client.put("s|user007|star", "1")
+    client.put_many([(f"p|star|{t:06d}", f"broadcast {t}") for t in range(5)])
+    rows = client.scan_prefix("t|user007|")
     print(f"user007's timeline has {len(rows)} tweets; first: {rows[0]}")
 
-    stats = await client.call("stats")
+    # The raw pipelined client (§5.1): many RPCs in flight on one
+    # connection, against the very same server.
+    async def pipelined() -> None:
+        raw = RpcClient(client.host, client.port)
+        await raw.connect()
+        followers = [f"user{i:03d}" for i in range(50)]
+        start = time.perf_counter()
+        await raw.call_many([("put", [f"s|{u}|star", "1"]) for u in followers])
+        await raw.call_many(
+            [("put", [f"p|star|1{t:05d}", f"burst {t}"]) for t in range(20)]
+        )
+        elapsed = time.perf_counter() - start
+        print(
+            f"pipelined {len(followers) + 20} puts in {elapsed * 1e3:.1f} ms "
+            f"({raw.requests_sent} requests on one connection)"
+        )
+        await raw.close()
+
+    asyncio.run(pipelined())
+
+    rows = client.scan_prefix("t|user007|")
+    print(f"user007's timeline now has {len(rows)} tweets")
+
+    stats = client.stats()
     print(f"server processed {stats.get('op_put', 0):.0f} puts, "
           f"{stats.get('updaters_fired', 0):.0f} updater firings")
 
-    await client.close()
-    await server.stop()
+    client.close()
 
 
 if __name__ == "__main__":
-    asyncio.run(main())
+    main()

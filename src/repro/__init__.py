@@ -6,6 +6,9 @@ Pequod is a distributed application-level key-value cache supporting
 dynamic, partially materialized views.  This package implements the
 paper's system and every substrate it depends on, in pure Python:
 
+* ``repro.client`` — the unified client API: one ``PequodClient``
+  interface with local, RPC, and cluster backends plus a fluent join
+  builder;
 * ``repro.core`` — cache joins, query execution, incremental
   maintenance, the single-node :class:`PequodServer`;
 * ``repro.store`` — the ordered store (red-black trees, interval
@@ -59,13 +62,33 @@ from .store import (
     WriteBatch,
     prefix_upper_bound,
 )
+from .client import (
+    ClientError,
+    ClusterClient,
+    JoinBuilder,
+    JoinSpecError,
+    LocalClient,
+    PequodClient,
+    RemoteClient,
+    join,
+    make_client,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AggValue",
     "CacheJoin",
     "ChangeKind",
+    "ClientError",
+    "ClusterClient",
+    "JoinBuilder",
+    "JoinSpecError",
+    "LocalClient",
+    "PequodClient",
+    "RemoteClient",
+    "join",
+    "make_client",
     "GrammarError",
     "JoinError",
     "MaintenanceType",

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..client.base import PequodClient
+from ..client.local import LocalClient
 from ..core.server import PequodServer
 from ..store.keys import prefix_upper_bound
 from ..store.stats import StoreStats
@@ -80,39 +82,66 @@ class ArticlePage:
 
 
 class NewpApp:
-    """The Newp application over a Pequod server."""
+    """The Newp application over any Pequod deployment.
+
+    Like :class:`~repro.apps.twip.TwipApp`, programs against the
+    unified :class:`PequodClient`; pass ``client`` to run over RPC or
+    a cluster, or let it build an in-process server.  ``meter``
+    accumulates app-side work counters (RPCs issued, bytes moved); on
+    a local backend it is the server's own stats object so server-side
+    work lands in the same bag, as the Figure-9 cost model expects.
+    """
 
     def __init__(
         self,
         server: Optional[PequodServer] = None,
         interleaved: bool = True,
+        client: Optional[PequodClient] = None,
         **server_kwargs,
     ) -> None:
-        if server is None:
-            server = PequodServer(**server_kwargs)
-        self.server = server
+        if client is not None and (server is not None or server_kwargs):
+            raise ValueError("pass either a client or server(+kwargs), not both")
+        if client is None:
+            if server is None:
+                server = PequodServer(**server_kwargs)
+            client = LocalClient(server)
+        self.client = client
         self.interleaved = interleaved
-        self.meter: StoreStats = server.stats
-        self.server.add_join(AGGREGATE_JOINS)
+        self.meter: StoreStats = (
+            client.server.stats
+            if isinstance(client, LocalClient)
+            else StoreStats()
+        )
+        self.client.add_join(AGGREGATE_JOINS)
         if interleaved:
-            self.server.add_join(INTERLEAVED_JOINS)
+            self.client.add_join(INTERLEAVED_JOINS)
+
+    @property
+    def server(self) -> PequodServer:
+        """The in-process server when the backend has one (tests poke
+        its internals); raises otherwise."""
+        if isinstance(self.client, LocalClient):
+            return self.client.server
+        raise AttributeError(
+            f"no in-process server behind backend {self.client.backend!r}"
+        )
 
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     def author_article(self, author: str, article_id: str, text: str) -> None:
         self.meter.add("rpcs")
-        self.server.put(f"article|{author}|{article_id}", text)
+        self.client.put(f"article|{author}|{article_id}", text)
 
     def comment(
         self, author: str, article_id: str, cid: str, commenter: str, text: str
     ) -> None:
         self.meter.add("rpcs")
-        self.server.put(f"comment|{author}|{article_id}|{cid}|{commenter}", text)
+        self.client.put(f"comment|{author}|{article_id}|{cid}|{commenter}", text)
 
     def vote(self, author: str, article_id: str, voter: str) -> None:
         self.meter.add("rpcs")
-        self.server.put(f"vote|{author}|{article_id}|{voter}", "1")
+        self.client.put(f"vote|{author}|{article_id}|{voter}", "1")
 
     # ------------------------------------------------------------------
     # Reads
@@ -127,7 +156,7 @@ class NewpApp:
         page = ArticlePage(author, article_id)
         prefix = f"page|{author}|{article_id}|"
         self.meter.add("rpcs")
-        rows = self.server.scan(prefix, prefix_upper_bound(prefix))
+        rows = self.client.scan(prefix, prefix_upper_bound(prefix))
         for key, value in rows:
             self.meter.add("bytes_moved", len(value))
             parts = key.split("|")
@@ -147,22 +176,22 @@ class NewpApp:
         page = ArticlePage(author, article_id)
         # Round trip 1: article text, vote rank, comments (3 RPCs).
         self.meter.add("rpcs")
-        page.text = self.server.get(f"article|{author}|{article_id}")
+        page.text = self.client.get(f"article|{author}|{article_id}")
         if page.text is not None:
             self.meter.add("bytes_moved", len(page.text))
         self.meter.add("rpcs")
-        rank = self.server.get(f"rank|{author}|{article_id}")
+        rank = self.client.get(f"rank|{author}|{article_id}")
         page.votes = int(rank) if rank is not None else 0
         prefix = f"comment|{author}|{article_id}|"
         self.meter.add("rpcs")
-        for key, value in self.server.scan(prefix, prefix_upper_bound(prefix)):
+        for key, value in self.client.scan(prefix, prefix_upper_bound(prefix)):
             self.meter.add("bytes_moved", len(value))
             parts = key.split("|")
             page.comments.append((parts[3], parts[4], value))
         # Round trip 2: one karma get per distinct commenter.
         for commenter in sorted({c[1] for c in page.comments}):
             self.meter.add("rpcs")
-            karma = self.server.get(f"karma|{commenter}")
+            karma = self.client.get(f"karma|{commenter}")
             if karma is not None:
                 page.karma[commenter] = int(karma)
         return page

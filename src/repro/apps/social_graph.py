@@ -58,6 +58,25 @@ class SocialGraph:
         """Posting likelihood ∝ log of follower count (§5.1)."""
         return math.log(self.follower_count(user) + math.e)
 
+    def load_into(
+        self,
+        client,
+        table: str = "s",
+        value: str = "1",
+        batch_size: int = 256,
+    ) -> int:
+        """Write the follow edges as ``table|follower|followee`` keys
+        through any :class:`~repro.client.base.PequodClient`, in
+        coalesced batches; returns the number of changes applied."""
+        applied = 0
+        for start in range(0, len(self.edges), max(batch_size, 1)):
+            chunk = self.edges[start : start + max(batch_size, 1)]
+            applied += client.put_many(
+                (f"{table}|{follower}|{followee}", value)
+                for follower, followee in chunk
+            )
+        return applied
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SocialGraph users={len(self.users)} edges={len(self.edges)}>"
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Set
 
+from ..client.base import PequodClient
+from ..client.local import LocalClient
 from ..core.server import PequodServer
 from ..store.keys import prefix_upper_bound
 from ..baselines.base import Tweet, TwipBackend
@@ -42,7 +44,13 @@ def format_time(time: int) -> str:
 
 
 class TwipApp:
-    """The Twip application over a single Pequod server.
+    """The Twip application over any Pequod deployment.
+
+    Takes a :class:`PequodClient` — in-process, RPC, or cluster — and
+    programs purely against the unified API, so the same application
+    code runs on every deployment shape.  A bare
+    :class:`PequodServer` (or nothing) is accepted for convenience and
+    wrapped in a :class:`LocalClient`.
 
     With ``celebrity_threshold`` set, users whose follower count
     exceeds the threshold post into the ``cp|`` range served by the
@@ -55,46 +63,66 @@ class TwipApp:
         celebrity_threshold: Optional[int] = None,
         graph: Optional[SocialGraph] = None,
         subtables: bool = True,
+        client: Optional[PequodClient] = None,
         **server_kwargs,
     ) -> None:
-        if server is None:
-            config = {"t": 2, "p": 2, "s": 2} if subtables else None
-            server = PequodServer(subtable_config=config, **server_kwargs)
-        self.server = server
-        self.server.add_join(TIMELINE_JOIN)
+        if client is not None and (server is not None or server_kwargs):
+            raise ValueError("pass either a client or server(+kwargs), not both")
+        if client is None:
+            if server is None:
+                config = {"t": 2, "p": 2, "s": 2} if subtables else None
+                server = PequodServer(subtable_config=config, **server_kwargs)
+            client = LocalClient(server)
+        self.client = client
+        self.client.add_join(TIMELINE_JOIN)
         self.celebrity_threshold = celebrity_threshold
         self.celebrities: Set[str] = set()
         if celebrity_threshold is not None:
-            self.server.add_join(CELEBRITY_JOINS)
+            self.client.add_join(CELEBRITY_JOINS)
             if graph is not None:
                 self.celebrities = set(graph.celebrities(celebrity_threshold))
+
+    @property
+    def server(self) -> PequodServer:
+        """The in-process server, when the backend has one (tests and
+        benchmarks poke its internals); raises otherwise."""
+        if isinstance(self.client, LocalClient):
+            return self.client.server
+        raise AttributeError(
+            f"no in-process server behind backend {self.client.backend!r}"
+        )
 
     # ------------------------------------------------------------------
     def mark_celebrity(self, user: str) -> None:
         self.celebrities.add(user)
 
     def subscribe(self, user: str, poster: str) -> None:
-        self.server.put(f"s|{user}|{poster}", "1")
+        self.client.put(f"s|{user}|{poster}", "1")
 
     def unsubscribe(self, user: str, poster: str) -> None:
-        self.server.remove(f"s|{user}|{poster}")
+        self.client.remove(f"s|{user}|{poster}")
 
     def post(self, poster: str, time: int, text: str) -> None:
         table = "cp" if poster in self.celebrities else "p"
-        self.server.put(f"{table}|{poster}|{format_time(time)}", text)
+        self.client.put(f"{table}|{poster}|{format_time(time)}", text)
 
     def timeline(self, user: str, since: int = 0) -> List[Tweet]:
         """Time-sorted tweets by followed users with time >= since."""
         first = f"t|{user}|{format_time(since)}"
         last = prefix_upper_bound(f"t|{user}|")
-        rows = self.server.scan(first, last)
+        rows = self.client.scan(first, last)
         out: List[Tweet] = []
         for key, text in rows:
             _, _, time, poster = key.split("|", 3)
             out.append((time, poster, text))
         return out
 
-    def load_graph(self, graph: SocialGraph) -> None:
+    def load_graph(self, graph: SocialGraph, batched: bool = False) -> None:
+        """Install the follow graph; ``batched`` loads it as coalesced
+        write batches instead of one put per edge."""
+        if batched:
+            graph.load_into(self.client)
+            return
         for follower, followee in graph.edges:
             self.subscribe(follower, followee)
 
@@ -110,7 +138,8 @@ class PequodTwipBackend(TwipBackend):
 
     def __init__(self, **app_kwargs) -> None:
         super().__init__()
-        app_kwargs.setdefault("stats", self.meter)
+        if "client" not in app_kwargs:
+            app_kwargs.setdefault("stats", self.meter)
         self.app = TwipApp(**app_kwargs)
 
     def subscribe(self, user: str, poster: str) -> None:
@@ -119,11 +148,11 @@ class PequodTwipBackend(TwipBackend):
 
     def post(self, poster: str, time: str, text: str) -> None:
         self.rpc()
-        self.app.server.put(f"p|{poster}|{time}", text)
+        self.app.client.put(f"p|{poster}|{time}", text)
 
     def timeline(self, user: str, since: str) -> List[Tweet]:
         self.rpc()
-        rows = self.app.server.scan(
+        rows = self.app.client.scan(
             f"t|{user}|{since}", prefix_upper_bound(f"t|{user}|")
         )
         out: List[Tweet] = []

@@ -4,8 +4,10 @@
 maintaining timelines.  There are no cache joins.  After making a post,
 the posting client sends a timeline update for every subscribed user."
 
-The store is a plain :class:`PequodServer` used purely as an ordered
-key-value cache.  The client keeps a reverse-subscription index
+The store is a Pequod cache driven purely as an ordered key-value
+store through the unified :class:`~repro.client.base.PequodClient`
+(no cache joins installed, so any backend works; the default is an
+in-process server).  The client keeps a reverse-subscription index
 (``rs|poster|user``) so it can find followers, and pays one RPC per
 follower timeline it updates — the RPC overhead half of the paper's
 1.64x penalty.  The other half, insertion overhead, appears because
@@ -14,8 +16,10 @@ plain puts get no output hints and no value sharing.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..client.base import PequodClient
+from ..client.local import LocalClient
 from ..core.server import PequodServer
 from ..store.keys import prefix_upper_bound
 from .base import Tweet, TwipBackend
@@ -24,47 +28,57 @@ from .base import Tweet, TwipBackend
 class ClientPequodBackend(TwipBackend):
     name = "client pequod"
 
-    def __init__(self, backfill_limit: int = 16, **server_kwargs) -> None:
+    def __init__(
+        self,
+        backfill_limit: int = 16,
+        client: Optional[PequodClient] = None,
+        **server_kwargs,
+    ) -> None:
         super().__init__()
-        # Client-managed stores see no benefit from join-side
-        # optimizations; hints/sharing only help server-side computation.
-        server_kwargs.setdefault("enable_hints", False)
-        server_kwargs.setdefault("enable_sharing", False)
-        self.server = PequodServer(stats=self.meter, **server_kwargs)
+        if client is None:
+            # Client-managed stores see no benefit from join-side
+            # optimizations; hints/sharing only help server-side
+            # computation.
+            server_kwargs.setdefault("enable_hints", False)
+            server_kwargs.setdefault("enable_sharing", False)
+            client = LocalClient(
+                PequodServer(stats=self.meter, **server_kwargs)
+            )
+        self.client = client
         self.backfill_limit = backfill_limit
 
     # ------------------------------------------------------------------
     def subscribe(self, user: str, poster: str) -> None:
         self.rpc()
-        self.server.put(f"s|{user}|{poster}", "1")
+        self.client.put(f"s|{user}|{poster}", "1")
         self.rpc()
-        self.server.put(f"rs|{poster}|{user}", "1")
+        self.client.put(f"rs|{poster}|{user}", "1")
         # Backfill: fetch the poster's recent tweets, insert into the
         # follower's timeline (what a real client-managed app does).
         self.rpc()
-        recent = self.server.scan(f"p|{poster}|", prefix_upper_bound(f"p|{poster}|"))
+        recent = self.client.scan(f"p|{poster}|", prefix_upper_bound(f"p|{poster}|"))
         for key, text in recent[-self.backfill_limit :]:
             time = key.rsplit("|", 1)[1]
             self.rpc()
             self.moved(len(text))
-            self.server.put(f"t|{user}|{time}|{poster}", text)
+            self.client.put(f"t|{user}|{time}|{poster}", text)
 
     def post(self, poster: str, time: str, text: str) -> None:
         self.rpc()
-        self.server.put(f"p|{poster}|{time}", text)
+        self.client.put(f"p|{poster}|{time}", text)
         self.rpc()
-        followers = self.server.scan(
+        followers = self.client.scan(
             f"rs|{poster}|", prefix_upper_bound(f"rs|{poster}|")
         )
         for key, _ in followers:
             user = key.rsplit("|", 1)[1]
             self.rpc()
             self.moved(len(text))
-            self.server.put(f"t|{user}|{time}|{poster}", text)
+            self.client.put(f"t|{user}|{time}|{poster}", text)
 
     def timeline(self, user: str, since: str) -> List[Tweet]:
         self.rpc()
-        rows = self.server.scan(f"t|{user}|{since}", prefix_upper_bound(f"t|{user}|"))
+        rows = self.client.scan(f"t|{user}|{since}", prefix_upper_bound(f"t|{user}|"))
         out: List[Tweet] = []
         for key, text in rows:
             _, _, time, poster = key.split("|", 3)

@@ -28,6 +28,7 @@ from ..baselines import (
     SqlViewBackend,
     TwipBackend,
 )
+from ..client import PequodClient, make_client
 from ..core.server import PequodServer
 from ..distrib.cluster import Cluster
 from ..store.keys import prefix_upper_bound
@@ -293,26 +294,14 @@ def run_figure10_point(
 
     workload = TwipWorkload(graph, total_ops, active_fraction=1.0, seed=seed)
     ops = workload.generate()
-    last_seen: Dict[str, str] = {}
-    tick = 0
-    for op in ops:
-        tick += 1
-        now = format_time(tick)
-        if op.kind == OP_POST:
-            cluster.put(f"p|{op.user}|{now}", f"tweet {tick} from {op.user}")
-        elif op.kind == "subscribe":
-            cluster.put(f"s|{op.user}|{op.target}", "1")
-        else:  # login or incremental check
-            since = format_time(0) if op.kind == "login" else last_seen.get(
-                op.user, format_time(0)
-            )
-            cluster.scan(
-                op.user, f"t|{op.user}|{since}", prefix_upper_bound(f"t|{op.user}|")
-            )
-            last_seen[op.user] = now
-        if tick % 100 == 0:
-            cluster.settle()
-    cluster.settle()
+    drive_twip_ops(
+        ops,
+        put=cluster.put,
+        scan_timeline=lambda user, since: cluster.scan(
+            user, f"t|{user}|{since}", prefix_upper_bound(f"t|{user}|")
+        ),
+        settle=cluster.settle,
+    )
 
     busiest_us = max(
         model.runtime_us(node.server.stats.snapshot())
@@ -333,6 +322,142 @@ def run_figure10(
     **kwargs,
 ) -> List[ScalabilityPoint]:
     return [run_figure10_point(count, **kwargs) for count in server_counts]
+
+
+# ======================================================================
+# The shared Twip op-dispatch loop (used by the figure-10 runner and
+# the backend matrix, so the two experiments drive one workload)
+# ======================================================================
+def drive_twip_ops(
+    ops,
+    put: Callable[[str, str], object],
+    scan_timeline: Callable[[str, str], object],
+    settle: Optional[Callable[[], object]] = None,
+    settle_every: int = 100,
+) -> None:
+    """Dispatch a generated Twip op stream onto write/read callables.
+
+    Posts and new subscriptions become puts; logins scan the whole
+    timeline and incremental checks scan from the user's last seen
+    time (§5.1).  ``settle``, when given, runs every ``settle_every``
+    ticks and once at the end — bounding staleness on deployments
+    with asynchronous propagation.
+    """
+    last_seen: Dict[str, str] = {}
+    tick = 0
+    for op in ops:
+        tick += 1
+        now = format_time(tick)
+        if op.kind == OP_POST:
+            put(f"p|{op.user}|{now}", f"tweet {tick} from {op.user}")
+        elif op.kind == "subscribe":
+            put(f"s|{op.user}|{op.target}", "1")
+        else:  # login or incremental check
+            since = (
+                format_time(0) if op.kind == "login"
+                else last_seen.get(op.user, format_time(0))
+            )
+            scan_timeline(op.user, since)
+            last_seen[op.user] = now
+        if settle is not None and tick % settle_every == 0:
+            settle()
+    if settle is not None:
+        settle()
+
+
+# ======================================================================
+# Backend matrix: one workload, every deployment shape
+# ======================================================================
+def run_twip_backend(
+    client: PequodClient,
+    graph: SocialGraph,
+    ops,
+    settle_every: int = 50,
+) -> Dict[str, object]:
+    """Drive the Twip workload through ONE unified client.
+
+    This is the point of the client API: the driver contains no
+    backend-specific code — the same puts and scans run in-process,
+    over TCP RPC, or against a simulated cluster.  ``settle_every``
+    bounds cluster staleness during the run (a no-op elsewhere); a
+    final settle plus full rescan yields the comparable output state.
+    """
+    client.add_join(TIMELINE_JOIN)
+    graph.load_into(client)
+    client.settle()
+    start = time.perf_counter()
+    drive_twip_ops(
+        ops,
+        put=client.put,
+        scan_timeline=lambda user, since: client.scan(
+            f"t|{user}|{since}", prefix_upper_bound(f"t|{user}|")
+        ),
+        settle=client.settle,
+        settle_every=settle_every,
+    )
+    wall = time.perf_counter() - start
+    # The observable output state: every timeline plus the base data,
+    # all read back through the same unified API.
+    state: List[Tuple[str, str]] = []
+    for user in graph.users:
+        state.extend(client.scan_prefix(f"t|{user}|"))
+    state.extend(client.scan_prefix("p|"))
+    state.extend(client.scan_prefix("s|"))
+    return {"wall_s": wall, "ops_per_sec": len(ops) / max(wall, 1e-9),
+            "state": state}
+
+
+def run_twip_matrix(
+    backends: Sequence[str] = ("local", "rpc", "cluster"),
+    n_users: int = 60,
+    mean_follows: float = 6.0,
+    total_ops: int = 800,
+    settle_every: int = 50,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """The acceptance experiment for the unified client API: the same
+    deterministic Twip workload on every requested backend, asserting
+    the final output state is identical everywhere.
+
+    Absolute rates are not comparable across backends — "rpc" pays
+    real TCP round trips per operation and "cluster" simulates several
+    servers — which is exactly the deployment truth the paper's single
+    abstraction hides from application code.
+    """
+    import hashlib
+
+    graph = generate_graph(n_users, mean_follows, seed=seed)
+    ops = TwipWorkload(graph, total_ops, seed=seed).generate()
+    results: Dict[str, Dict[str, object]] = {}
+    baseline_state: Optional[List[Tuple[str, str]]] = None
+    state_identical = True
+    for backend in backends:
+        with make_client(
+            backend,
+            subtable_config={"t": 2, "p": 2, "s": 2},
+            base_tables=("p", "s"),
+        ) as client:
+            run = run_twip_backend(client, graph, ops, settle_every)
+        state = run.pop("state")
+        digest = hashlib.sha256(repr(state).encode()).hexdigest()
+        if baseline_state is None:
+            baseline_state = state
+        elif state != baseline_state:
+            state_identical = False
+        run["state_sha256"] = digest
+        run["keys"] = len(state)
+        results[backend] = run
+    return {
+        "workload": {
+            "n_users": n_users,
+            "mean_follows": mean_follows,
+            "total_ops": total_ops,
+            "settle_every": settle_every,
+            "seed": seed,
+        },
+        "backends": results,
+        "state_identical": state_identical,
+    }
 
 
 # ======================================================================

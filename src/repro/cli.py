@@ -4,9 +4,12 @@ Commands:
 
 * ``serve``  — run a Pequod RPC server on TCP (optionally installing
   joins from a file or the command line);
-* ``demo``   — the quickstart walkthrough;
+* ``demo``   — the quickstart walkthrough, on any backend
+  (``--backend local|rpc|cluster``);
 * ``bench``  — regenerate a paper experiment (fig7 / fig8 / fig9 /
-  fig10) and print its table or series;
+  fig10 / write_batching) or run the ``twip`` workload through the
+  unified client on one or all deployment shapes (``--backend``),
+  and print its table or series;
 * ``joins``  — parse and validate a join file, printing the normalized
   forms (a linter for cache-join specs).
 """
@@ -48,16 +51,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--memory-limit", type=int, default=None)
 
-    sub.add_parser("demo", help="run the quickstart walkthrough")
+    demo = sub.add_parser("demo", help="run the quickstart walkthrough")
+    demo.add_argument(
+        "--backend", choices=["local", "rpc", "cluster"], default="local",
+        help="deployment shape to run the walkthrough on",
+    )
 
     bench = sub.add_parser("bench", help="regenerate a paper experiment")
     bench.add_argument(
         "experiment",
-        choices=["fig7", "fig8", "fig9", "fig10", "write_batching"],
+        choices=["fig7", "fig8", "fig9", "fig10", "write_batching", "twip"],
     )
     bench.add_argument(
         "--scale", type=float, default=1.0,
         help="scale factor on the canonical experiment size",
+    )
+    bench.add_argument(
+        "--backend", choices=["local", "rpc", "cluster", "all"],
+        default="all",
+        help="deployment shape(s) for the unified-client experiments "
+        "(twip): in-process, real TCP RPC, simulated cluster, or all "
+        "three with an identical-output-state check",
     )
     bench.add_argument(
         "--json", dest="json_path", default=None, metavar="PATH",
@@ -74,7 +88,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "demo":
-        return _cmd_demo()
+        return _cmd_demo(args.backend)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "joins":
@@ -118,17 +132,28 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_demo() -> int:
-    srv = PequodServer(subtable_config={"t": 2})
-    srv.add_join(
-        "t|<user>|<time>|<poster> = "
-        "check s|<user>|<poster> copy p|<poster>|<time>"
+def _cmd_demo(backend: str = "local") -> int:
+    from .client import join, make_client
+
+    timeline = (
+        join("t|<user>|<time>|<poster>")
+        .check("s|<user>|<poster>")
+        .copy("p|<poster>|<time>")
     )
-    srv.put("s|ann|bob", "1")
-    srv.put("p|bob|0100", "hello, world!")
-    print("ann's timeline:", srv.scan("t|ann|", "t|ann}"))
-    srv.put("p|bob|0120", "again")
-    print("after another post:", srv.scan("t|ann|", "t|ann}"))
+    with make_client(
+        backend,
+        joins=timeline,
+        subtable_config={"t": 2},
+        base_tables=("p", "s"),
+    ) as client:
+        print(f"backend: {client.backend}")
+        client.put("s|ann|bob", "1")
+        client.put("p|bob|0100", "hello, world!")
+        client.settle()
+        print("ann's timeline:", client.scan("t|ann|", "t|ann}"))
+        client.put("p|bob|0120", "again")
+        client.settle()
+        print("after another post:", client.scan("t|ann|", "t|ann}"))
     return 0
 
 
@@ -149,6 +174,43 @@ def _cmd_bench(args) -> int:
 
     s = args.scale
     payload: dict = {"experiment": args.experiment, "scale": s}
+    if args.experiment != "twip" and args.backend != "all":
+        print(f"--backend applies to the 'twip' experiment; "
+              f"'{args.experiment}' regenerates a fixed paper figure",
+              file=sys.stderr)
+        return 2
+    if args.experiment == "twip":
+        from .bench.harness import run_twip_matrix
+
+        backends = (
+            ("local", "rpc", "cluster")
+            if args.backend == "all" else (args.backend,)
+        )
+        result = run_twip_matrix(
+            backends=backends,
+            n_users=max(20, int(60 * s)),
+            mean_follows=max(3.0, 6 * min(s, 2.0)),
+            total_ops=max(100, int(800 * s)),
+        )
+        payload.update(result)
+        rows = [
+            (name, f"{r['wall_s']:.3f} s", f"{r['ops_per_sec']:.0f}",
+             str(r["keys"]), r["state_sha256"][:12])
+            for name, r in result["backends"].items()
+        ]
+        print(format_table(
+            ["Backend", "Wall", "ops/s", "keys", "state digest"], rows,
+            title="Twip via the unified PequodClient",
+        ))
+        status = _finish_bench(args, payload)
+        if len(backends) > 1:
+            print("output state identical across backends:",
+                  result["state_identical"])
+            if not result["state_identical"]:
+                # JSON (with per-backend digests) is already written —
+                # the diagnostic survives the failure.
+                return 1
+        return status
     if args.experiment == "write_batching":
         result = run_write_batching(
             n_users=max(20, int(400 * s)),

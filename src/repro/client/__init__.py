@@ -1,0 +1,56 @@
+"""One Pequod client API: local, RPC, and cluster deployments behind
+a single interface.
+
+::
+
+    from repro.client import join, make_client
+
+    with make_client("rpc") as client:          # or "local" / "cluster"
+        client.add_join(join("t|<user>|<time>|<poster>")
+                        .check("s|<user>|<poster>")
+                        .copy("p|<poster>|<time>"))
+        client.put("s|ann|bob", "1")
+        client.put("p|bob|0100", "hello!")
+        client.settle()                          # no-op off-cluster
+        client.scan_prefix("t|ann|")
+
+See :mod:`repro.client.base` for the interface contract,
+:mod:`repro.client.errors` for the unified failure types, and
+:mod:`repro.client.builder` for the fluent join builder.
+"""
+
+from .base import BatchLike, JoinLike, PequodClient, join_text
+from .builder import JoinBuilder, join
+from .cluster import ClusterClient, default_affinity
+from .errors import (
+    BadRequestError,
+    ClientError,
+    JoinSpecError,
+    ServerError,
+    TransportError,
+    error_for_code,
+)
+from .factory import BACKENDS, make_client
+from .local import LocalClient
+from .remote import RemoteClient
+
+__all__ = [
+    "BACKENDS",
+    "BadRequestError",
+    "BatchLike",
+    "ClientError",
+    "ClusterClient",
+    "JoinBuilder",
+    "JoinLike",
+    "JoinSpecError",
+    "LocalClient",
+    "PequodClient",
+    "RemoteClient",
+    "ServerError",
+    "TransportError",
+    "default_affinity",
+    "error_for_code",
+    "join",
+    "join_text",
+    "make_client",
+]

@@ -1,0 +1,184 @@
+"""The unified Pequod client interface.
+
+The paper presents one cache abstraction — ``get``, ``put``,
+``remove``, ``scan`` plus add-join (§2) — independent of where the
+cache runs.  :class:`PequodClient` is that abstraction as a Python
+interface: applications, baselines, and benchmarks program against it,
+and the deployment shape is chosen by picking a backend:
+
+* :class:`~repro.client.local.LocalClient` — an in-process
+  :class:`~repro.core.server.PequodServer`;
+* :class:`~repro.client.remote.RemoteClient` — a Pequod server across
+  TCP, via the pipelined RPC protocol (§5.1);
+* :class:`~repro.client.cluster.ClusterClient` — a distributed
+  deployment of base and compute servers (§2.4).
+
+All backends share the typed operation set below, the exception
+hierarchy of :mod:`repro.client.errors`, and identical semantics for
+results (``remove`` returns whether the key was present on every
+backend; batches coalesce per key everywhere).  The only deliberate
+semantic difference is freshness: a cluster propagates updates
+asynchronously (§2.4's eventual consistency), so :meth:`settle` —
+a no-op on the other backends — delivers in-flight maintenance when a
+caller needs a globally consistent view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..core.joins import CacheJoin
+from ..store.batch import BatchOp, WriteBatch, as_ops
+from ..store.keys import prefix_upper_bound
+from .builder import JoinBuilder
+from .errors import BadRequestError, ClientError
+
+#: Anything a client's ``add_join`` accepts: grammar text (possibly
+#: several ';'-separated joins), a compiled join, a fluent builder, or
+#: a sequence of any of those.
+JoinLike = Union[str, CacheJoin, JoinBuilder, Sequence["JoinLike"]]
+
+#: Anything a client's ``apply_batch`` accepts: a WriteBatch or
+#: (key, value_or_None) pairs, None meaning remove.
+BatchLike = Union[WriteBatch, Iterable[Tuple[str, Union[str, None]]]]
+
+
+def join_text(join: JoinLike) -> str:
+    """Normalize any accepted join form to ONE grammar-text spec.
+
+    Text is passed through verbatim (it may hold several joins);
+    compiled joins and builders contribute their normalized text;
+    sequences join on statement separators.  Parsing/validation
+    happens at the server — so every backend rejects the same specs
+    with the same :class:`JoinSpecError` — and one spec installs
+    atomically there, however many statements it holds.
+    """
+    if isinstance(join, str):
+        return join
+    if isinstance(join, CacheJoin):
+        return join.text
+    if isinstance(join, JoinBuilder):
+        return join.build().text
+    if isinstance(join, Sequence):
+        # ";\n" (not bare ";") so a line comment ending one text
+        # cannot swallow the next statement.
+        return ";\n".join(join_text(item) for item in join)
+    raise BadRequestError(f"cannot interpret {join!r} as a cache join")
+
+
+class PequodClient:
+    """Abstract client for a Pequod cache, whatever its deployment.
+
+    Subclasses implement the seven primitives marked *backend*; the
+    convenience forms are derived here so their semantics can't drift
+    between backends.  Clients are context managers::
+
+        with make_client("rpc") as client:
+            client.add_join(join("t|<u>|<tm>|<p>")
+                            .check("s|<u>|<p>").copy("p|<p>|<tm>"))
+            client.put("s|ann|bob", "1")
+    """
+
+    #: Short backend tag ("local", "rpc", "cluster") for diagnostics.
+    backend = "abstract"
+
+    # ------------------------------------------------------------------
+    # Backend primitives
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Union[str, None]:
+        """The value for ``key``, computing overlapping joins on demand."""
+        raise NotImplementedError
+
+    def put(self, key: str, value: str) -> None:
+        """Write ``key``; incremental maintenance runs before returning."""
+        raise NotImplementedError
+
+    def remove(self, key: str) -> bool:
+        """Remove ``key``; True iff it was present (on every backend)."""
+        raise NotImplementedError
+
+    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
+        """Ordered pairs with ``first <= key < last`` (§2's scan)."""
+        raise NotImplementedError
+
+    def add_join(self, join: JoinLike) -> List[str]:
+        """Install cache joins; returns their normalized texts."""
+        raise NotImplementedError
+
+    def apply_batch(self, batch: BatchLike) -> int:
+        """Apply a coalesced write batch as one maintenance pass;
+        returns the number of net changes applied."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, float]:
+        """Server work counters (summed across servers on a cluster)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Derived operations — identical on every backend by construction
+    # ------------------------------------------------------------------
+    def scan_prefix(self, prefix: str) -> List[Tuple[str, str]]:
+        """All pairs whose keys start with ``prefix``."""
+        return self.scan(prefix, prefix_upper_bound(prefix))
+
+    def count(self, first: str, last: str) -> int:
+        return len(self.scan(first, last))
+
+    def exists(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def write_batch(self) -> WriteBatch:
+        """A write batch bound to this client; applies on clean
+        ``with`` exit or explicit :meth:`WriteBatch.apply`."""
+        return WriteBatch(sink=self)
+
+    def put_many(self, pairs: Iterable[Tuple[str, str]]) -> int:
+        """Batch-write ``(key, value)`` pairs; returns changes applied."""
+        batch = WriteBatch()
+        for key, value in pairs:
+            self.check_value(value)
+            batch.put(key, value)
+        return self.apply_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Deployment hooks
+    # ------------------------------------------------------------------
+    def settle(self) -> int:
+        """Deliver in-flight asynchronous maintenance; returns the
+        number of messages delivered.  Local and RPC backends are
+        synchronous, so this is 0 there; on a cluster it drains the
+        network (§2.4's eventual consistency made momentarily exact)."""
+        return 0
+
+    def close(self) -> None:
+        """Release backend resources; the client is unusable after."""
+
+    def __enter__(self) -> "PequodClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def check_value(value: str) -> None:
+        """Uniform argument validation: Pequod values are strings."""
+        if not isinstance(value, str):
+            raise BadRequestError(
+                f"Pequod values are strings, got {type(value).__name__}"
+            )
+
+    @staticmethod
+    def checked_ops(batch: BatchLike) -> List[BatchOp]:
+        """Coalesce any accepted batch form, surfacing malformed
+        batches (non-string values, empty keys) as the unified
+        :class:`BadRequestError` on every backend."""
+        try:
+            return as_ops(batch)
+        except ClientError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"malformed batch: {exc}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} backend={self.backend!r}>"

@@ -1,0 +1,136 @@
+"""A fluent, validated builder for cache joins.
+
+The Figure-2 grammar is compact but stringly; the builder is the same
+join written as code, with validation errors raised where the mistake
+was made.  The paper's Twip timeline join (§2.2)::
+
+    from repro.client import join
+
+    timeline = (join("t|<user>|<time>|<poster>")
+                .check("s|<user>|<poster>")
+                .copy("p|<poster>|<time>"))
+
+and its pull-maintained celebrity variant (§2.3) appends ``.pull()``.
+Builders compile to :class:`~repro.core.joins.CacheJoin` via
+:meth:`build` and are accepted directly by every client's and server's
+``add_join``, so the two spellings are interchangeable.
+
+Each source method mirrors one grammar operator: ``check`` / ``echeck``
+guard sources, ``copy`` the value source, and ``count`` / ``sum`` /
+``min`` / ``max`` the aggregates.  ``push`` / ``pull`` /
+``snapshot(interval)`` set the §3.4 maintenance annotation.  All
+methods return the builder; a builder is reusable (``build`` does not
+consume it) and compiling never mutates server state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.joins import CacheJoin, JoinError, MaintenanceType
+from ..core.pattern import PatternError
+from .errors import JoinSpecError
+
+
+class JoinBuilder:
+    """Fluent construction of one cache join; see the module docs."""
+
+    def __init__(self, output: str) -> None:
+        if not isinstance(output, str) or not output.strip():
+            raise JoinSpecError("join output must be a non-empty pattern")
+        self._output = output.strip()
+        self._sources: List[Tuple[str, str]] = []
+        self._maintenance = MaintenanceType.PUSH
+        self._interval: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Sources (grammar operators)
+    # ------------------------------------------------------------------
+    def _source(self, operator: str, pattern: str) -> "JoinBuilder":
+        if not isinstance(pattern, str) or not pattern.strip():
+            raise JoinSpecError(
+                f"{operator} needs a non-empty source pattern"
+            )
+        self._sources.append((operator, pattern.strip()))
+        return self
+
+    def check(self, pattern: str) -> "JoinBuilder":
+        """A guard source: pairs must exist, values are unused."""
+        return self._source("check", pattern)
+
+    def echeck(self, pattern: str) -> "JoinBuilder":
+        """An eagerly-maintained check (the ``echeck`` extension)."""
+        return self._source("echeck", pattern)
+
+    def copy(self, pattern: str) -> "JoinBuilder":
+        """The value source: output values are copies of its values."""
+        return self._source("copy", pattern)
+
+    def count(self, pattern: str) -> "JoinBuilder":
+        """Aggregate value source: the number of matching pairs."""
+        return self._source("count", pattern)
+
+    def sum(self, pattern: str) -> "JoinBuilder":
+        return self._source("sum", pattern)
+
+    def min(self, pattern: str) -> "JoinBuilder":
+        return self._source("min", pattern)
+
+    def max(self, pattern: str) -> "JoinBuilder":
+        return self._source("max", pattern)
+
+    # ------------------------------------------------------------------
+    # Maintenance annotations (§3.4)
+    # ------------------------------------------------------------------
+    def push(self) -> "JoinBuilder":
+        """Eager incremental maintenance (the default)."""
+        self._maintenance = MaintenanceType.PUSH
+        self._interval = None
+        return self
+
+    def pull(self) -> "JoinBuilder":
+        """Recompute on every query; never cache the output."""
+        self._maintenance = MaintenanceType.PULL
+        self._interval = None
+        return self
+
+    def snapshot(self, interval: float) -> "JoinBuilder":
+        """Compute once, serve unmaintained for ``interval`` seconds."""
+        if not isinstance(interval, (int, float)) or interval <= 0:
+            raise JoinSpecError("snapshot needs a positive interval")
+        self._maintenance = MaintenanceType.SNAPSHOT
+        self._interval = float(interval)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> CacheJoin:
+        """Compile to a validated :class:`CacheJoin` (§3's add-join
+        checks run here); raises :class:`JoinSpecError` on failure."""
+        if not self._sources:
+            raise JoinSpecError(
+                f"join {self._output!r} has no sources; add .copy()/"
+                ".count()/... before building"
+            )
+        try:
+            return CacheJoin(
+                self._output,
+                self._sources,
+                maintenance=self._maintenance,
+                snapshot_interval=self._interval,
+            )
+        except (JoinError, PatternError) as exc:
+            raise JoinSpecError(str(exc)) from exc
+
+    @property
+    def text(self) -> str:
+        """The equivalent Figure-2 grammar text."""
+        return self.build().text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sources = " ".join(f"{op} {pat}" for op, pat in self._sources)
+        return f"JoinBuilder({self._output!r} = {sources or '<no sources>'})"
+
+
+def join(output: str) -> JoinBuilder:
+    """Start a fluent join: ``join("t|<u>|<tm>|<p>").check(...).copy(...)``."""
+    return JoinBuilder(output)

@@ -1,0 +1,58 @@
+"""One exception hierarchy for every Pequod client backend.
+
+The paper presents a single cache abstraction; its failures should look
+the same whether the cache is in-process, across a TCP connection, or a
+cluster.  Every :class:`~repro.client.base.PequodClient` backend maps
+its transport's native faults onto these types:
+
+* :class:`BadRequestError` — the caller's arguments were invalid (a
+  non-string value, a malformed batch, an unknown method).
+* :class:`JoinSpecError` — a cache join failed to parse or failed
+  installation-time validation (§3's add-join checks).  A subclass of
+  :class:`BadRequestError`: a bad join is a bad request.
+* :class:`ServerError` — the server faulted while executing a
+  well-formed request.
+* :class:`TransportError` — the request never completed: connection
+  refused/reset, protocol framing errors, client used after close.
+
+Remote backends reconstruct the right type from the error code the RPC
+server attaches to failure responses (``repro.net.protocol``), so
+``except JoinSpecError:`` behaves identically on all backends.
+"""
+
+from __future__ import annotations
+
+from ..net import protocol
+
+
+class ClientError(Exception):
+    """Base class for every Pequod client failure."""
+
+
+class BadRequestError(ClientError, ValueError):
+    """The request was invalid before any work happened."""
+
+
+class JoinSpecError(BadRequestError):
+    """A cache join failed parsing or add-join validation (§3)."""
+
+
+class ServerError(ClientError):
+    """The server faulted while executing the request."""
+
+
+class TransportError(ClientError):
+    """The request could not be delivered or completed."""
+
+
+#: RPC error code -> unified exception type.
+_CODE_TYPES = {
+    protocol.ERR_CODE_JOIN: JoinSpecError,
+    protocol.ERR_CODE_BAD_REQUEST: BadRequestError,
+    protocol.ERR_CODE_SERVER: ServerError,
+}
+
+
+def error_for_code(code: str, message: str) -> ClientError:
+    """The unified exception for one RPC error code."""
+    return _CODE_TYPES.get(code, ServerError)(message)

@@ -1,0 +1,69 @@
+"""LocalClient: the unified client over an in-process PequodServer.
+
+The zero-deployment backend — what the paper calls the single-machine
+configuration (§5.2).  Every operation is a direct method call into the
+join engine, so this is also the semantic reference the other backends
+are conformance-tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.joins import JoinError
+from ..core.pattern import PatternError
+from ..core.server import PequodServer
+from .base import BatchLike, JoinLike, PequodClient, join_text
+from .errors import BadRequestError, JoinSpecError
+
+
+class LocalClient(PequodClient):
+    """Drive an in-process :class:`PequodServer`.
+
+    Accepts an existing server (sharing it with direct callers is
+    fine — both see the same store) or builds one from the keyword
+    arguments, which mirror the server's tunables::
+
+        client = LocalClient(subtable_config={"t": 2})
+    """
+
+    backend = "local"
+
+    def __init__(
+        self, server: Optional[PequodServer] = None, **server_kwargs
+    ) -> None:
+        if server is not None and server_kwargs:
+            raise BadRequestError(
+                "pass either an existing server or server kwargs, not both"
+            )
+        self.server = (
+            server if server is not None else PequodServer(**server_kwargs)
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[str]:
+        return self.server.get(key)
+
+    def put(self, key: str, value: str) -> None:
+        self.check_value(value)
+        self.server.put(key, value)
+
+    def remove(self, key: str) -> bool:
+        return self.server.remove(key)
+
+    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
+        return self.server.scan(first, last)
+
+    def add_join(self, join: JoinLike) -> List[str]:
+        try:
+            # One spec, one server call: the whole install is atomic.
+            installed = self.server.add_join(join_text(join))
+        except (JoinError, PatternError) as exc:
+            raise JoinSpecError(str(exc)) from exc
+        return [j.text for j in installed]
+
+    def apply_batch(self, batch: BatchLike) -> int:
+        return self.server.apply_batch(self.checked_ops(batch))
+
+    def stats(self) -> Dict[str, float]:
+        return self.server.stats.snapshot()

@@ -1,0 +1,101 @@
+"""RemoteClient: the unified client over TCP RPC (paper §5.1).
+
+Wraps the pipelined RPC client in the synchronous ``PequodClient``
+surface and maps wire-level failures onto the unified exception
+hierarchy: the server attaches an error code to every failure response
+(``repro.net.protocol``), so a join rejected over the network raises
+the same :class:`JoinSpecError` an in-process installation would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..net import protocol
+from ..net.rpc_client import RpcError, SyncRpcClient
+from ..store.batch import PUT
+from .base import BatchLike, JoinLike, PequodClient, join_text
+from .errors import TransportError, error_for_code
+
+
+class RemoteClient(PequodClient):
+    """Drive a Pequod RPC server at ``host:port``.
+
+    Connection errors — at construction or on any later call — raise
+    :class:`TransportError`; server-reported failures raise the typed
+    error their code names.  ``close`` tears down the connection (and
+    the private event loop under the synchronous facade).
+    """
+
+    backend = "rpc"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7709) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._rpc: Optional[SyncRpcClient] = SyncRpcClient(host, port)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to pequod at {host}:{port}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def _call(self, method: str, *args):
+        if self._rpc is None:
+            raise TransportError("client is closed")
+        try:
+            return self._rpc.call(method, *args)
+        except RpcError as exc:
+            raise error_for_code(exc.code, str(exc)) from exc
+        except (OSError, RuntimeError) as exc:
+            raise TransportError(f"rpc {method} failed: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[str]:
+        return self._call("get", key)
+
+    def put(self, key: str, value: str) -> None:
+        self.check_value(value)
+        self._call("put", key, value)
+
+    def remove(self, key: str) -> bool:
+        return bool(self._call("remove", key))
+
+    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
+        return [tuple(pair) for pair in self._call("scan", first, last)]
+
+    def scan_prefix(self, prefix: str) -> List[Tuple[str, str]]:
+        # One RPC instead of a client-side bound computation + scan.
+        return [tuple(pair) for pair in self._call("scan_prefix", prefix)]
+
+    def count(self, first: str, last: str) -> int:
+        return self._call("count", first, last)
+
+    def add_join(self, join: JoinLike) -> List[str]:
+        # One spec, one RPC: the whole install is atomic server-side.
+        return self._call("add_join", join_text(join))
+
+    def apply_batch(self, batch: BatchLike) -> int:
+        # checked_ops already coalesced and sorted; go straight to the
+        # wire encoding rather than re-coalescing in the RPC layer.
+        pairs = [
+            (op.key, op.value if op.kind == PUT else None)
+            for op in self.checked_ops(batch)
+        ]
+        if not pairs:
+            return 0
+        return self._call("batch", *protocol.encode_batch_args(pairs))
+
+    def stats(self) -> Dict[str, float]:
+        return self._call("stats")
+
+    def ping(self) -> str:
+        return self._call("ping")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._rpc is not None:
+            try:
+                self._rpc.close()
+            finally:
+                self._rpc = None

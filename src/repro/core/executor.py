@@ -52,7 +52,7 @@ thereby retires every updater installed under the old build.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..store.keys import clamp_range, key_successor, prefix_upper_bound, table_of
 from ..store.lru import LRUList
@@ -121,21 +121,30 @@ class JoinEngine:
     # ==================================================================
     # Join installation
     # ==================================================================
-    def add_join(self, join: CacheJoin) -> CacheJoin:
-        """Install a validated cache join ("add-join RPC", §3).
-
-        Rejects circular chains of joins (the paper forbids them) and
-        joins that source a pull join's output, which is never
-        materialized and therefore unavailable to source scans.
+    def validate_join(
+        self, join: CacheJoin, pending: Sequence[CacheJoin] = ()
+    ) -> None:
+        """The installation-time checks of "add-join" (§3), without
+        installing: rejects circular chains of joins (the paper
+        forbids them) and joins that source a pull join's output,
+        which is never materialized and therefore unavailable to
+        source scans.  ``pending`` holds joins accepted earlier in the
+        same installation batch, so a multi-join spec is validated as
+        a whole before any of it takes effect.
         """
-        deps = self._table_dependencies()
+        installed = list(self.joins) + list(pending)
+        deps: Dict[str, set] = {}
+        for other in installed:
+            deps.setdefault(other.output.table, set()).update(
+                other.source_tables()
+            )
         deps.setdefault(join.output.table, set()).update(join.source_tables())
         if self._has_cycle(deps):
             raise JoinError(
                 f"installing {join.text!r} would create a circular join chain"
             )
         for src in join.sources:
-            for other in self.joins:
+            for other in installed:
                 if other.is_pull and other.output.table == src.pattern.table:
                     raise JoinError(
                         f"source table {src.pattern.table!r} is the output of "
@@ -143,12 +152,19 @@ class JoinEngine:
                         "materialized and cannot feed other joins"
                     )
         if join.is_pull:
-            for other in self.joins:
+            for other in installed:
                 if join.output.table in other.source_tables():
                     raise JoinError(
                         f"pull join {join.text!r} would output into a table "
                         f"sourced by {other.text!r}"
                     )
+
+    def add_join(self, join: CacheJoin, validate: bool = True) -> CacheJoin:
+        """Install a cache join ("add-join RPC", §3).  ``validate=False``
+        skips re-validation for callers that batch-validated already
+        (:meth:`PequodServer.add_join`)."""
+        if validate:
+            self.validate_join(join)
         self.joins.append(join)
         self._output_joins.setdefault(join.output.table, []).append(join)
         self.status.setdefault(join.output.table, StatusTable())
@@ -157,12 +173,6 @@ class JoinEngine:
 
     def joins_for_table(self, table: str) -> List[CacheJoin]:
         return self._output_joins.get(table, [])
-
-    def _table_dependencies(self) -> Dict[str, set]:
-        deps: Dict[str, set] = {}
-        for join in self.joins:
-            deps.setdefault(join.output.table, set()).update(join.source_tables())
-        return deps
 
     @staticmethod
     def _has_cycle(deps: Dict[str, set]) -> bool:

@@ -83,17 +83,30 @@ class PequodServer:
         """Install one or more cache joins.
 
         Accepts join text in the Figure-2 grammar (possibly several
-        joins separated by ``;``), a :class:`CacheJoin`, or a sequence
-        of them.  Returns the installed joins.
+        joins separated by ``;``), a :class:`CacheJoin`, a fluent
+        :class:`~repro.client.builder.JoinBuilder` (anything with a
+        ``build()`` compiling to a join), or a sequence of them.
+        Returns the installed joins.
         """
         if isinstance(join, str):
             parsed: List[CacheJoin] = parse_joins(join)
         elif isinstance(join, CacheJoin):
             parsed = [join]
+        elif hasattr(join, "build"):
+            parsed = [join.build()]
         else:
-            parsed = list(join)
+            parsed = [
+                item.build() if hasattr(item, "build") else item
+                for item in join
+            ]
+        # Validate the whole batch before installing any of it, so a
+        # failing statement cannot leave a partial install behind.
+        accepted: List[CacheJoin] = []
         for item in parsed:
-            self.engine.add_join(item)
+            self.engine.validate_join(item, pending=accepted)
+            accepted.append(item)
+        for item in parsed:
+            self.engine.add_join(item, validate=False)
         return parsed
 
     @property

@@ -25,6 +25,7 @@ from ..net.codec import encode
 from ..net.protocol import encode_batch_args
 from ..net.simnet import SimNetwork
 from ..store.batch import PUT, as_ops
+from ..store.keys import SEP
 from .node import (
     MSG_WRITE_FWD,
     ROLE_BASE,
@@ -101,22 +102,38 @@ class Cluster:
     # ------------------------------------------------------------------
     # Client operations (charged to the network as client traffic)
     # ------------------------------------------------------------------
+    def _client_op(self, node: DistributedNode, request, op, reply_size=None):
+        """Run ``op`` as ONE client round trip to ``node``, charging
+        request and reply bytes to the network — the accounting every
+        client-facing operation shares (§5.5's traffic breakdown).
+        ``reply_size`` sizes the reply from the result; the default is
+        the fixed 8-byte write acknowledgement."""
+        self.client_ops += 1
+        self.net.account("client", node.name, KIND_CLIENT_OP,
+                         len(encode(request)))
+        result = op()
+        self.net.account(
+            node.name, "client", KIND_CLIENT_REPLY,
+            8 if reply_size is None else reply_size(result),
+        )
+        return result
+
+    @staticmethod
+    def _rows_reply(rows) -> int:
+        return max(len(encode([list(r) for r in rows])), 16)
+
+    @staticmethod
+    def _value_reply(value) -> int:
+        return len(encode([value])) if value else 16
+
     def put(self, key: str, value: str) -> None:
         """Lookaside write: straight to the key's home server (§5.1)."""
         node = self.home_node(key)
-        self.client_ops += 1
-        self.net.account("client", node.name, KIND_CLIENT_OP,
-                         len(encode([key, value])))
-        node.put(key, value)
-        self.net.account(node.name, "client", KIND_CLIENT_REPLY, 8)
+        self._client_op(node, [key, value], lambda: node.put(key, value))
 
     def remove(self, key: str) -> bool:
         node = self.home_node(key)
-        self.client_ops += 1
-        self.net.account("client", node.name, KIND_CLIENT_OP, len(encode([key])))
-        result = node.remove(key)
-        self.net.account(node.name, "client", KIND_CLIENT_REPLY, 8)
-        return result
+        return self._client_op(node, [key], lambda: node.remove(key))
 
     def apply_batch(self, batch) -> int:
         """Batched lookaside writes: one shipment per home server.
@@ -135,15 +152,10 @@ class Cluster:
             by_home.setdefault(node.name, []).append(
                 (op.key, op.value if op.kind == PUT else None)
             )
-        applied = 0
-        for name, pairs in by_home.items():
-            node = nodes[name]
-            self.client_ops += 1
-            wire = encode_batch_args(pairs)
-            self.net.account("client", name, KIND_CLIENT_OP, len(encode(wire)))
-            applied += node.apply_batch(pairs)
-            self.net.account(name, "client", KIND_CLIENT_REPLY, 8)
-        return applied
+        return sum(
+            self.apply_batch_at(nodes[name], pairs)
+            for name, pairs in by_home.items()
+        )
 
     def put_many(self, pairs: Sequence[Tuple[str, str]]) -> int:
         """Convenience: batch-write ``(key, value)`` pairs."""
@@ -152,24 +164,74 @@ class Cluster:
     def scan(self, affinity: str, first: str, last: str) -> List[Tuple[str, str]]:
         """Read routed to the user's compute server."""
         node = self.compute_node_for(affinity)
-        self.client_ops += 1
-        self.net.account("client", node.name, KIND_CLIENT_OP,
-                         len(encode([first, last])))
-        rows = node.scan(first, last)
-        self.net.account(
-            node.name, "client", KIND_CLIENT_REPLY,
-            max(len(encode([list(r) for r in rows])), 16),
+        return self._client_op(
+            node, [first, last], lambda: node.scan(first, last),
+            self._rows_reply,
         )
-        return rows
 
     def get(self, affinity: str, key: str) -> Optional[str]:
         node = self.compute_node_for(affinity)
-        self.client_ops += 1
-        self.net.account("client", node.name, KIND_CLIENT_OP, len(encode([key])))
-        value = node.get(key)
-        self.net.account(node.name, "client", KIND_CLIENT_REPLY,
-                         len(encode([value])) if value else 16)
-        return value
+        return self._client_op(
+            node, [key], lambda: node.get(key), self._value_reply
+        )
+
+    # -- node-directed operations (used by the unified client) ----------
+    def put_at(self, node: DistributedNode, key: str, value: str) -> None:
+        """A client write sent to a specific server.  Used for writes
+        into computed ranges, which live at the compute tier, not at a
+        base home."""
+        self._client_op(node, [key, value], lambda: node.put(key, value))
+
+    def remove_at(self, node: DistributedNode, key: str) -> bool:
+        return self._client_op(node, [key], lambda: node.remove(key))
+
+    def apply_batch_at(
+        self, node: DistributedNode, pairs: List[Tuple[str, Optional[str]]]
+    ) -> int:
+        return self._client_op(
+            node, encode_batch_args(pairs), lambda: node.apply_batch(pairs)
+        )
+
+    def stored_rows_at(
+        self, node: DistributedNode, first: str, last: str
+    ) -> List[Tuple[str, str]]:
+        """A client read of a server's *stored* rows only — no join
+        execution, no base-range fetching.  Used to merge rows held
+        exclusively by other compute servers into cross-affinity scans."""
+        return self._client_op(
+            node, [first, last],
+            lambda: node.server.store.scan(first, last), self._rows_reply,
+        )
+
+    def get_home(self, key: str) -> Optional[str]:
+        """Read ``key`` from its home server — the source of truth for
+        base data, which compute servers only mirror on demand."""
+        node = self.home_node(key)
+        return self._client_op(
+            node, [key], lambda: node.get(key), self._value_reply
+        )
+
+    def scan_homes(self, first: str, last: str) -> List[Tuple[str, str]]:
+        """Scan base data across its home server(s), merged in key
+        order.  Partitioned tables ask only the homes owning a slice
+        of the range; unpartitioned (hash-placed) tables ask every
+        base server, since their keys interleave."""
+        table = first.split(SEP, 1)[0]
+        if self.partitioner.is_base_table(table):
+            names = self.partitioner.homes_for_range(table, first, last)
+            nodes = [self._by_name(name) for name in names]
+        else:
+            nodes = list(self.base_nodes)
+        rows: List[Tuple[str, str]] = []
+        for node in nodes:
+            rows.extend(
+                self._client_op(
+                    node, [first, last], lambda: node.scan(first, last),
+                    self._rows_reply,
+                )
+            )
+        rows.sort()
+        return rows
 
     def session(self, affinity: str) -> "Session":
         return Session(self, affinity)

@@ -7,7 +7,10 @@ outstanding (§5.1), so every request carries an id and responses may
 arrive in any order.
 
 Request  : ``[id, method, args...]``
-Response : ``[id, status, payload]`` with status "ok" or "err".
+Response : ``[id, status, payload]`` with status "ok" or "err".  An
+"err" payload is ``[code, message]`` where ``code`` is one of
+:data:`ERR_CODES`, letting clients surface server-side faults as the
+unified exception types of ``repro.client.errors``.
 
 Methods mirror the server API: ``get``, ``put``, ``remove``, ``scan``,
 ``add_join``, ``count``, ``stats``, ``ping``, plus ``batch`` — a group
@@ -28,10 +31,19 @@ MAX_FRAME = 64 * 1024 * 1024  # sanity cap
 OK = "ok"
 ERR = "err"
 
+#: Error codes attached to failure responses so every client backend
+#: can raise the same unified exception type (repro.client.errors).
+#: An error payload is ``[code, message]``; bare-string payloads from
+#: older peers are treated as ``ERR_CODE_SERVER``.
+ERR_CODE_JOIN = "join"  # join failed parse or add-join validation
+ERR_CODE_BAD_REQUEST = "bad_request"  # invalid arguments / unknown method
+ERR_CODE_SERVER = "server"  # server fault executing a valid request
+ERR_CODES = (ERR_CODE_JOIN, ERR_CODE_BAD_REQUEST, ERR_CODE_SERVER)
+
 #: Methods a Pequod RPC server accepts, mapped to server attributes.
 METHODS = (
-    "get", "put", "remove", "scan", "count", "add_join", "stats", "ping",
-    "batch",
+    "get", "put", "remove", "scan", "scan_prefix", "count", "add_join",
+    "stats", "ping", "batch",
 )
 
 
@@ -78,6 +90,30 @@ def parse_response(message: List[Any]) -> Tuple[int, str, Any]:
     if not isinstance(request_id, int) or status not in (OK, ERR):
         raise ProtocolError(f"malformed response: {message!r}")
     return request_id, status, payload
+
+
+def encode_error(code: str, message: str) -> List[Any]:
+    """The payload of one failure response."""
+    if code not in ERR_CODES:
+        raise ProtocolError(f"unknown error code {code!r}")
+    return [code, message]
+
+
+def parse_error(payload: Any) -> Tuple[str, str]:
+    """``(code, message)`` from a failure-response payload.
+
+    Accepts the structured ``[code, message]`` form and, for
+    compatibility with bare-string error payloads, classifies unknown
+    shapes as server faults.
+    """
+    if (
+        isinstance(payload, list)
+        and len(payload) == 2
+        and payload[0] in ERR_CODES
+        and isinstance(payload[1], str)
+    ):
+        return payload[0], payload[1]
+    return ERR_CODE_SERVER, str(payload)
 
 
 def encode_batch_args(pairs: List[Tuple[str, Optional[str]]]) -> List[Any]:

@@ -28,7 +28,17 @@ def _batch_pairs(batch: BatchLike) -> List[Tuple[str, Optional[str]]]:
 
 
 class RpcError(RuntimeError):
-    """An error reported by the server for one request."""
+    """An error reported by the server for one request.
+
+    ``code`` is the protocol error code (:data:`repro.net.protocol.ERR_CODES`)
+    the server attached, letting callers — in particular the unified
+    client layer — distinguish bad requests and join-validation failures
+    from genuine server faults.
+    """
+
+    def __init__(self, message: str, code: str = protocol.ERR_CODE_SERVER):
+        super().__init__(message)
+        self.code = code
 
 
 class RpcClient:
@@ -84,7 +94,8 @@ class RpcClient:
                     if status == protocol.OK:
                         future.set_result(body)
                     else:
-                        future.set_exception(RpcError(str(body)))
+                        code, detail = protocol.parse_error(body)
+                        future.set_exception(RpcError(detail, code))
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - fail all outstanding
@@ -130,8 +141,19 @@ class RpcClient:
     async def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
         return [tuple(pair) for pair in await self.call("scan", first, last)]
 
+    async def scan_prefix(self, prefix: str) -> List[Tuple[str, str]]:
+        return [
+            tuple(pair) for pair in await self.call("scan_prefix", prefix)
+        ]
+
+    async def count(self, first: str, last: str) -> int:
+        return await self.call("count", first, last)
+
     async def add_join(self, text: str) -> List[str]:
         return await self.call("add_join", text)
+
+    async def stats(self) -> Dict[str, float]:
+        return await self.call("stats")
 
     async def ping(self) -> str:
         return await self.call("ping")
@@ -153,7 +175,11 @@ class SyncRpcClient:
     def __init__(self, host: str, port: int) -> None:
         self._loop = asyncio.new_event_loop()
         self._client = RpcClient(host, port)
-        self._loop.run_until_complete(self._client.connect())
+        try:
+            self._loop.run_until_complete(self._client.connect())
+        except BaseException:
+            self._loop.close()
+            raise
 
     def close(self) -> None:
         self._loop.run_until_complete(self._client.close())
@@ -174,8 +200,20 @@ class SyncRpcClient:
     def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
         return [tuple(p) for p in self.call("scan", first, last)]
 
+    def scan_prefix(self, prefix: str) -> List[Tuple[str, str]]:
+        return [tuple(p) for p in self.call("scan_prefix", prefix)]
+
+    def count(self, first: str, last: str) -> int:
+        return self.call("count", first, last)
+
     def add_join(self, text: str) -> List[str]:
         return self.call("add_join", text)
+
+    def stats(self) -> Dict[str, float]:
+        return self.call("stats")
+
+    def ping(self) -> str:
+        return self.call("ping")
 
     def write_batch(self) -> WriteBatch:
         """A write batch that flushes through this client on apply."""
@@ -186,3 +224,7 @@ class SyncRpcClient:
         if not pairs:
             return 0
         return self.call("batch", *protocol.encode_batch_args(pairs))
+
+    def put_many(self, pairs: Iterable[Tuple[str, str]]) -> int:
+        """Batch-write ``(key, value)`` pairs as one coalesced RPC."""
+        return self.apply_batch(pairs)

@@ -13,8 +13,20 @@ import asyncio
 import traceback
 from typing import Any, List, Optional
 
+from ..core.joins import JoinError
+from ..core.pattern import PatternError
 from ..core.server import PequodServer
 from . import protocol
+from .codec import CodecError
+
+
+def classify_error(exc: BaseException) -> str:
+    """The protocol error code for one server-side exception."""
+    if isinstance(exc, (JoinError, PatternError)):
+        return protocol.ERR_CODE_JOIN
+    if isinstance(exc, (ValueError, KeyError, TypeError, CodecError)):
+        return protocol.ERR_CODE_BAD_REQUEST
+    return protocol.ERR_CODE_SERVER
 
 
 class RpcServer:
@@ -101,10 +113,13 @@ class RpcServer:
             self.requests_served += 1
             return protocol.encode_response(request_id, protocol.OK, result)
         except Exception as exc:  # noqa: BLE001 - faults go to the client
+            code = classify_error(exc)
             detail = f"{type(exc).__name__}: {exc}"
-            if not isinstance(exc, (ValueError, KeyError, TypeError)):
+            if code == protocol.ERR_CODE_SERVER:
                 detail += "\n" + traceback.format_exc(limit=3)
-            return protocol.encode_response(request_id, protocol.ERR, detail)
+            return protocol.encode_response(
+                request_id, protocol.ERR, protocol.encode_error(code, detail)
+            )
 
     def _invoke(self, method: str, args: List[Any]) -> Any:
         srv = self.server
@@ -124,6 +139,9 @@ class RpcServer:
         if method == "scan":
             first, last = args
             return [list(pair) for pair in srv.scan(first, last)]
+        if method == "scan_prefix":
+            (prefix,) = args
+            return [list(pair) for pair in srv.scan_prefix(prefix)]
         if method == "count":
             first, last = args
             return srv.count(first, last)

@@ -15,6 +15,13 @@ class TestDemoCommand:
         assert "ann's timeline" in out
         assert "t|ann|0100|bob" in out
 
+    @pytest.mark.parametrize("backend", ["rpc", "cluster"])
+    def test_demo_on_other_backends(self, backend, capsys):
+        assert main(["demo", "--backend", backend]) == 0
+        out = capsys.readouterr().out
+        assert f"backend: {backend}" in out
+        assert "t|ann|0100|bob" in out
+
 
 class TestBenchCommand:
     @pytest.mark.slow
@@ -48,6 +55,34 @@ class TestBenchCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["bench", "fig99"])
+
+    def test_twip_backend_matrix(self, tmp_path, capsys):
+        """The acceptance run: one workload on all three backends via
+        the unified client, with identical output state."""
+        out_path = tmp_path / "BENCH_twip.json"
+        assert main(
+            ["bench", "twip", "--scale", "0.25", "--backend", "all",
+             "--json", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "unified PequodClient" in out
+        assert "identical across backends: True" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["state_identical"] is True
+        assert set(payload["backends"]) == {"local", "rpc", "cluster"}
+        digests = {
+            r["state_sha256"] for r in payload["backends"].values()
+        }
+        assert len(digests) == 1
+
+    @pytest.mark.parametrize("backend", ["local", "rpc", "cluster"])
+    def test_twip_single_backend(self, backend, capsys):
+        assert main(
+            ["bench", "twip", "--scale", "0.2", "--backend", backend]
+        ) == 0
+        assert backend in capsys.readouterr().out
 
 
 class TestJoinsCommand:

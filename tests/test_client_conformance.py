@@ -1,0 +1,354 @@
+"""Backend conformance: one suite, every deployment shape.
+
+Each test runs against all three ``PequodClient`` backends via the
+parameterized fixture — in-process, real TCP RPC, and a simulated
+cluster — asserting identical results for the paper's §2 walkthrough,
+batches, aggregates, and error cases.  The local backend is the
+semantic reference; staleness is normalized by ``settle()`` (a no-op
+off-cluster), the one deliberate difference the API admits (§2.4).
+"""
+
+import pytest
+
+from repro.client import (
+    BadRequestError,
+    ClientError,
+    JoinSpecError,
+    LocalClient,
+    ServerError,
+    join,
+    make_client,
+)
+
+TIMELINE = (
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+)
+KARMA = "karma|<author> = count vote|<author>|<id>|<voter>"
+
+#: Partitioned base tables for the cluster backend (the other
+#: backends ignore this).
+BASE_TABLES = ("p", "s", "vote", "article", "comment")
+
+BACKENDS = ("local", "rpc", "cluster")
+
+
+@pytest.fixture(params=BACKENDS)
+def client(request):
+    c = make_client(request.param, base_tables=BASE_TABLES)
+    yield c
+    c.close()
+
+
+class TestWalkthrough:
+    """The §2 Twip walkthrough, byte-identical on every backend."""
+
+    def test_demand_computation_and_maintenance(self, client):
+        client.add_join(TIMELINE)
+        client.put("s|ann|bob", "1")
+        client.put("p|bob|0100", "hello!")
+        client.settle()
+        assert client.scan_prefix("t|ann|") == [("t|ann|0100|bob", "hello!")]
+        # Eager incremental maintenance after the range is cached.
+        client.put("p|bob|0120", "again")
+        client.settle()
+        assert client.scan_prefix("t|ann|") == [
+            ("t|ann|0100|bob", "hello!"),
+            ("t|ann|0120|bob", "again"),
+        ]
+
+    def test_subscribe_and_unsubscribe(self, client):
+        client.add_join(TIMELINE)
+        client.put("s|ann|bob", "1")
+        client.put("p|bob|0100", "bob's tweet")
+        client.put("p|liz|0050", "liz's old tweet")
+        client.settle()
+        assert len(client.scan_prefix("t|ann|")) == 1
+        # Lazy subscription handling: liz's old tweet appears on read.
+        client.put("s|ann|liz", "1")
+        client.settle()
+        assert client.scan_prefix("t|ann|") == [
+            ("t|ann|0050|liz", "liz's old tweet"),
+            ("t|ann|0100|bob", "bob's tweet"),
+        ]
+        # Unsubscribe retracts the copied tweets.
+        assert client.remove("s|ann|liz") is True
+        client.settle()
+        assert client.scan_prefix("t|ann|") == [
+            ("t|ann|0100|bob", "bob's tweet")
+        ]
+
+    def test_get_put_remove_roundtrip(self, client):
+        assert client.get("p|bob|0100") is None
+        client.put("p|bob|0100", "x")
+        assert client.get("p|bob|0100") == "x"
+        assert client.exists("p|bob|0100") is True
+        client.put("p|bob|0100", "y")  # overwrite
+        assert client.get("p|bob|0100") == "y"
+        assert client.remove("p|bob|0100") is True
+        assert client.remove("p|bob|0100") is False
+        assert client.get("p|bob|0100") is None
+
+    def test_scan_forms_agree(self, client):
+        client.put_many([(f"p|u|{i:04d}", f"v{i}") for i in range(8)])
+        client.settle()
+        full = client.scan("p|u|", "p|u}")
+        assert full == client.scan_prefix("p|u|")
+        assert client.count("p|u|", "p|u}") == 8
+        assert client.scan("p|u|0002", "p|u|0005") == [
+            ("p|u|0002", "v2"),
+            ("p|u|0003", "v3"),
+            ("p|u|0004", "v4"),
+        ]
+        assert client.scan("p|u|0005", "p|u|0005") == []
+
+
+class TestBatches:
+    def test_write_batch_context_manager(self, client):
+        client.add_join(TIMELINE)
+        client.put("s|ann|bob", "1")
+        client.settle()
+        client.scan_prefix("t|ann|")  # warm the timeline
+        with client.write_batch() as batch:
+            batch.put("p|bob|0100", "one")
+            batch.put("p|bob|0200", "two")
+        client.settle()
+        assert client.scan_prefix("t|ann|") == [
+            ("t|ann|0100|bob", "one"),
+            ("t|ann|0200|bob", "two"),
+        ]
+
+    def test_batch_coalesces_per_key(self, client):
+        batch = client.write_batch()
+        batch.put("p|bob|0100", "draft")
+        batch.put("p|bob|0100", "final")
+        batch.remove("p|bob|0999")  # remove of an absent key
+        applied = batch.apply()
+        assert applied == 1
+        assert batch.coalesced_ops == 1
+        assert client.get("p|bob|0100") == "final"
+
+    def test_put_many_returns_changes(self, client):
+        pairs = [("p|a|1", "x"), ("p|b|1", "y"), ("p|c|1", "z")]
+        assert client.put_many(pairs) == 3
+        # A rewrite applies each op again — same count on every backend.
+        assert client.put_many(pairs) == 3
+        client.settle()
+        assert client.count("p|", "p}") == 3
+
+    def test_apply_batch_accepts_pairs(self, client):
+        applied = client.apply_batch(
+            [("p|a|1", "x"), ("p|b|1", None), ("p|c|1", "z")]
+        )
+        assert applied == 2  # the remove targets an absent key
+        assert client.get("p|a|1") == "x"
+
+
+class TestAggregates:
+    def test_count_join(self, client):
+        client.add_join(KARMA)
+        client.put("vote|bob|001|ann", "1")
+        client.put("vote|bob|001|liz", "1")
+        client.settle()
+        assert client.get("karma|bob") == "2"
+        client.put("vote|bob|002|jim", "1")
+        client.settle()
+        assert client.get("karma|bob") == "3"
+
+    def test_aggregate_tracks_removal(self, client):
+        client.add_join(KARMA)
+        client.put("vote|bob|001|ann", "1")
+        client.put("vote|bob|001|liz", "1")
+        client.settle()
+        assert client.get("karma|bob") == "2"
+        assert client.remove("vote|bob|001|liz") is True
+        client.settle()
+        assert client.get("karma|bob") == "1"
+
+
+class TestJoinInstallation:
+    def test_grammar_and_builder_agree(self, client):
+        text_form = client.add_join(TIMELINE)
+        built = (
+            join("t2|<user>|<time>|<poster>")
+            .check("s|<user>|<poster>")
+            .copy("p|<poster>|<time>")
+        )
+        builder_form = client.add_join(built)
+        assert text_form == [TIMELINE]
+        assert builder_form == [TIMELINE.replace("t|", "t2|", 1)]
+
+    def test_multiple_joins_one_call(self, client):
+        installed = client.add_join(f"{TIMELINE};{KARMA}")
+        assert len(installed) == 2
+
+    @pytest.mark.parametrize("shape", ["text", "sequence"])
+    def test_failed_multi_join_installs_nothing(self, client, shape):
+        """Add-join is atomic per call — for ';'-joined text and for
+        sequence input alike: a failing statement leaves no partial
+        install behind (and, on a cluster, no divergence between
+        compute servers)."""
+        first = "cyc|<x> = copy dep|<x>"
+        second = "dep|<x> = copy cyc|<x>"
+        spec = f"{first}; {second}" if shape == "text" else [first, second]
+        with pytest.raises(JoinSpecError):
+            client.add_join(spec)
+        client.put("dep|1", "v")
+        client.settle()
+        # The first statement did not survive: nothing was computed.
+        assert client.scan_prefix("cyc|") == []
+
+    def test_joins_drive_data_identically(self, client):
+        client.add_join(
+            join("page|<a>|<id>|k|<c>").check("comment|<a>|<id>|<c>")
+            .copy("karma|<c>")
+        )
+        client.add_join(KARMA)
+        client.put("comment|ann|001|bob", "nice")
+        client.put("vote|bob|001|cid", "1")
+        client.settle()
+        assert client.scan_prefix("page|ann|001|") == [
+            ("page|ann|001|k|bob", "1")
+        ]
+
+
+class TestComputedRangeWrites:
+    """Direct writes into a join's output range behave identically:
+    on a cluster they route to the compute tier the range is read
+    from, not to a base home no reader consults."""
+
+    def test_manual_write_visible(self, client):
+        client.add_join(TIMELINE)
+        client.put("t|ann|0100|bob", "manual")
+        client.settle()
+        assert client.get("t|ann|0100|bob") == "manual"
+        assert client.scan_prefix("t|ann|") == [("t|ann|0100|bob", "manual")]
+
+    def test_manual_write_merges_with_computed(self, client):
+        client.add_join(TIMELINE)
+        client.put("t|ann|0100|bob", "manual")
+        client.put("s|ann|bob", "1")
+        client.put("p|bob|0200", "real")
+        client.settle()
+        assert client.scan_prefix("t|ann|") == [
+            ("t|ann|0100|bob", "manual"),
+            ("t|ann|0200|bob", "real"),
+        ]
+
+    def test_cross_affinity_scan_sees_every_write(self, client):
+        """A scan spanning several users' computed slices returns
+        direct writes for all of them (on a cluster those writes live
+        on different compute servers)."""
+        client.add_join(TIMELINE)
+        client.put("t|ann|0100|bob", "for ann")
+        client.put("t|liz|0100|bob", "for liz")
+        client.put("t|zed|0100|bob", "for zed")
+        client.settle()
+        assert client.scan_prefix("t|") == [
+            ("t|ann|0100|bob", "for ann"),
+            ("t|liz|0100|bob", "for liz"),
+            ("t|zed|0100|bob", "for zed"),
+        ]
+        assert client.count("t|", "t}") == 3
+
+    def test_batched_computed_writes(self, client):
+        client.add_join(TIMELINE)
+        applied = client.apply_batch(
+            [("t|ann|0100|bob", "manual"), ("p|bob|0300", "base")]
+        )
+        assert applied == 2
+        client.settle()
+        assert client.get("t|ann|0100|bob") == "manual"
+        assert client.get("p|bob|0300") == "base"
+        assert client.remove("t|ann|0100|bob") is True
+        client.settle()
+        assert client.get("t|ann|0100|bob") is None
+
+
+class TestErrors:
+    """The unified exception hierarchy, identical over every transport."""
+
+    def test_unparseable_join(self, client):
+        with pytest.raises(JoinSpecError):
+            client.add_join("not a join at all")
+
+    def test_recursive_join_rejected(self, client):
+        with pytest.raises(JoinSpecError):
+            client.add_join("t|<a> = copy t|<a>")
+
+    def test_join_error_is_bad_request_is_client_error(self, client):
+        with pytest.raises(BadRequestError):
+            client.add_join("nope")
+        with pytest.raises(ClientError):
+            client.add_join("nope")
+
+    def test_non_string_value_rejected(self, client):
+        with pytest.raises(BadRequestError):
+            client.put("p|bob|0100", 42)
+        with pytest.raises(BadRequestError):
+            client.put_many([("p|bob|0100", None)])
+
+    def test_malformed_batch_rejected(self, client):
+        with pytest.raises(BadRequestError):
+            client.apply_batch([("p|bob|0100", 42)])
+        with pytest.raises(BadRequestError):
+            client.apply_batch([("", "empty key")])
+
+    def test_client_usable_after_errors(self, client):
+        with pytest.raises(ClientError):
+            client.add_join("broken")
+        client.put("p|bob|0100", "still works")
+        assert client.get("p|bob|0100") == "still works"
+
+    def test_server_error_type_exists(self, client):
+        # Nothing in the normal API raises ServerError; assert the
+        # type is part of the shared hierarchy so transports can map
+        # genuine faults onto it.
+        assert issubclass(ServerError, ClientError)
+
+
+class TestStats:
+    def test_stats_reflect_work(self, client):
+        client.put("p|a|1", "x")
+        client.get("p|a|1")
+        stats = client.stats()
+        assert stats.get("op_put", 0) >= 1
+        assert stats.get("op_get", 0) >= 1
+
+
+class TestFactory:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BadRequestError):
+            make_client("redis")
+
+    @pytest.mark.parametrize("backend", ["local", "cluster"])
+    def test_connect_intent_rejected_off_rpc(self, backend):
+        with pytest.raises(BadRequestError):
+            make_client(backend, port=7709)
+        with pytest.raises(BadRequestError):
+            make_client(backend, host="10.0.0.5")
+
+    def test_rpc_by_port_rejects_server_kwargs(self):
+        with pytest.raises(BadRequestError):
+            make_client("rpc", port=7709, subtable_config={"t": 2})
+
+    def test_rpc_host_alone_means_connect(self):
+        """make_client('rpc', host=...) connects (to the default
+        port) rather than silently starting a fresh empty server."""
+        from repro.client import TransportError
+
+        with pytest.raises(TransportError):
+            # RFC 2606 reserves .invalid: resolution always fails, so
+            # this cannot start a server and cannot accidentally
+            # connect to one.
+            make_client("rpc", host="host.invalid")
+
+
+class TestBackendReporting:
+    def test_backend_tag(self, client):
+        assert client.backend in ("local", "rpc", "cluster")
+
+    def test_local_exposes_server(self):
+        with make_client("local") as c:
+            assert isinstance(c, LocalClient)
+            c.put("p|a|1", "x")
+            assert c.server.key_count() == 1

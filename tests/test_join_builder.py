@@ -1,0 +1,136 @@
+"""Tests for the fluent join builder and its grammar equivalence."""
+
+import pytest
+
+from repro import PequodServer
+from repro.client import JoinSpecError, LocalClient, join
+from repro.core.grammar import parse_join
+from repro.core.joins import MaintenanceType
+
+TIMELINE_TEXT = (
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+)
+
+
+class TestBuilderCompilation:
+    def test_timeline_join_matches_grammar(self):
+        built = (
+            join("t|<user>|<time>|<poster>")
+            .check("s|<user>|<poster>")
+            .copy("p|<poster>|<time>")
+            .build()
+        )
+        parsed = parse_join(TIMELINE_TEXT)
+        assert built.text == parsed.text
+        assert built.output.text == parsed.output.text
+        assert [s.operator for s in built.sources] == ["check", "copy"]
+
+    def test_pull_annotation(self):
+        built = (
+            join("t|<u>|<tm>|<p>")
+            .check("s|<u>|<p>")
+            .copy("ct|<tm>|<p>")
+            .pull()
+            .build()
+        )
+        assert built.maintenance is MaintenanceType.PULL
+        assert built.text.split("= ")[1].startswith("pull ")
+        assert built.text == parse_join(built.text).text
+
+    def test_snapshot_annotation(self):
+        built = join("x|<a>").copy("y|<a>").snapshot(30).build()
+        assert built.maintenance is MaintenanceType.SNAPSHOT
+        assert built.snapshot_interval == 30.0
+
+    def test_push_is_default_and_resets_pull(self):
+        builder = join("x|<a>").copy("y|<a>").pull().push()
+        assert builder.build().maintenance is MaintenanceType.PUSH
+
+    def test_every_aggregate_operator(self):
+        for op in ("count", "sum", "min", "max"):
+            built = getattr(join("agg|<a>"), op)("v|<a>|<i>").build()
+            assert built.value_source.operator == op
+            assert built.is_aggregate
+
+    def test_text_property_round_trips(self):
+        builder = join("karma|<a>").count("vote|<a>|<i>|<v>")
+        assert parse_join(builder.text).text == builder.text
+
+    def test_builder_is_reusable(self):
+        builder = join("x|<a>").copy("y|<a>")
+        assert builder.build().text == builder.build().text
+
+
+class TestBuilderValidation:
+    def test_no_sources_rejected(self):
+        with pytest.raises(JoinSpecError):
+            join("t|<a>").build()
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(JoinSpecError):
+            join("")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(JoinSpecError):
+            join("t|<a>").copy("  ")
+
+    def test_two_value_sources_rejected(self):
+        with pytest.raises(JoinSpecError):
+            join("t|<a>").copy("x|<a>").copy("y|<a>").build()
+
+    def test_recursive_join_rejected(self):
+        with pytest.raises(JoinSpecError):
+            join("t|<a>").copy("t|<a>").build()
+
+    def test_unrecoverable_slot_rejected(self):
+        with pytest.raises(JoinSpecError):
+            join("t|<a>|<b>").copy("x|<a>").build()
+
+    def test_bad_snapshot_interval_rejected(self):
+        with pytest.raises(JoinSpecError):
+            join("x|<a>").copy("y|<a>").snapshot(0)
+
+    def test_join_spec_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            join("t|<a>").build()
+
+
+class TestBuilderInstallation:
+    def test_server_accepts_builder_directly(self):
+        srv = PequodServer()
+        builder = (
+            join("t|<user>|<time>|<poster>")
+            .check("s|<user>|<poster>")
+            .copy("p|<poster>|<time>")
+        )
+        installed = srv.add_join(builder)
+        assert [j.text for j in installed] == [TIMELINE_TEXT]
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "hi")
+        assert srv.scan_prefix("t|ann|") == [("t|ann|0100|bob", "hi")]
+
+    def test_server_accepts_builder_sequence(self):
+        srv = PequodServer()
+        installed = srv.add_join([
+            join("t|<u>|<tm>|<p>").check("s|<u>|<p>").copy("p|<p>|<tm>"),
+            join("karma|<a>").count("vote|<a>|<i>|<v>"),
+        ])
+        assert len(installed) == 2
+
+    def test_failed_batch_installs_nothing(self):
+        """PequodServer.add_join validates a whole spec before
+        installing any statement of it."""
+        from repro.core.joins import JoinError
+
+        srv = PequodServer()
+        with pytest.raises(JoinError):
+            srv.add_join("a|<x> = copy b|<x>; b|<x> = copy a|<x>")
+        assert srv.joins == []
+
+    def test_client_accepts_mixed_sequence(self):
+        client = LocalClient()
+        installed = client.add_join([
+            "karma|<a> = count vote|<a>|<i>|<v>",
+            join("t|<u>|<tm>|<p>").check("s|<u>|<p>").copy("p|<p>|<tm>"),
+        ])
+        assert len(installed) == 2
