@@ -7,9 +7,11 @@ Commands:
 * ``demo``   — the quickstart walkthrough, on any backend
   (``--backend local|rpc|cluster``);
 * ``bench``  — regenerate a paper experiment (fig7 / fig8 / fig9 /
-  fig10 / write_batching) or run the ``twip`` workload through the
-  unified client on one or all deployment shapes (``--backend``),
-  and print its table or series;
+  fig10 / write_batching / read_path) or run the ``twip`` workload
+  through the unified client on one or all deployment shapes
+  (``--backend``), and print its table or series;
+* ``profile`` — cProfile a named bench workload and print the top-20
+  functions by cumulative time (where the next read-path hunt starts);
 * ``joins``  — parse and validate a join file, printing the normalized
   forms (a linter for cache-join specs).
 """
@@ -50,6 +52,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="mark a subtable boundary, e.g. t:2 (repeatable)",
     )
     serve.add_argument("--memory-limit", type=int, default=None)
+    serve.add_argument(
+        "--store-impl", choices=["rbtree", "sortedarray"], default=None,
+        help="ordered map backing the data plane (default: sortedarray)",
+    )
 
     demo = sub.add_parser("demo", help="run the quickstart walkthrough")
     demo.add_argument(
@@ -60,7 +66,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate a paper experiment")
     bench.add_argument(
         "experiment",
-        choices=["fig7", "fig8", "fig9", "fig10", "write_batching", "twip"],
+        choices=["fig7", "fig8", "fig9", "fig10", "write_batching",
+                 "read_path", "twip"],
     )
     bench.add_argument(
         "--scale", type=float, default=1.0,
@@ -78,6 +85,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the result as JSON (CI artifact / trend seed)",
     )
 
+    profile = sub.add_parser(
+        "profile", help="cProfile a bench workload (top-20 cumulative)"
+    )
+    profile.add_argument(
+        "workload", choices=["read_path", "write_batching", "twip"],
+    )
+    profile.add_argument(
+        "--scale", type=float, default=0.25,
+        help="scale factor on the canonical workload size",
+    )
+    profile.add_argument(
+        "--limit", type=int, default=20,
+        help="how many functions to print",
+    )
+
     joins = sub.add_parser("joins", help="validate a cache-join file")
     joins.add_argument("path")
     return parser
@@ -91,9 +113,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_demo(args.backend)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "joins":
         return _cmd_joins(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+# ----------------------------------------------------------------------
+# Canonical workload sizes at scale ``s`` — shared by ``bench`` and
+# ``profile`` so profiling always examines exactly the measured workload.
+def _read_path_sizes(s: float) -> dict:
+    return {
+        "n_users": max(50, int(400 * s)),
+        "mean_follows": max(4.0, 12 * min(s, 1.0)),
+        "total_ops": max(800, int(20000 * s)),
+    }
+
+
+def _write_batching_sizes(s: float) -> dict:
+    return {
+        "n_users": max(20, int(400 * s)),
+        "mean_follows": max(3.0, 12 * min(s, 1.0)),
+        "posts": max(64, int(4096 * s)),
+    }
+
+
+def _twip_sizes(s: float) -> dict:
+    return {
+        "n_users": max(20, int(60 * s)),
+        "mean_follows": max(3.0, 6 * min(s, 2.0)),
+        "total_ops": max(100, int(800 * s)),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -109,7 +160,9 @@ def _cmd_serve(args) -> int:
             return 2
         config[table] = int(depth)
     server = PequodServer(
-        subtable_config=config or None, memory_limit=args.memory_limit
+        subtable_config=config or None,
+        memory_limit=args.memory_limit,
+        store_impl=args.store_impl,
     )
     texts = list(args.join)
     if args.join_file:
@@ -186,12 +239,7 @@ def _cmd_bench(args) -> int:
             ("local", "rpc", "cluster")
             if args.backend == "all" else (args.backend,)
         )
-        result = run_twip_matrix(
-            backends=backends,
-            n_users=max(20, int(60 * s)),
-            mean_follows=max(3.0, 6 * min(s, 2.0)),
-            total_ops=max(100, int(800 * s)),
-        )
+        result = run_twip_matrix(backends=backends, **_twip_sizes(s))
         payload.update(result)
         rows = [
             (name, f"{r['wall_s']:.3f} s", f"{r['ops_per_sec']:.0f}",
@@ -211,12 +259,33 @@ def _cmd_bench(args) -> int:
                 # the diagnostic survives the failure.
                 return 1
         return status
+    if args.experiment == "read_path":
+        from .bench.harness import run_read_path
+
+        result = run_read_path(**_read_path_sizes(s))
+        payload.update(result)
+        rows = [
+            (p["config"], f"{p['cpu_s']:.3f} s", f"{p['ops_per_sec']:.0f}",
+             f"{p['speedup']:.2f}x")
+            for p in result["points"]
+        ]
+        print(format_table(
+            ["Configuration", "CPU", "ops/s", "speedup"], rows,
+            title="Read-path overhaul on the read-heavy Twip scan workload",
+        ))
+        micro = result["pattern_micro"]
+        print("pattern match (compiled vs reference): "
+              + ", ".join(
+                  f"{name} {m['speedup']:.2f}x" for name, m in micro.items()
+              ))
+        print("output state identical across configurations:",
+              result["state_identical"])
+        status = _finish_bench(args, payload)
+        if not result["state_identical"]:
+            return 1
+        return status
     if args.experiment == "write_batching":
-        result = run_write_batching(
-            n_users=max(20, int(400 * s)),
-            mean_follows=max(3.0, 12 * min(s, 1.0)),
-            posts=max(64, int(4096 * s)),
-        )
+        result = run_write_batching(**_write_batching_sizes(s))
         payload.update(result)
         print(write_batching_table(result["points"]))
         print("output state identical across batch sizes:",
@@ -294,6 +363,38 @@ def _finish_bench(args, payload: dict) -> int:
             print(f"cannot write {args.json_path}: {exc}", file=sys.stderr)
             return 1
         print(f"wrote {args.json_path}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """cProfile a named bench workload; print top functions by
+    cumulative time.  This is the profiling loop the read-path overhaul
+    came out of, packaged so the next hot-path hunt is one command."""
+    import cProfile
+    import pstats
+
+    s = args.scale
+
+    def run() -> None:
+        if args.workload == "read_path":
+            from .bench.harness import run_read_path
+
+            run_read_path(repeats=1, **_read_path_sizes(s))
+        elif args.workload == "write_batching":
+            from .bench.harness import run_write_batching
+
+            run_write_batching(**_write_batching_sizes(s))
+        else:
+            from .bench.harness import run_twip_matrix
+
+            run_twip_matrix(backends=("local",), **_twip_sizes(s))
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.limit)
     return 0
 
 

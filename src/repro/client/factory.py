@@ -103,7 +103,8 @@ def make_client(
     """Build a :class:`PequodClient` for the named backend.
 
     * ``local`` — in-process server; ``server_kwargs`` reach
-      :class:`PequodServer` (``subtable_config``, ``memory_limit``, …).
+      :class:`PequodServer` (``subtable_config``, ``memory_limit``,
+      ``store_impl`` to pick the ordered-map backend, …).
     * ``rpc`` — with ``host`` and/or ``port``, connect to an existing
       server there (defaults: ``127.0.0.1``, the protocol's port
       7709); with neither, start an ephemeral loopback server (built

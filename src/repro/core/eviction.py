@@ -113,7 +113,9 @@ class EvictionManager:
             return 1.0  # remote/base ranges: reload cost is one fetch
         _, sr = payload
         freed = 0
-        for node in self.engine.store.scan_nodes(sr.lo, sr.hi):
+        # Scoring is introspection, not a client scan: the non-counting
+        # iteration keeps eviction from inflating read counters.
+        for node in self.engine.store.iter_nodes(sr.lo, sr.hi):
             freed += len(node.key) + 64
         return freed / (1.0 + sr.compute_cost)
 
@@ -125,3 +127,8 @@ class EvictionManager:
         if stable is not None:
             stable.remove(sr)
         sr.lru_entry = None
+        # Evicted ranges must not linger in the validation memo: the
+        # hints would miss safely (the range is detached) but would pin
+        # the dead range, its pending log, and its hinted store node in
+        # memory the eviction was supposed to reclaim.
+        self.engine._validation_memo.pop(tbl_name, None)

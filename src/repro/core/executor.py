@@ -97,6 +97,9 @@ ChangeListener = Callable[[str, Optional[str], Optional[str], ChangeKind], None]
 class JoinEngine:
     """Join execution and maintenance over one server's store."""
 
+    #: Remembered status ranges per output table (see ``validate_range``).
+    VALIDATION_MEMO_CAP = 4096
+
     def __init__(
         self,
         store: OrderedStore,
@@ -104,14 +107,36 @@ class JoinEngine:
         stats: Optional[StoreStats] = None,
         enable_sharing: bool = True,
         enable_hints: bool = True,
+        enable_validation_memo: bool = True,
     ) -> None:
         self.store = store
         self.clock = clock if clock is not None else SystemClock()
         self.stats = stats if stats is not None else store.stats
         self.enable_sharing = enable_sharing
         self.enable_hints = enable_hints
+        self.enable_validation_memo = enable_validation_memo
         self.joins: List[CacheJoin] = []
         self._output_joins: Dict[str, List[CacheJoin]] = {}
+        #: Precomputed views of ``joins``: materialized joins per output
+        #: table (what validation must bring up to date) and the pull
+        #: joins (what every read must additionally execute).  Scans
+        #: consult these on every operation; deriving them per read was
+        #: measurable overhead.
+        self._materialized_joins: Dict[str, List[CacheJoin]] = {}
+        self._pull_joins: List[CacheJoin] = []
+        #: ``(table, table_upper_bound, joins)`` triples for every table
+        #: with materialized joins — the per-read validation loop walks
+        #: this instead of re-deriving bounds and filtering pull joins
+        #: on every operation.
+        self._validate_plan: List[Tuple[str, str, List[CacheJoin]]] = []
+        #: Per-table validation hints (paper §4.2's output-hint idea
+        #: applied to validation): the status range that satisfied the
+        #: last scan ending at a given ``hi``, so repeated timeline
+        #: checks skip the status-tree descent.  Hints are verified
+        #: structurally on use (attached + state + bounds + expiry), so
+        #: splits, invalidations, and evictions need no eager memo
+        #: maintenance — a stale hint simply misses.
+        self._validation_memo: Dict[str, Dict[str, StatusRange]] = {}
         self.status: Dict[str, StatusTable] = {}
         self.resolver: Optional[DataResolver] = None
         self.lru = LRUList()
@@ -167,6 +192,14 @@ class JoinEngine:
             self.validate_join(join)
         self.joins.append(join)
         self._output_joins.setdefault(join.output.table, []).append(join)
+        if join.is_pull:
+            self._pull_joins.append(join)
+        else:
+            self._materialized_joins.setdefault(join.output.table, []).append(join)
+            self._validate_plan = [
+                (tbl, prefix_upper_bound(tbl), joins)
+                for tbl, joins in self._materialized_joins.items()
+            ]
         self.status.setdefault(join.output.table, StatusTable())
         self.stats.add("joins_installed")
         return join
@@ -201,6 +234,8 @@ class JoinEngine:
             return []
         self.validate_range(first, last)
         stored = self.store.scan(first, last)
+        if not self._pull_joins:
+            return stored
         pulled = self._pull_results(first, last)
         if not pulled:
             return stored
@@ -211,7 +246,7 @@ class JoinEngine:
         hi = key_successor(key)
         self.validate_range(key, hi)
         value = self.store.get(key)
-        if value is None:
+        if value is None and self._pull_joins:
             for k, v in self._pull_results(key, hi):
                 if k == key:
                     return v
@@ -221,24 +256,65 @@ class JoinEngine:
         """Bring every overlapping join output in ``[first, last)`` up
         to date: compute gaps, recompute invalid/expired ranges, apply
         pending partial invalidations (§3.2)."""
-        for tbl_name, joins in self._output_joins.items():
-            materialized = [j for j in joins if not j.is_pull]
-            if not materialized:
-                continue
-            t_lo, t_hi = clamp_range(
-                first, last, tbl_name, prefix_upper_bound(tbl_name)
-            )
-            if not t_lo < t_hi:
-                continue
-            self._validate_table(tbl_name, materialized, t_lo, t_hi)
+        for tbl_name, bound, joins in self._validate_plan:
+            t_lo = first if first > tbl_name else tbl_name
+            t_hi = last if last < bound else bound
+            if t_lo < t_hi:
+                self._validate_table(tbl_name, joins, t_lo, t_hi)
+
+    def _memo_usable(self, sr: Optional[StatusRange], lo: str, hi: str, now: float) -> bool:
+        """May a remembered status range satisfy ``[lo, hi)`` as-is?
+
+        Every way a hint can go stale is visible structurally: eviction
+        detaches it, invalidation flips its state, a split shrinks its
+        ``hi``, pending work populates its log, snapshot expiry shows in
+        ``expires_at``.
+        """
+        return (
+            sr is not None
+            and sr.attached
+            and sr.state is RangeState.VALID
+            and not sr.pending
+            and (sr.expires_at is None or now < sr.expires_at)
+            and sr.lo <= lo
+            and hi <= sr.hi
+        )
 
     def _validate_table(
         self, tbl_name: str, joins: List[CacheJoin], lo: str, hi: str
     ) -> None:
-        stable = self.status[tbl_name]
+        memo = self._validation_memo.get(tbl_name)
+        if memo is not None and self.enable_validation_memo:
+            # The paper's §4.2 hint idea applied to validation: the
+            # range that answered the last scan ending at ``hi`` very
+            # likely covers this one too — verify it structurally (see
+            # _memo_usable, inlined here with the clock read deferred
+            # to the rare expiring-range case) and skip the status-tree
+            # walk.  This is the warm timeline check's whole validation.
+            sr = memo.get(hi)
+            if sr is not None:
+                if (
+                    sr.attached
+                    and sr.state is RangeState.VALID
+                    and not sr.pending
+                    and sr.lo <= lo
+                    and hi <= sr.hi
+                    and (sr.expires_at is None
+                         or self.clock.now() < sr.expires_at)
+                ):
+                    self.stats.counters["validation_memo_hits"] += 1
+                    entry = sr.lru_entry
+                    if entry is not None and entry.linked():
+                        self.lru.touch(entry)
+                    return
+                # A stale hint would otherwise pin the dead range (and
+                # its hinted node) until the cap clears; drop it now.
+                del memo[hi]
         now = self.clock.now()
+        stable = self.status[tbl_name]
         # pieces() snapshots the cover; computation below may split it.
-        for piece_lo, piece_hi, sr in stable.pieces(lo, hi):
+        pieces = stable.pieces(lo, hi)
+        for piece_lo, piece_hi, sr in pieces:
             if sr is None:
                 self._compute_piece(tbl_name, stable, joins, piece_lo, piece_hi)
             elif not sr.is_valid_at(now):
@@ -252,6 +328,22 @@ class JoinEngine:
                     self._touch(part)
             else:
                 self._touch(sr)
+        if not self.enable_validation_memo or len(pieces) != 1:
+            return
+        # Remember the single range now covering [lo, hi) for the next
+        # scan ending at ``hi`` (incremental checks share their upper
+        # bound and only advance ``lo``).
+        piece_lo, piece_hi, sr = pieces[0]
+        if piece_lo != lo or piece_hi != hi:
+            return
+        if sr is None or not self._memo_usable(sr, lo, hi, now):
+            sr = stable.find(lo)  # freshly computed or rebuilt cover
+        if self._memo_usable(sr, lo, hi, now):
+            if memo is None:
+                memo = self._validation_memo.setdefault(tbl_name, {})
+            elif len(memo) >= self.VALIDATION_MEMO_CAP:
+                memo.clear()  # crude bound; hints repopulate on demand
+            memo[hi] = sr
 
     def _touch(self, sr: StatusRange) -> None:
         if sr.lru_entry is not None and sr.lru_entry.linked():
@@ -526,9 +618,7 @@ class JoinEngine:
     # ==================================================================
     def _pull_results(self, first: str, last: str) -> List[Tuple[str, str]]:
         out: List[Tuple[str, str]] = []
-        for join in self.joins:
-            if not join.is_pull:
-                continue
+        for join in self._pull_joins:
             tbl = join.output.table
             lo, hi = clamp_range(first, last, tbl, prefix_upper_bound(tbl))
             if not lo < hi:
@@ -956,9 +1046,7 @@ class JoinEngine:
             if entry.join.is_aggregate:
                 # Aggregates cannot be patched tuple-by-tuple without
                 # group context; recompute this range instead.
-                joins = [
-                    j for j in self.joins_for_table(tbl_name) if not j.is_pull
-                ]
+                joins = self._materialized_joins.get(tbl_name, [])
                 self._recompute_range(tbl_name, stable, joins, sr)
                 return
             self._exec_source(

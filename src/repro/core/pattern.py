@@ -16,16 +16,86 @@ separate slot declarations.  Our textual form marks slots explicitly
 with ``<...>`` to keep the grammar unambiguous, and the parser accepts
 the paper's bare style through a compatibility rewrite (see
 ``repro.core.grammar``).
+
+Compilation
+-----------
+
+Matching and expansion sit on every hot path: each source key examined
+during join execution and each updater fired by a write runs ``match``,
+and every installed output runs ``expand``.  Patterns therefore
+*compile* at construction time:
+
+* **Fixed-width patterns** (every slot carries a declared width, §3's
+  "fixed numbers of bytes") precompute absolute character offsets, so
+  ``match`` is a length check plus pure string slicing — no regex, no
+  split.
+* **Variable-width patterns** compile to one anchored regular
+  expression with a named group per slot (repeats become
+  backreferences), so ``match`` is a single C-level ``fullmatch``.
+* ``expand`` precompiles a ``str.format`` template.
+* ``expand_prefix`` and containing-range computation (§3.1) memoize
+  recent results per pattern in small LRU maps — the access-path state
+  caching that read-heavy workloads repay.
+
+The original segment-walking implementations are kept as the
+``*_reference`` methods: they are the executable specification the
+compiled paths are property-tested against, and the fallback when
+compilation is globally disabled (``set_pattern_compilation(False)``,
+used by ``repro bench read_path`` to measure the pre-compilation
+baseline).
 """
 
 from __future__ import annotations
 
 import re
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..store.keys import SEP
+from ..store.keys import SEP, key_successor, prefix_upper_bound
 
 _SLOT_RE = re.compile(r"^<([A-Za-z_][A-Za-z0-9_]*)(?::(\d+))?>$")
+
+#: Global compilation switch.  On by default; the read-path benchmark
+#: flips it off to measure the uncompiled baseline.
+_COMPILED = True
+
+
+def set_pattern_compilation(enabled: bool) -> bool:
+    """Enable or disable compiled pattern paths globally.
+
+    Returns the previous setting so callers can restore it.  Intended
+    for benchmarks and equivalence tests; production leaves it on.
+    """
+    global _COMPILED
+    previous = _COMPILED
+    _COMPILED = bool(enabled)
+    return previous
+
+
+def pattern_compilation_enabled() -> bool:
+    return _COMPILED
+
+
+class LRUMemo:
+    """A tiny bounded memo (insertion-ordered dict, LRU eviction)."""
+
+    __slots__ = ("cap", "data")
+
+    def __init__(self, cap: int = 512) -> None:
+        self.cap = cap
+        self.data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        value = self.data.get(key)
+        if value is not None:
+            self.data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        data = self.data
+        data[key] = value
+        if len(data) > self.cap:
+            data.popitem(last=False)
 
 
 class Segment:
@@ -67,7 +137,18 @@ class Pattern:
     ``t`` and three slots.  Patterns compare equal by their source text.
     """
 
-    __slots__ = ("text", "segments", "slots", "table")
+    __slots__ = (
+        "text",
+        "segments",
+        "slots",
+        "table",
+        "_regex",
+        "_fixed",
+        "_fmt",
+        "_width_checks",
+        "_prefix_memo",
+        "_range_memo",
+    )
 
     def __init__(self, text: str) -> None:
         if not text:
@@ -103,6 +184,80 @@ class Pattern:
                 f"pattern {text!r} must start with a literal table tag"
             )
         self.table = first.text
+        self._compile()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        """Precompute the match/expand plans; see the module docstring."""
+        # Anchored regex: one named group per slot, backreferences for
+        # repeats (which also enforces repeated-slot agreement in C).
+        pieces: List[str] = []
+        named: set = set()
+        for seg in self.segments:
+            if not seg.is_slot:
+                pieces.append(re.escape(seg.text))
+            elif seg.slot in named:
+                pieces.append(f"(?P={seg.slot})")
+            else:
+                named.add(seg.slot)
+                body = f"[^{re.escape(SEP)}]"
+                body += f"{{{seg.width}}}" if seg.width is not None else "*"
+                pieces.append(f"(?P<{seg.slot}>{body})")
+        self._regex = re.compile(re.escape(SEP).join(pieces))
+
+        # Fixed-width slicing plan, when every slot declares a width:
+        # literal runs (literals plus separators, merged) are verified
+        # with offset startswith, slots extracted by slicing.
+        self._fixed = None
+        if all(seg.width is not None for seg in self.segments if seg.is_slot):
+            runs: List[Tuple[int, str]] = []
+            slot_spans: List[Tuple[int, int, str]] = []
+            run_start, run_text = 0, []
+            pos = 0
+            for idx, seg in enumerate(self.segments):
+                if idx:
+                    if not run_text:
+                        run_start = pos
+                    run_text.append(SEP)
+                    pos += 1
+                if seg.is_slot:
+                    if run_text:
+                        runs.append((run_start, "".join(run_text)))
+                        run_text = []
+                    slot_spans.append((pos, pos + seg.width, seg.slot))
+                    pos += seg.width
+                else:
+                    if not run_text:
+                        run_start = pos
+                    run_text.append(seg.text)
+                    pos += len(seg.text)
+            if run_text:
+                runs.append((run_start, "".join(run_text)))
+            has_dup = len(self.slots) < sum(
+                1 for seg in self.segments if seg.is_slot
+            )
+            self._fixed = (pos, tuple(runs), tuple(slot_spans), has_dup)
+
+        # Expansion template: literal braces escaped, slots as fields.
+        fmt: List[str] = []
+        for idx, seg in enumerate(self.segments):
+            if idx:
+                fmt.append(SEP)
+            if seg.is_slot:
+                fmt.append("{" + seg.slot + "}")
+            else:
+                fmt.append(seg.text.replace("{", "{{").replace("}", "}}"))
+        self._fmt = "".join(fmt)
+        self._width_checks = tuple(
+            (name, width) for name, width in (
+                (seg.slot, seg.width) for seg in self.segments if seg.is_slot
+            ) if width is not None
+        )
+
+        self._prefix_memo = LRUMemo()
+        self._range_memo = LRUMemo()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Pattern({self.text!r})"
@@ -124,6 +279,40 @@ class Pattern:
         schema-free, so ranges may contain keys that don't match their
         source patterns; those are skipped during join execution (§3.1).
         """
+        if not _COMPILED:
+            return self.match_reference(key)
+        fixed = self._fixed
+        if fixed is not None:
+            total, runs, slot_spans, has_dup = fixed
+            if len(key) != total:
+                return None
+            for start, text in runs:
+                if not key.startswith(text, start):
+                    return None
+            out: Dict[str, str] = {}
+            if has_dup:
+                for start, end, name in slot_spans:
+                    value = key[start:end]
+                    if SEP in value:
+                        return None
+                    prior = out.get(name)
+                    if prior is None:
+                        out[name] = value
+                    elif prior != value:
+                        return None
+            else:
+                for start, end, name in slot_spans:
+                    value = key[start:end]
+                    if SEP in value:
+                        return None
+                    out[name] = value
+            return out
+        m = self._regex.fullmatch(key)
+        return m.groupdict() if m is not None else None
+
+    def match_reference(self, key: str) -> Optional[Dict[str, str]]:
+        """The uncompiled segment-walking matcher — the executable
+        specification the compiled paths are property-tested against."""
         parts = key.split(SEP)
         if len(parts) != len(self.segments):
             return None
@@ -149,6 +338,24 @@ class Pattern:
     # ------------------------------------------------------------------
     def expand(self, slots: Dict[str, str]) -> str:
         """The concrete key for a full slot assignment."""
+        if not _COMPILED:
+            return self.expand_reference(slots)
+        try:
+            key = self._fmt.format_map(slots)
+        except KeyError as exc:
+            raise PatternError(
+                f"missing slot {exc.args[0]!r} expanding {self.text!r}"
+            ) from None
+        for name, width in self._width_checks:
+            if len(slots[name]) != width:
+                raise PatternError(
+                    f"slot {name!r} value {slots[name]!r} does not have "
+                    f"declared width {width} in {self.text!r}"
+                )
+        return key
+
+    def expand_reference(self, slots: Dict[str, str]) -> str:
+        """The uncompiled segment-walking expander (specification)."""
         parts: List[str] = []
         for seg in self.segments:
             if seg.is_slot:
@@ -173,8 +380,21 @@ class Pattern:
 
         Returns ``(prefix, complete)``.  When ``complete`` is False the
         prefix ends just before the first unknown slot and includes the
-        trailing separator, ready to serve as a scan bound.
+        trailing separator, ready to serve as a scan bound.  Results
+        are memoized per assignment (an LRU keyed by the slot items):
+        repeated scans of the same join ranges re-derive the same
+        prefixes constantly.
         """
+        if not _COMPILED:
+            return self.expand_prefix_reference(slots)
+        memo_key = tuple(sorted(slots.items()))
+        hit = self._prefix_memo.get(memo_key)
+        if hit is None:
+            hit = self.expand_prefix_reference(slots)
+            self._prefix_memo.put(memo_key, hit)
+        return hit
+
+    def expand_prefix_reference(self, slots: Dict[str, str]) -> Tuple[str, bool]:
         parts: List[str] = []
         for seg in self.segments:
             if seg.is_slot and seg.slot not in slots:
@@ -182,6 +402,67 @@ class Pattern:
             parts.append(slots[seg.slot] if seg.is_slot else seg.text)
         return SEP.join(parts), True
 
+    # ------------------------------------------------------------------
+    # Containing ranges (§3.1)
+    # ------------------------------------------------------------------
+    def containing_range(
+        self,
+        exact: Dict[str, str],
+        bounds: Optional[Dict[str, Tuple[Optional[str], Optional[str]]]] = None,
+    ) -> Tuple[str, str]:
+        """The minimal source key range consistent with the constraints.
+
+        ``exact`` maps slot names to pinned values; ``bounds`` maps the
+        frontier slot to ``(lo, hi)`` string bounds (either may be
+        None).  This is the engine of
+        :meth:`repro.core.ranges.SlotConstraints.containing_range`,
+        hosted here so results memoize per source pattern — the same
+        (pattern, constraints) pairs recur on every scan of a join.
+        """
+        if not _COMPILED:
+            return self.containing_range_reference(exact, bounds)
+        memo_key = (
+            tuple(sorted(exact.items())),
+            tuple(sorted(bounds.items())) if bounds else (),
+        )
+        hit = self._range_memo.get(memo_key)
+        if hit is None:
+            hit = self.containing_range_reference(exact, bounds)
+            self._range_memo.put(memo_key, hit)
+        return hit
+
+    def containing_range_reference(
+        self,
+        exact: Dict[str, str],
+        bounds: Optional[Dict[str, Tuple[Optional[str], Optional[str]]]] = None,
+    ) -> Tuple[str, str]:
+        """Walk the pattern, extending an exact prefix while segments
+        are literals or exactly-assigned slots; the first non-exact
+        segment closes the range using the slot's bounds (if any)."""
+        bounds = bounds or {}
+        parts: List[str] = []
+        for seg in self.segments:
+            if not seg.is_slot:
+                parts.append(seg.text)
+                continue
+            value = exact.get(seg.slot)
+            if value is not None:
+                parts.append(value)
+                continue
+            prefix = SEP.join(parts) + SEP if parts else ""
+            lo_bound, hi_bound = bounds.get(seg.slot, (None, None))
+            lo = prefix + lo_bound if lo_bound else prefix
+            if hi_bound:
+                hi = prefix + hi_bound
+            elif prefix:
+                hi = prefix_upper_bound(prefix)
+            else:  # pattern begins with an unbound slot (not allowed today)
+                raise ValueError(f"unbounded containing range for {self!r}")
+            return lo, hi
+        key = SEP.join(parts)
+        return key, key_successor(key)
+
+    # ------------------------------------------------------------------
     def slot_positions(self, name: str) -> List[int]:
         """Segment indexes where slot ``name`` appears."""
         return [i for i, seg in enumerate(self.segments) if seg.slot == name]

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..store.keys import SEP, key_successor, prefix_upper_bound
+from ..store.keys import SEP, prefix_upper_bound
 from .pattern import Pattern
 
 #: Bounds on one slot's value: inclusive lo, exclusive hi (either None).
@@ -196,26 +196,7 @@ class SlotConstraints:
         segments are literals or exactly-assigned slots.  The first
         non-exact segment closes the range using the slot's bounds (if
         any); deeper constraints cannot tighten a string range and are
-        ignored.
+        ignored.  The walk (and its per-pattern LRU memo) lives on
+        :meth:`Pattern.containing_range`.
         """
-        parts = []
-        for seg in source.segments:
-            if not seg.is_slot:
-                parts.append(seg.text)
-                continue
-            value = self.exact.get(seg.slot)
-            if value is not None:
-                parts.append(value)
-                continue
-            prefix = SEP.join(parts) + SEP if parts else ""
-            lo_bound, hi_bound = self.bounds.get(seg.slot, (None, None))
-            lo = prefix + lo_bound if lo_bound else prefix
-            if hi_bound:
-                hi = prefix + hi_bound
-            elif prefix:
-                hi = prefix_upper_bound(prefix)
-            else:  # pattern begins with an unbound slot (not allowed today)
-                raise ValueError(f"unbounded containing range for {source!r}")
-            return lo, hi
-        key = SEP.join(parts)
-        return key, key_successor(key)
+        return source.containing_range(self.exact, self.bounds)

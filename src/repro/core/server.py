@@ -43,6 +43,8 @@ class PequodServer:
     * ``memory_limit`` — optional byte budget; exceeding it evicts
       least-recently-used ranges (§2.5).
     * ``clock`` — injectable time source for snapshot joins.
+    * ``store_impl`` — the ordered map backing the data plane
+      (``"rbtree"`` or ``"sortedarray"``; None picks the default).
     """
 
     def __init__(
@@ -55,11 +57,14 @@ class PequodServer:
         eviction_policy: str = "lru",
         stats: Optional[StoreStats] = None,
         name: str = "pequod",
+        store_impl=None,
     ) -> None:
         self.name = name
         self.stats = stats if stats is not None else StoreStats()
         self.clock = clock if clock is not None else SystemClock()
-        self.store = OrderedStore(subtable_config, stats=self.stats)
+        self.store = OrderedStore(
+            subtable_config, stats=self.stats, map_impl=store_impl
+        )
         self.engine = JoinEngine(
             self.store,
             clock=self.clock,

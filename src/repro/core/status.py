@@ -117,6 +117,7 @@ class StatusRange:
         "lru_entry",
         "generation",
         "compute_cost",
+        "attached",
         "_pending_index",
     )
 
@@ -148,6 +149,13 @@ class StatusRange:
         #: eviction (§2.5's suggested improvement) uses it to prefer
         #: evicting ranges that are cheap to recompute.
         self.compute_cost = 0.0
+        #: Is this range currently part of a :class:`StatusTable`'s
+        #: cover?  Maintained by the table on add/split/remove.  The
+        #: engine's validation memo (§4.2's hint idea applied to
+        #: validation) trusts a remembered range only while attached —
+        #: eviction flips this off, so stale hints structurally miss
+        #: instead of requiring eager memo invalidation.
+        self.attached = False
 
     def is_valid_at(self, now: float) -> bool:
         if self.state is not RangeState.VALID:
@@ -265,12 +273,14 @@ class StatusTable:
                     f"[{existing.lo!r},{existing.hi!r})"
                 )
         self._tree.insert(sr.lo, sr)
+        sr.attached = True
         return sr
 
     def remove(self, sr: StatusRange) -> None:
         node = self._tree.find_node(sr.lo)
         if node is not None and node.value is sr:
             self._tree.remove_node(node)
+            sr.attached = False
 
     def split(self, sr: StatusRange, at: str) -> StatusRange:
         """Split ``sr`` at ``at``; returns the new right-hand range.
@@ -294,6 +304,7 @@ class StatusTable:
         else:
             sr.hint = None
         self._tree.insert(right.lo, right)
+        right.attached = True
         return right
 
     def isolate(self, lo: str, hi: str) -> List[StatusRange]:

@@ -22,7 +22,9 @@ from .keys import (
     table_range,
 )
 from .lru import LRUEntry, LRUList
+from .omap import DEFAULT_MAP_IMPL, MAP_IMPLS, resolve_map_impl
 from .rbtree import Node, RBTree
+from .sortedarray import SortedArrayMap
 from .stats import StoreStats
 from .store import OrderedStore
 from .table import SUBTABLE_OVERHEAD, PutHandle, Table
@@ -42,6 +44,8 @@ __all__ = [
     "SUBTABLE_OVERHEAD",
     "NODE_OVERHEAD",
     "POINTER_SIZE",
+    "DEFAULT_MAP_IMPL",
+    "MAP_IMPLS",
     "BatchOp",
     "IntervalEntry",
     "IntervalTree",
@@ -52,6 +56,7 @@ __all__ = [
     "PutHandle",
     "RBTree",
     "SharedValue",
+    "SortedArrayMap",
     "StoreStats",
     "Table",
     "Value",
@@ -66,6 +71,7 @@ __all__ = [
     "range_contains",
     "ranges_overlap",
     "release_value",
+    "resolve_map_impl",
     "split_key",
     "subtable_prefix",
     "table_of",

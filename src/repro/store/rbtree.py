@@ -78,6 +78,12 @@ class RBTree:
     def __contains__(self, key: Any) -> bool:
         return self.find_node(key) is not None
 
+    def node_valid(self, node: Node) -> bool:
+        """Is this handle still attached?  Removed nodes are detached by
+        self-linking (see :meth:`remove_node`), so validity is a pure
+        structural check — no reference counting."""
+        return node.parent is not node and node.left is not node
+
     def find_node(self, key: Any) -> Optional[Node]:
         """Return the node with exactly ``key``, or None."""
         node = self.root

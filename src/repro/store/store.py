@@ -18,7 +18,8 @@ import heapq
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .batch import PUT, WriteBatch, as_ops
-from .keys import prefix_upper_bound, subtable_prefix, table_of
+from .keys import SEP, SEP_SUCCESSOR, prefix_upper_bound, subtable_prefix, table_of
+from .omap import resolve_map_impl
 from .rbtree import Node
 from .stats import StoreStats
 from .table import PutHandle, Table
@@ -37,17 +38,36 @@ class OrderedStore:
     ``subtable_config`` maps table names to subtable depths; it may also
     be amended later with :meth:`configure_subtables` (before the table
     first receives data).  All tables share one :class:`StoreStats`.
+
+    ``map_impl`` picks the ordered map backing every data tree: an
+    :data:`~repro.store.omap.MAP_IMPLS` name, a factory callable, or
+    None for the default (see ``omap.DEFAULT_MAP_IMPL``).
+
+    ``legacy_read_path`` routes :meth:`scan` through the pre-overhaul
+    per-item loop; it exists so ``repro bench read_path`` can measure
+    the overhaul against a faithful baseline, not for production use.
     """
 
-    __slots__ = ("stats", "tables", "_subtable_config")
+    __slots__ = (
+        "stats",
+        "tables",
+        "map_impl",
+        "legacy_read_path",
+        "_map_factory",
+        "_subtable_config",
+    )
 
     def __init__(
         self,
         subtable_config: Optional[Dict[str, int]] = None,
         stats: Optional[StoreStats] = None,
+        map_impl=None,
     ) -> None:
         self.stats = stats if stats is not None else StoreStats()
         self.tables: Dict[str, Table] = {}
+        self.map_impl = map_impl
+        self.legacy_read_path = False
+        self._map_factory = resolve_map_impl(map_impl)
         self._subtable_config: Dict[str, int] = dict(subtable_config or {})
 
     # ------------------------------------------------------------------
@@ -75,7 +95,12 @@ class OrderedStore:
         tbl = self.tables.get(name)
         if tbl is None:
             depth = self._subtable_config.get(name, 0)
-            tbl = Table(name, subtable_depth=depth, stats=self.stats)
+            tbl = Table(
+                name,
+                subtable_depth=depth,
+                stats=self.stats,
+                map_factory=self._map_factory,
+            )
             self.tables[name] = tbl
         return tbl
 
@@ -164,22 +189,86 @@ class OrderedStore:
                     changes.append((op.key, materialize(old), None))
         return changes
 
+    def _single_table_span(self, lo: str, hi: str) -> Optional[str]:
+        """The one table name whose span contains ``[lo, hi)``, or None.
+
+        ``[lo, hi)`` lies inside a single table exactly when it sits
+        inside ``[name|, name})`` — tables sharing a character prefix
+        (``tx`` vs ``t``) sort strictly outside that window, so common
+        prefix scans and gets skip the all-tables sweep entirely.
+        """
+        name = table_of(lo)
+        if lo >= name + SEP and hi <= name + SEP_SUCCESSOR:
+            return name
+        return None
+
+    def _relevant_tables(self, lo: str, hi: str) -> List[Table]:
+        """Tables whose spans intersect ``[lo, hi)``, in name order."""
+        name = self._single_table_span(lo, hi)
+        if name is not None:
+            tbl = self.tables.get(name)
+            return [tbl] if tbl is not None else []
+        return [
+            self.tables[name]
+            for name in sorted(self.tables)
+            if name < hi and prefix_upper_bound(name) > lo
+        ]
+
     def scan_nodes(self, lo: str, hi: str) -> Iterator[Node]:
         """Stored nodes with ``lo <= key < hi``, across table boundaries."""
         if not lo < hi:
-            return
-        relevant: List[Table] = []
-        for name in sorted(self.tables):
-            if name < hi and prefix_upper_bound(name) > lo:
-                relevant.append(self.tables[name])
+            return iter(())
+        # Inlined single-table fast path (see _single_table_span): the
+        # common prefix scan never sweeps the table dictionary.
+        sep_at = lo.find(SEP)
+        if sep_at >= 0:
+            name = lo[:sep_at]
+            if hi <= name + SEP_SUCCESSOR:
+                tbl = self.tables.get(name)
+                return tbl.scan_nodes(lo, hi) if tbl is not None else iter(())
+        relevant = self._relevant_tables(lo, hi)
         if len(relevant) == 1:
-            yield from relevant[0].scan_nodes(lo, hi)
-        elif relevant:
+            return relevant[0].scan_nodes(lo, hi)
+        if relevant:
             streams = [tbl.scan_nodes(lo, hi) for tbl in relevant]
-            yield from heapq.merge(*streams, key=lambda n: n.key)
+            return heapq.merge(*streams, key=lambda n: n.key)
+        return iter(())
+
+    def iter_nodes(self, lo: str, hi: str) -> Iterator[Node]:
+        """As :meth:`scan_nodes` without charging work counters — the
+        internal path for counting, recounts, and eviction scoring."""
+        if not lo < hi:
+            return iter(())
+        relevant = self._relevant_tables(lo, hi)
+        if len(relevant) == 1:
+            return relevant[0].iter_nodes(lo, hi)
+        if relevant:
+            streams = [tbl.iter_nodes(lo, hi) for tbl in relevant]
+            return heapq.merge(*streams, key=lambda n: n.key)
+        return iter(())
 
     def scan(self, lo: str, hi: str) -> List[Tuple[str, str]]:
         """Client-visible ordered list of pairs with ``lo <= key < hi``."""
+        if self.legacy_read_path:
+            return self._scan_legacy(lo, hi)
+        nodes = self.scan_nodes(lo, hi)
+        if type(nodes) is not list:  # the sorted array returns snapshots
+            nodes = list(nodes)
+        if nodes:
+            self.stats.counters["scanned_items"] += len(nodes)
+        # Inline the common plain-string case; materialize() handles
+        # shared values and aggregate accumulators.
+        return [
+            (node.key, value)
+            if type(value := node.value) is str
+            else (node.key, materialize(value))
+            for node in nodes
+        ]
+
+    def _scan_legacy(self, lo: str, hi: str) -> List[Tuple[str, str]]:
+        """The pre-overhaul per-item read loop, preserved so ``repro
+        bench read_path`` measures against a faithful baseline.  Charges
+        the same counter totals as :meth:`scan`."""
         out = []
         for node in self.scan_nodes(lo, hi):
             self.stats.add("scanned_items")
@@ -192,7 +281,17 @@ class OrderedStore:
             yield node.key, materialize(node.value)
 
     def count(self, lo: str, hi: str) -> int:
-        return sum(1 for _ in self.scan_nodes(lo, hi))
+        """Size of ``[lo, hi)`` without the cost of scanning it.
+
+        Counting charges no scan counters (the pre-overhaul version
+        re-walked ``scan_nodes``, billing a second scan per ``count``)
+        and uses positional arithmetic where the map supports it.
+        """
+        if not lo < hi:
+            return 0
+        return sum(
+            tbl.count_range(lo, hi) for tbl in self._relevant_tables(lo, hi)
+        )
 
     def remove_range(self, lo: str, hi: str) -> int:
         """Remove every key in ``[lo, hi)``; returns how many were removed.
@@ -200,7 +299,7 @@ class OrderedStore:
         Used by eviction (§2.5) when a computed or cached range is
         dropped wholesale.
         """
-        doomed = [node.key for node in self.scan_nodes(lo, hi)]
+        doomed = [node.key for node in self.iter_nodes(lo, hi)]
         for key in doomed:
             tbl = self.existing_table_for_key(key)
             if tbl is not None:

@@ -19,11 +19,13 @@ behaves as one ordered map even across boundaries.
 from __future__ import annotations
 
 import heapq
+from math import log2
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .interval_tree import IntervalTree
 from .keys import SEP, prefix_upper_bound, subtable_prefix
-from .rbtree import Node, RBTree
+from .omap import resolve_map_impl
+from .rbtree import Node
 from .stats import StoreStats
 from .values import NODE_OVERHEAD, Value, acquire_value, release_value
 
@@ -37,19 +39,19 @@ class PutHandle:
 
     Pequod's output hints (§4.2) remember where a join last wrote so the
     next write can skip the tree descent.  A handle is only valid for
-    the tree it came from; staleness is detected structurally (removed
-    nodes are self-parented) so no reference counting is needed.
+    the ordered map it came from; staleness detection is delegated to
+    the map (``node_valid``) so any :mod:`~repro.store.omap`
+    implementation can back a table.
     """
 
     __slots__ = ("tree", "node")
 
-    def __init__(self, tree: RBTree, node: Node) -> None:
+    def __init__(self, tree, node) -> None:
         self.tree = tree
         self.node = node
 
     def is_valid(self) -> bool:
-        node = self.node
-        return node.parent is not node and node.left is not node
+        return self.tree.node_valid(self.node)
 
     def key(self) -> Any:
         return self.node.key
@@ -69,6 +71,7 @@ class Table:
         "name",
         "subtable_depth",
         "stats",
+        "_map_factory",
         "_tree",
         "_subtables",
         "_suborder",
@@ -83,14 +86,19 @@ class Table:
         name: str,
         subtable_depth: int = 0,
         stats: Optional[StoreStats] = None,
+        map_factory=None,
     ) -> None:
         self.name = name
         self.subtable_depth = subtable_depth
         self.stats = stats if stats is not None else StoreStats()
-        self._tree: Optional[RBTree] = RBTree() if subtable_depth == 0 else None
-        self._subtables: Dict[str, RBTree] = {}
-        self._suborder: RBTree = RBTree()  # subtable id -> RBTree
-        self._residual: Optional[RBTree] = None
+        #: Factory for the data-plane ordered maps (``omap`` protocol).
+        #: The updater interval tree stays a red-black tree regardless:
+        #: it needs the augmentation hook.
+        self._map_factory = resolve_map_impl(map_factory)
+        self._tree = self._map_factory() if subtable_depth == 0 else None
+        self._subtables: Dict[str, Any] = {}
+        self._suborder = self._map_factory()  # subtable id -> ordered map
+        self._residual = None
         self.updaters = IntervalTree()
         self.key_count = 0
         self.memory_bytes = 0
@@ -105,25 +113,25 @@ class Table:
             return None  # key has exactly `depth` segments
         return prefix + SEP
 
-    def _locate_tree(self, key: str, create: bool) -> Optional[RBTree]:
+    def _locate_tree(self, key: str, create: bool):
         """The tree ``key`` belongs to, without charging stats."""
         if self._tree is not None:
             return self._tree
         sub_id = self._subtable_id(key)
         if sub_id is None:
             if self._residual is None and create:
-                self._residual = RBTree()
+                self._residual = self._map_factory()
                 self.memory_bytes += SUBTABLE_OVERHEAD
             return self._residual
         tree = self._subtables.get(sub_id)
         if tree is None and create:
-            tree = RBTree()
+            tree = self._map_factory()
             self._subtables[sub_id] = tree
             self._suborder.insert(sub_id, tree)
             self.memory_bytes += SUBTABLE_OVERHEAD
         return tree
 
-    def _tree_for(self, key: str, create: bool) -> Optional[RBTree]:
+    def _tree_for(self, key: str, create: bool):
         """As :meth:`_locate_tree`, charging hash-jump and descent costs."""
         tree = self._locate_tree(key, create)
         if self._tree is None:
@@ -132,7 +140,7 @@ class Table:
             self.stats.tree_descent(len(tree))
         return tree
 
-    def _drop_if_empty(self, tree: RBTree, key: str) -> None:
+    def _drop_if_empty(self, tree, key: str) -> None:
         if self._tree is not None or len(tree) > 0:
             return
         if tree is self._residual:
@@ -207,20 +215,20 @@ class Table:
         return None
 
     def _account_insert(
-        self, tree: RBTree, node: Node, key: str, value: Value
+        self, tree, node, key: str, value: Value
     ) -> Tuple[PutHandle, Optional[Value]]:
         self.key_count += 1
         self.memory_bytes += len(key) + NODE_OVERHEAD + acquire_value(value)
         return PutHandle(tree, node), None
 
     def _account_overwrite(
-        self, tree: RBTree, node: Node, old: Value, value: Value
+        self, tree, node, old: Value, value: Value
     ) -> Tuple[PutHandle, Optional[Value]]:
         self.memory_bytes -= release_value(old)
         self.memory_bytes += acquire_value(value)
         return PutHandle(tree, node), old
 
-    def replace_node_value(self, node: Node, value: Value) -> Value:
+    def replace_node_value(self, node, value: Value) -> Value:
         """Swap a stored node's value in place, keeping accounting exact.
 
         Used by the value-sharing optimization (§4.3) to promote a
@@ -250,7 +258,7 @@ class Table:
         return value
 
     def clear(self) -> None:
-        self._tree = RBTree() if self.subtable_depth == 0 else None
+        self._tree = self._map_factory() if self.subtable_depth == 0 else None
         self._subtables.clear()
         self._suborder.clear()
         self._residual = None
@@ -272,40 +280,87 @@ class Table:
         node = self.get_node(key)
         return node.value if node is not None else default
 
-    def scan_nodes(self, lo: str, hi: str) -> Iterator[Node]:
-        """Yield stored nodes with ``lo <= key < hi`` in key order."""
-        if not lo < hi:
-            return
-        self.stats.add("scans")
+    def _overlapping_trees(self, lo: str, hi: str, stats=None) -> List:
+        """The data trees whose spans intersect ``[lo, hi)``, in key
+        order (residual first).  ``stats`` charges the hash-jump and
+        descent costs when the walk is client-visible work."""
         if self._tree is not None:
-            self.stats.tree_descent(len(self._tree))
-            yield from self._tree.nodes(lo, hi)
-            return
-        streams: List[Iterator[Node]] = []
+            if stats is not None:
+                stats.tree_descent(len(self._tree))
+            return [self._tree]
+        trees: List = []
         if self._residual is not None:
-            streams.append(self._residual.nodes(lo, hi))
+            trees.append(self._residual)
         sub_id = self._subtable_id(lo) if lo else None
         if sub_id is not None and hi <= prefix_upper_bound(sub_id):
             # Fast path: the whole scan lies inside one subtable (§4.1).
+            if stats is not None:
+                stats.hash_jump()
             tree = self._subtables.get(sub_id)
-            self.stats.hash_jump()
             if tree is not None:
-                self.stats.tree_descent(len(tree))
-                streams.append(tree.nodes(lo, hi))
+                if stats is not None:
+                    stats.tree_descent(len(tree))
+                trees.append(tree)
         else:
             # Cross-boundary scan: walk subtable ids overlapping [lo, hi).
             start = self._suborder.floor_node(lo)
             node = start if start is not None else self._suborder.min_node()
             while node is not None and node.key < hi:
                 if prefix_upper_bound(node.key) > lo:
-                    tree = node.value
-                    self.stats.tree_descent(len(tree))
-                    streams.append(tree.nodes(lo, hi))
+                    if stats is not None:
+                        stats.tree_descent(len(node.value))
+                    trees.append(node.value)
                 node = self._suborder.next_node(node)
-        if len(streams) == 1:
-            yield from streams[0]
-        elif streams:
-            yield from heapq.merge(*streams, key=lambda n: n.key)
+        return trees
+
+    def _merged_nodes(self, lo: str, hi: str, stats=None) -> Iterator[Node]:
+        trees = self._overlapping_trees(lo, hi, stats)
+        if len(trees) == 1:
+            return trees[0].nodes(lo, hi)
+        if trees:
+            return heapq.merge(
+                *(t.nodes(lo, hi) for t in trees), key=lambda n: n.key
+            )
+        return iter(())
+
+    def scan_nodes(self, lo: str, hi: str) -> Iterator[Node]:
+        """Yield stored nodes with ``lo <= key < hi`` in key order,
+        charging scan work counters.
+
+        The two single-tree cases — no subtables, or a scan entirely
+        inside one subtable (§4.1's hash jump) — are inlined with
+        direct counter arithmetic: this is the per-operation spine of
+        every warm read, and the method-call/generator tower it
+        replaced was measurable on the read-heavy Twip profile.
+        """
+        if not lo < hi:
+            return iter(())
+        counters = self.stats.counters
+        counters["scans"] += 1
+        tree = self._tree
+        if tree is not None:
+            counters["tree_descents"] += 1
+            counters["tree_descent_cost"] += log2(len(tree) + 2)
+            return tree.nodes(lo, hi)
+        if self._residual is None and lo:
+            sub_id = self._subtable_id(lo)
+            if sub_id is not None and hi <= prefix_upper_bound(sub_id):
+                counters["hash_jumps"] += 1
+                tree = self._subtables.get(sub_id)
+                if tree is None:
+                    return iter(())
+                counters["tree_descents"] += 1
+                counters["tree_descent_cost"] += log2(len(tree) + 2)
+                return tree.nodes(lo, hi)
+        return self._merged_nodes(lo, hi, self.stats)
+
+    def iter_nodes(self, lo: str, hi: str) -> Iterator[Node]:
+        """As :meth:`scan_nodes`, but charging nothing — the internal
+        path for counting, memory recounts, and eviction scoring, which
+        must not inflate the scan counters the cost model bills."""
+        if not lo < hi:
+            return iter(())
+        return self._merged_nodes(lo, hi)
 
     def scan(self, lo: str, hi: str) -> Iterator[Tuple[str, Value]]:
         for node in self.scan_nodes(lo, hi):
@@ -313,7 +368,15 @@ class Table:
             yield node.key, node.value
 
     def count_range(self, lo: str, hi: str) -> int:
-        return sum(1 for _ in self.scan_nodes(lo, hi))
+        """Number of keys in ``[lo, hi)``.  Counting is not scanning:
+        no scan counters are charged, and maps that support positional
+        counting (the sorted array) answer without touching nodes."""
+        if not lo < hi:
+            return 0
+        return sum(
+            tree.count_range(lo, hi)
+            for tree in self._overlapping_trees(lo, hi)
+        )
 
     def first_node(self, lo: str, hi: str) -> Optional[Node]:
         for node in self.scan_nodes(lo, hi):

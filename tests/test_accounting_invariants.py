@@ -7,23 +7,29 @@ after any workload — including shared-value refcounts.
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import PequodServer
 from repro.apps.twip import TIMELINE_JOIN
 from repro.core.grammar import parse_join
+from repro.store.store import OrderedStore
 from repro.store.table import SUBTABLE_OVERHEAD
 from repro.store.values import NODE_OVERHEAD, POINTER_SIZE, SharedValue
 
 
 def recount_memory(server: PequodServer) -> int:
-    """Recompute the store's memory footprint from scratch."""
+    """Recompute the store's memory footprint from scratch.
+
+    Uses the non-counting iteration: recounting is introspection and
+    must not disturb the work counters it runs alongside.
+    """
     total = 0
     seen_shared = set()
     for table in server.store.tables.values():
         total += SUBTABLE_OVERHEAD * table.subtable_count()
-        for node in table.scan_nodes(table.name, table.name + "\U0010ffff"):
+        for node in table.iter_nodes(table.name, table.name + "\U0010ffff"):
             total += len(node.key) + NODE_OVERHEAD
             value = node.value
             if isinstance(value, str):
@@ -39,11 +45,12 @@ def recount_memory(server: PequodServer) -> int:
 
 
 class TestMemoryAccountingExact:
-    def run_random_workload(self, seed, sharing, subtables):
+    def run_random_workload(self, seed, sharing, subtables, store_impl=None):
         rng = random.Random(seed)
         srv = PequodServer(
             subtable_config={"t": 2, "p": 2} if subtables else None,
             enable_sharing=sharing,
+            store_impl=store_impl,
         )
         srv.add_join(TIMELINE_JOIN)
         srv.add_join("karma|<poster> = count s|<user>|<poster>")
@@ -66,8 +73,11 @@ class TestMemoryAccountingExact:
                 srv.get(f"karma|{p}")
         return srv
 
-    def test_accounting_matches_recount_default(self):
-        srv = self.run_random_workload(1, sharing=True, subtables=True)
+    @pytest.mark.parametrize("store_impl", ["rbtree", "sortedarray"])
+    def test_accounting_matches_recount_default(self, store_impl):
+        srv = self.run_random_workload(
+            1, sharing=True, subtables=True, store_impl=store_impl
+        )
         assert srv.store.memory_bytes() == recount_memory(srv)
 
     def test_accounting_matches_recount_no_sharing(self):
@@ -90,6 +100,83 @@ class TestMemoryAccountingExact:
             srv.store.remove(key)
         assert srv.store.memory_bytes() == recount_memory(srv)
         assert len(srv.store) == 0
+
+
+class TestCounterInvariants:
+    """Work counters bill exactly the work clients cause.
+
+    The pre-overhaul ``count()`` re-walked ``scan_nodes``, charging a
+    second scan (plus descents) for an operation that moves no data;
+    eviction scoring and memory recounts did the same.  Those paths now
+    use the non-counting iteration, and these tests pin the invariants.
+    """
+
+    IMPLS = ["rbtree", "sortedarray"]
+
+    def build_store(self, store_impl) -> OrderedStore:
+        store = OrderedStore({"p": 2}, map_impl=store_impl)
+        for i in range(60):
+            store.put(f"p|u{i % 4}|{i:04d}", f"v{i}")
+        return store
+
+    @pytest.mark.parametrize("store_impl", IMPLS)
+    def test_count_charges_no_scan_counters(self, store_impl):
+        store = self.build_store(store_impl)
+        before = store.stats.snapshot()
+        assert store.count("p|", "p}") == 60
+        assert store.count("p|u1|", "p|u1}") == 15
+        after = store.stats.snapshot()
+        for counter in ("scans", "scanned_items", "tree_descents",
+                        "tree_descent_cost", "hash_jumps"):
+            assert after.get(counter, 0) == before.get(counter, 0), counter
+
+    @pytest.mark.parametrize("store_impl", IMPLS)
+    def test_iter_nodes_charges_nothing(self, store_impl):
+        store = self.build_store(store_impl)
+        before = store.stats.snapshot()
+        assert sum(1 for _ in store.iter_nodes("p|", "p}")) == 60
+        tbl = store.tables["p"]
+        assert sum(1 for _ in tbl.iter_nodes("p|u2|", "p|u2}")) == 15
+        assert tbl.count_range("p|", "p}") == 60
+        assert store.stats.snapshot() == before
+
+    @pytest.mark.parametrize("store_impl", IMPLS)
+    def test_scan_bills_each_item_exactly_once(self, store_impl):
+        store = self.build_store(store_impl)
+        before = store.stats.get("scanned_items")
+        scans_before = store.stats.get("scans")
+        out = store.scan("p|u1|", "p|u1}")
+        assert len(out) == 15
+        assert store.stats.get("scanned_items") == before + len(out)
+        assert store.stats.get("scans") == scans_before + 1
+        # A count over the same range afterwards adds nothing.
+        store.count("p|u1|", "p|u1}")
+        assert store.stats.get("scanned_items") == before + len(out)
+        assert store.stats.get("scans") == scans_before + 1
+
+    @pytest.mark.parametrize("store_impl", IMPLS)
+    def test_legacy_and_batched_scan_bill_identically(self, store_impl):
+        fast = self.build_store(store_impl)
+        legacy = self.build_store(store_impl)
+        legacy.legacy_read_path = True
+        assert fast.scan("p|", "p}") == legacy.scan("p|", "p}")
+        assert fast.stats.snapshot() == legacy.stats.snapshot()
+
+    def test_eviction_scoring_charges_no_scans(self):
+        srv = PequodServer(
+            subtable_config={"t": 2}, memory_limit=10**9,
+            eviction_policy="cost",
+        )
+        srv.add_join(TIMELINE_JOIN)
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0001", "x")
+        srv.scan("t|ann|", "t|ann}")
+        entry = srv.engine.lru.coldest()
+        before = srv.stats.snapshot()
+        # Scoring walks candidate ranges; the walk must be free.
+        # (Eviction itself still bills its range-clearing read.)
+        assert srv.eviction._score(entry.payload) > 0
+        assert srv.stats.snapshot() == before
 
 
 class TestGrammarRoundtrip:

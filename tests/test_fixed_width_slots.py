@@ -9,7 +9,21 @@ exactly minimal.
 import pytest
 
 from repro import PequodServer
-from repro.core.pattern import Pattern, PatternError
+from repro.core.pattern import Pattern, PatternError, set_pattern_compilation
+
+
+@pytest.fixture(params=["compiled", "reference"], autouse=True)
+def pattern_mode(request):
+    """Fixed-width patterns are exactly the compiled slicing fast path;
+    run the whole module against it and against the reference walkers."""
+    previous = set_pattern_compilation(request.param == "compiled")
+    yield request.param
+    set_pattern_compilation(previous)
+
+
+@pytest.fixture(params=["rbtree", "sortedarray"])
+def store_impl(request):
+    return request.param
 
 
 class TestWidthParsing:
@@ -49,8 +63,8 @@ class TestWidthMatching:
 
 
 class TestWidthInJoins:
-    def test_join_with_widths_end_to_end(self):
-        srv = PequodServer()
+    def test_join_with_widths_end_to_end(self, store_impl):
+        srv = PequodServer(store_impl=store_impl)
         srv.add_join(
             "t|<user>|<time:4>|<poster> = "
             "check s|<user>|<poster> copy p|<poster>|<time:4>"
@@ -61,10 +75,10 @@ class TestWidthInJoins:
         got = srv.scan("t|ann|", "t|ann}")
         assert got == [("t|ann|0100|bob", "well-formed")]
 
-    def test_widths_keep_bounded_scans_exact(self):
+    def test_widths_keep_bounded_scans_exact(self, store_impl):
         """With fixed widths, a time-bounded scan cannot admit keys
         whose slot values are prefixes of the bound."""
-        srv = PequodServer()
+        srv = PequodServer(store_impl=store_impl)
         srv.add_join(
             "t|<user>|<time:4>|<poster> = "
             "check s|<user>|<poster> copy p|<poster>|<time:4>"

@@ -1,8 +1,29 @@
-"""Unit tests for key patterns."""
+"""Unit tests for key patterns.
+
+Every test runs twice — once against the compiled match/expand paths
+(fixed-width slicing or the anchored regex) and once against the
+reference segment walkers — so the two implementations cannot drift.
+A hypothesis property test at the bottom drives randomized agreement
+directly.
+"""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core.pattern import Pattern, PatternError, common_prefix_segments
+from repro.core.pattern import (
+    Pattern,
+    PatternError,
+    common_prefix_segments,
+    set_pattern_compilation,
+)
+
+
+@pytest.fixture(params=["compiled", "reference"], autouse=True)
+def pattern_mode(request):
+    previous = set_pattern_compilation(request.param == "compiled")
+    yield request.param
+    set_pattern_compilation(previous)
 
 
 class TestParsing:
@@ -124,3 +145,81 @@ class TestHelpers:
         pats = [Pattern("page|<a>|x"), Pattern("page|<b>|y")]
         assert common_prefix_segments(pats) == 1
         assert common_prefix_segments([]) == 0
+
+
+class TestCompiledEquivalence:
+    """The compiled paths agree with the reference walkers, by property.
+
+    Keys are generated adversarially: slot-shaped values, mutated
+    expansions, stray separators, angle brackets, braces, and NULs.
+    """
+
+    PATTERNS = [
+        "t|<user>|<time>|<poster>",
+        "p|<poster>|<time:4>",
+        "x|<a:2>|mid|<a:2>|<b:3>",
+        "k|<a>|<a>|z",
+        "page|<author>|<id>|c|<cid>|<commenter>",
+        "w|<a:1>|<b:1>",
+        "config|version",
+    ]
+
+    chunk = st.text(
+        alphabet="ab|<>{}01\x00}", min_size=0, max_size=6
+    )
+
+    @settings(max_examples=300)
+    @given(st.sampled_from(PATTERNS), st.lists(chunk, min_size=1, max_size=7))
+    def test_match_agrees(self, text, parts):
+        p = Pattern(text)
+        key = "|".join(parts)
+        assert p.match(key) == p.match_reference(key)
+
+    @settings(max_examples=200)
+    @given(st.sampled_from(PATTERNS), chunk, st.data())
+    def test_mutated_expansions_agree(self, text, noise, data):
+        p = Pattern(text)
+        slots = {}
+        for seg in p.segments:
+            if seg.is_slot and seg.slot not in slots:
+                width = seg.width if seg.width else 3
+                slots[seg.slot] = data.draw(
+                    st.text(alphabet="ab0{}", min_size=width, max_size=width)
+                )
+        key = p.expand_reference(slots)
+        assert p.match(key) == p.match_reference(key)
+        mutated = noise + key if noise else key[1:]
+        assert p.match(mutated) == p.match_reference(mutated)
+
+    @settings(max_examples=150)
+    @given(st.sampled_from(PATTERNS), st.data())
+    def test_expand_agrees(self, text, data):
+        p = Pattern(text)
+        slots = {}
+        for name in p.slots:
+            width = next(
+                (s.width for s in p.segments if s.slot == name and s.width),
+                None,
+            )
+            size = width if width else data.draw(st.integers(0, 4))
+            slots[name] = data.draw(
+                st.text(alphabet="ab0{}|", min_size=size, max_size=size)
+            )
+        try:
+            compiled = p.expand(slots)
+        except PatternError:
+            compiled = PatternError
+        try:
+            reference = p.expand_reference(slots)
+        except PatternError:
+            reference = PatternError
+        assert compiled == reference
+        assert p.expand_prefix(slots) == p.expand_prefix_reference(slots)
+
+    def test_containing_range_memo_agrees(self):
+        p = Pattern("p|<poster>|<time>")
+        exact = {"poster": "bob"}
+        bounds = {"time": ("0100", None)}
+        for _ in range(3):  # memo hits must return the same result
+            assert p.containing_range(exact, bounds) == \
+                p.containing_range_reference(exact, bounds)

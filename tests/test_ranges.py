@@ -1,8 +1,23 @@
-"""Unit tests for slot constraints and containing ranges (paper §3.1)."""
+"""Unit tests for slot constraints and containing ranges (paper §3.1).
 
-from repro.core.pattern import Pattern
+The whole module runs twice: once with compiled patterns (where
+containing-range computation goes through the per-pattern LRU memo)
+and once against the reference walkers, so the memoized and direct
+paths cannot diverge.
+"""
+
+import pytest
+
+from repro.core.pattern import Pattern, set_pattern_compilation
 from repro.core.ranges import SlotConstraints
 from repro.store.keys import key_successor, prefix_upper_bound
+
+
+@pytest.fixture(params=["compiled", "reference"], autouse=True)
+def pattern_mode(request):
+    previous = set_pattern_compilation(request.param == "compiled")
+    yield request.param
+    set_pattern_compilation(previous)
 
 TIMELINE = Pattern("t|<user>|<time>|<poster>")
 SUBS = Pattern("s|<user>|<poster>")

@@ -1,22 +1,40 @@
-"""Unit tests for the red-black tree."""
+"""Unit tests for the ordered-map implementations.
+
+Everything except the red-black-specific augmentation hook runs
+against BOTH ``OrderedMap`` implementations — the red-black tree and
+the blocked sorted array — via the ``ordered_map`` fixture, so the two
+cannot drift behaviorally.  A hypothesis property test at the bottom
+drives randomized op sequences through both at once and asserts
+byte-identical observable state.
+"""
 
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.store.rbtree import RBTree
+from repro.store.sortedarray import SortedArrayMap
+
+IMPLS = {"rbtree": RBTree, "sortedarray": SortedArrayMap}
 
 
-def build(pairs):
-    tree = RBTree()
+@pytest.fixture(params=sorted(IMPLS))
+def make_map(request):
+    return IMPLS[request.param]
+
+
+def build(pairs, make_map=RBTree):
+    tree = make_map()
     for k, v in pairs:
         tree.insert(k, v)
     return tree
 
 
 class TestBasicOperations:
-    def test_empty_tree(self):
-        tree = RBTree()
+    def test_empty_tree(self, make_map):
+        tree = make_map()
         assert len(tree) == 0
         assert not tree
         assert tree.get("a") is None
@@ -25,82 +43,91 @@ class TestBasicOperations:
         assert tree.max_node() is None
         assert list(tree.nodes()) == []
 
-    def test_single_insert_and_get(self):
-        tree = RBTree()
+    def test_single_insert_and_get(self, make_map):
+        tree = make_map()
         tree.insert("k", "v")
         assert len(tree) == 1
         assert tree.get("k") == "v"
         assert "k" in tree
         tree.check_invariants()
 
-    def test_overwrite_keeps_size(self):
-        tree = RBTree()
+    def test_overwrite_keeps_size(self, make_map):
+        tree = make_map()
         tree.insert("k", "v1")
         tree.insert("k", "v2")
         assert len(tree) == 1
         assert tree.get("k") == "v2"
 
-    def test_get_default(self):
-        tree = RBTree()
+    def test_get_default(self, make_map):
+        tree = make_map()
         assert tree.get("missing", "fallback") == "fallback"
 
-    def test_remove_present(self):
-        tree = build([("a", 1), ("b", 2)])
+    def test_remove_present(self, make_map):
+        tree = build([("a", 1), ("b", 2)], make_map)
         assert tree.remove("a") is True
         assert len(tree) == 1
         assert tree.get("a") is None
         tree.check_invariants()
 
-    def test_remove_absent(self):
-        tree = build([("a", 1)])
+    def test_remove_absent(self, make_map):
+        tree = build([("a", 1)], make_map)
         assert tree.remove("zz") is False
         assert len(tree) == 1
 
-    def test_clear(self):
-        tree = build([("a", 1), ("b", 2)])
+    def test_clear(self, make_map):
+        tree = build([("a", 1), ("b", 2)], make_map)
         tree.clear()
         assert len(tree) == 0
         assert list(tree.nodes()) == []
 
-    def test_insert_returns_node(self):
-        tree = RBTree()
+    def test_insert_returns_node(self, make_map):
+        tree = make_map()
         node = tree.insert("a", 1)
         assert node.key == "a"
         assert node.value == 1
 
+    def test_node_validity_tracks_membership(self, make_map):
+        tree = make_map()
+        node = tree.insert("a", 1)
+        assert tree.node_valid(node)
+        tree.remove_node(node)
+        assert not tree.node_valid(node)
+
 
 class TestOrderedIteration:
-    def test_items_sorted(self):
+    def test_items_sorted(self, make_map):
         keys = ["m", "c", "x", "a", "q", "b"]
-        tree = build([(k, k.upper()) for k in keys])
+        tree = build([(k, k.upper()) for k in keys], make_map)
         assert [k for k, _ in tree.items()] == sorted(keys)
 
-    def test_range_iteration_half_open(self):
-        tree = build([(f"k{i}", i) for i in range(10)])
+    def test_range_iteration_half_open(self, make_map):
+        tree = build([(f"k{i}", i) for i in range(10)], make_map)
         got = list(tree.keys("k2", "k5"))
         assert got == ["k2", "k3", "k4"]
 
-    def test_range_iteration_unbounded_hi(self):
-        tree = build([(f"k{i}", i) for i in range(5)])
+    def test_range_iteration_unbounded_hi(self, make_map):
+        tree = build([(f"k{i}", i) for i in range(5)], make_map)
         assert list(tree.keys("k3", None)) == ["k3", "k4"]
 
-    def test_range_iteration_empty_range(self):
-        tree = build([(f"k{i}", i) for i in range(5)])
+    def test_range_iteration_empty_range(self, make_map):
+        tree = build([(f"k{i}", i) for i in range(5)], make_map)
         assert list(tree.keys("k9", "k99")) == []
 
-    def test_count_range(self):
-        tree = build([(f"{i:03d}", i) for i in range(100)])
+    def test_count_range(self, make_map):
+        tree = build([(f"{i:03d}", i) for i in range(100)], make_map)
         assert tree.count_range("010", "020") == 10
 
-    def test_iter_protocol(self):
-        tree = build([("b", 2), ("a", 1)])
+    def test_iter_protocol(self, make_map):
+        tree = build([("b", 2), ("a", 1)], make_map)
         assert list(tree) == ["a", "b"]
 
 
 class TestNavigation:
     @pytest.fixture
-    def tree(self):
-        return build([(f"{i:02d}", i) for i in range(0, 20, 2)])  # 00,02,..18
+    def tree(self, make_map):
+        return build(
+            [(f"{i:02d}", i) for i in range(0, 20, 2)], make_map
+        )  # 00,02,..18
 
     def test_ceiling_exact(self, tree):
         assert tree.ceiling_node("04").key == "04"
@@ -146,38 +173,38 @@ class TestNavigation:
 
 
 class TestInsertNodeAfter:
-    def test_append_after_max(self):
-        tree = build([("a", 1), ("b", 2)])
+    def test_append_after_max(self, make_map):
+        tree = build([("a", 1), ("b", 2)], make_map)
         node = tree.max_node()
         fresh = tree.insert_node_after(node, "c", 3)
         assert fresh.key == "c"
         assert list(tree.keys()) == ["a", "b", "c"]
         tree.check_invariants()
 
-    def test_insert_in_gap(self):
-        tree = build([("a", 1), ("c", 3)])
+    def test_insert_in_gap(self, make_map):
+        tree = build([("a", 1), ("c", 3)], make_map)
         node = tree.find_node("a")
         tree.insert_node_after(node, "b", 2)
         assert list(tree.keys()) == ["a", "b", "c"]
         tree.check_invariants()
 
-    def test_stale_hint_falls_back(self):
-        tree = build([("a", 1), ("c", 3)])
+    def test_stale_hint_falls_back(self, make_map):
+        tree = build([("a", 1), ("c", 3)], make_map)
         node = tree.find_node("c")
         # "b" sorts before the hint; must still insert correctly.
         tree.insert_node_after(node, "b", 2)
         assert list(tree.keys()) == ["a", "b", "c"]
         tree.check_invariants()
 
-    def test_existing_successor_key_overwrites(self):
-        tree = build([("a", 1), ("b", 2)])
+    def test_existing_successor_key_overwrites(self, make_map):
+        tree = build([("a", 1), ("b", 2)], make_map)
         node = tree.find_node("a")
         tree.insert_node_after(node, "b", 99)
         assert len(tree) == 2
         assert tree.get("b") == 99
 
-    def test_many_sequential_appends(self):
-        tree = RBTree()
+    def test_many_sequential_appends(self, make_map):
+        tree = make_map()
         node = tree.insert("000", 0)
         for i in range(1, 300):
             node = tree.insert_node_after(node, f"{i:03d}", i)
@@ -187,9 +214,9 @@ class TestInsertNodeAfter:
 
 
 class TestStressInvariants:
-    def test_random_insert_remove_keeps_invariants(self):
+    def test_random_insert_remove_keeps_invariants(self, make_map):
         rng = random.Random(42)
-        tree = RBTree()
+        tree = make_map()
         model = {}
         for step in range(2000):
             key = f"{rng.randrange(400):04d}"
@@ -204,28 +231,28 @@ class TestStressInvariants:
         tree.check_invariants()
         assert sorted(model.items()) == list(tree.items())
 
-    def test_ascending_descending_inserts(self):
-        up = build([(f"{i:04d}", i) for i in range(500)])
+    def test_ascending_descending_inserts(self, make_map):
+        up = build([(f"{i:04d}", i) for i in range(500)], make_map)
         up.check_invariants()
-        down = build([(f"{i:04d}", i) for i in range(499, -1, -1)])
+        down = build([(f"{i:04d}", i) for i in range(499, -1, -1)], make_map)
         down.check_invariants()
         assert list(up.keys()) == list(down.keys())
 
-    def test_remove_all_in_order(self):
-        tree = build([(f"{i:03d}", i) for i in range(200)])
+    def test_remove_all_in_order(self, make_map):
+        tree = build([(f"{i:03d}", i) for i in range(200)], make_map)
         for i in range(200):
             assert tree.remove(f"{i:03d}")
         assert len(tree) == 0
         tree.check_invariants()
 
-    def test_remove_all_reverse_order(self):
-        tree = build([(f"{i:03d}", i) for i in range(200)])
+    def test_remove_all_reverse_order(self, make_map):
+        tree = build([(f"{i:03d}", i) for i in range(200)], make_map)
         for i in range(199, -1, -1):
             assert tree.remove(f"{i:03d}")
         assert len(tree) == 0
 
-    def test_tuple_keys(self):
-        tree = RBTree()
+    def test_tuple_keys(self, make_map):
+        tree = make_map()
         tree.insert(("a", "b"), 1)
         tree.insert(("a", "a"), 2)
         tree.insert(("b", "a"), 3)
@@ -236,6 +263,8 @@ class TestStressInvariants:
 class TestAugmentation:
     def test_augment_maintained_through_rotations(self):
         # Maintain subtree size as augmentation; verify after heavy churn.
+        # RBTree-specific: the augmentation hook is what keeps the
+        # interval tree on the red-black implementation.
         def aug(node):
             node.aug = 1
             if node.left.aug is not None:
@@ -258,3 +287,49 @@ class TestAugmentation:
         assert len(tree) == len(present)
         if tree.root is not tree.nil:
             assert tree.root.aug == len(present)
+
+
+class TestImplementationParity:
+    """Random op sequences leave both maps byte-identical, by property."""
+
+    keys = st.text(alphabet="abc01|", min_size=0, max_size=5)
+    ops = st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove", "scan", "navigate"]),
+            keys,
+            keys,
+        ),
+        min_size=1,
+        max_size=120,
+    )
+
+    @settings(max_examples=150, deadline=None)
+    @given(ops)
+    def test_random_op_sequences_identical(self, sequence):
+        rb, sa = RBTree(), SortedArrayMap()
+        for step, (op, a, b) in enumerate(sequence):
+            if op == "insert":
+                n1 = rb.insert(a, step)
+                n2 = sa.insert(a, step)
+                assert n1.key == n2.key and n1.value == n2.value
+            elif op == "remove":
+                assert rb.remove(a) == sa.remove(a)
+            elif op == "scan":
+                lo, hi = min(a, b), max(a, b)
+                assert (
+                    [(n.key, n.value) for n in rb.nodes(lo, hi)]
+                    == [(n.key, n.value) for n in sa.nodes(lo, hi)]
+                )
+                assert rb.count_range(lo, hi) == sa.count_range(lo, hi)
+            else:
+                for probe in ("ceiling_node", "higher_node",
+                              "floor_node", "lower_node"):
+                    x = getattr(rb, probe)(a)
+                    y = getattr(sa, probe)(a)
+                    assert (x is None) == (y is None)
+                    if x is not None:
+                        assert x.key == y.key and x.value == y.value
+        sa.check_invariants()
+        rb.check_invariants()
+        assert list(rb.items()) == list(sa.items())
+        assert len(rb) == len(sa)
