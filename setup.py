@@ -28,6 +28,7 @@ setup(
     extras_require={
         "test": [
             "pytest>=7",
+            "pytest-asyncio>=0.23",
             "hypothesis>=6",
             "pytest-benchmark>=4",
         ],

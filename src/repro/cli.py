@@ -4,12 +4,16 @@ Commands:
 
 * ``serve``  — run a Pequod RPC server on TCP (optionally installing
   joins from a file or the command line);
+* ``watch``  — stream committed changes in a key range as the server
+  pushes them (§2.4): any backend, or a live ``serve`` instance via
+  ``--host``/``--port``; ``--feed`` drives demo Twip writes so the
+  stream shows live updates;
 * ``demo``   — the quickstart walkthrough, on any backend
   (``--backend local|rpc|cluster``);
 * ``bench``  — regenerate a paper experiment (fig7 / fig8 / fig9 /
-  fig10 / write_batching / read_path) or run the ``twip`` workload
-  through the unified client on one or all deployment shapes
-  (``--backend``), and print its table or series;
+  fig10 / write_batching / read_path / concurrency) or run the
+  ``twip`` workload through the unified client on one or all
+  deployment shapes (``--backend``), and print its table or series;
 * ``profile`` — cProfile a named bench workload and print the top-20
   functions by cumulative time (where the next read-path hunt starts);
 * ``joins``  — parse and validate a join file, printing the normalized
@@ -57,6 +61,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ordered map backing the data plane (default: sortedarray)",
     )
 
+    watch = sub.add_parser(
+        "watch", help="stream committed changes in a key range (server push)"
+    )
+    watch.add_argument("lo", help="inclusive lower bound of the key range")
+    watch.add_argument("hi", help="exclusive upper bound of the key range")
+    watch.add_argument(
+        "--backend", choices=["local", "rpc", "cluster"], default="rpc",
+        help="deployment shape to watch (default: rpc — true server push "
+        "over one pipelined TCP connection)",
+    )
+    watch.add_argument(
+        "--host", default=None,
+        help="connect to an existing RPC server (e.g. a `repro serve`)",
+    )
+    watch.add_argument("--port", type=int, default=None)
+    watch.add_argument(
+        "--count", type=int, default=None,
+        help="exit after printing this many events",
+    )
+    watch.add_argument(
+        "--timeout", type=float, default=None,
+        help="exit after this many seconds without an event",
+    )
+    watch.add_argument(
+        "--feed", action="store_true",
+        help="drive the demo Twip writes so the stream shows live updates",
+    )
+
     demo = sub.add_parser("demo", help="run the quickstart walkthrough")
     demo.add_argument(
         "--backend", choices=["local", "rpc", "cluster"], default="local",
@@ -67,7 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "write_batching",
-                 "read_path", "twip"],
+                 "read_path", "twip", "concurrency"],
     )
     bench.add_argument(
         "--scale", type=float, default=1.0,
@@ -109,6 +141,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "demo":
         return _cmd_demo(args.backend)
     if args.command == "bench":
@@ -144,6 +178,13 @@ def _twip_sizes(s: float) -> dict:
         "n_users": max(20, int(60 * s)),
         "mean_follows": max(3.0, 6 * min(s, 2.0)),
         "total_ops": max(100, int(800 * s)),
+    }
+
+
+def _concurrency_sizes(s: float) -> dict:
+    return {
+        "total_ops": max(400, int(2000 * s)),
+        "repeats": 3 if s >= 1.0 else 2,
     }
 
 
@@ -183,6 +224,80 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         print("bye")
     return 0
+
+
+#: Demo writes driven by ``repro watch --feed``: the §2 Twip
+#: walkthrough, producing pushed timeline updates.
+_FEED_JOIN = (
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+)
+
+
+async def _watch_feed(client) -> None:
+    await client.add_join(_FEED_JOIN)
+    await client.put("s|ann|bob", "1")
+    await client.scan_prefix("t|ann|")  # materialize: maintenance now pushes
+    for tick, message in enumerate(
+        ("hello, world!", "pushed, not polled", "freshness is easy")
+    ):
+        await client.put(f"p|bob|{100 + 20 * tick:04d}", message)
+        # Deliver in-flight propagation so deployments with
+        # asynchronous maintenance (the cluster) push promptly too.
+        await client.settle()
+
+
+def _cmd_watch(args) -> int:
+    from .client import make_async_client
+
+    async def run() -> int:
+        kwargs: dict = {}
+        if args.host is not None or args.port is not None:
+            if args.backend != "rpc":
+                print("--host/--port connect to an RPC server; use "
+                      "--backend rpc", file=sys.stderr)
+                return 2
+            kwargs.update(host=args.host, port=args.port)
+        if args.backend == "cluster":
+            kwargs.update(base_tables=("p", "s"))
+        client = await make_async_client(args.backend, **kwargs)
+        try:
+            watch = await client.watch(args.lo, args.hi)
+            print(f"watching [{args.lo!r}, {args.hi!r}) on "
+                  f"{client.backend} (server push; Ctrl-C to stop)")
+            async def run_feed() -> None:
+                try:
+                    await _watch_feed(client)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    # A dead feed must not leave the stream hanging
+                    # silently: report it and end the watch.
+                    print(f"feed failed: {exc}", file=sys.stderr)
+                    await watch.close()
+
+            feed = asyncio.ensure_future(run_feed()) if args.feed else None
+            seen = 0
+            try:
+                while args.count is None or seen < args.count:
+                    event = await watch.next_event(timeout=args.timeout)
+                    if event is None:
+                        break  # stream closed, or --timeout with no event
+                    seen += 1
+                    was = f"  (was {event.old!r})" if event.old is not None else ""
+                    print(f"#{event.seq:<6} {event.kind.value:<7} "
+                          f"{event.key} = {event.new!r}{was}")
+            finally:
+                if feed is not None:
+                    feed.cancel()
+                await watch.close()
+            print(f"{seen} event(s)")
+            return 0
+        finally:
+            await client.aclose()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("bye")
+        return 0
 
 
 def _cmd_demo(backend: str = "local") -> int:
@@ -259,6 +374,23 @@ def _cmd_bench(args) -> int:
                 # the diagnostic survives the failure.
                 return 1
         return status
+    if args.experiment == "concurrency":
+        from .bench.harness import run_concurrency
+
+        result = run_concurrency(**_concurrency_sizes(s))
+        payload.update(result)
+        rows = [
+            (str(p["depth"]), f"{p['ops_per_sec']:.0f}",
+             f"{p['speedup']:.2f}x")
+            for p in result["points"]
+        ]
+        print(format_table(
+            ["outstanding", "ops/s", "vs sync baseline"], rows,
+            title="Pipelined RPCs outstanding on one connection (§5.1)",
+        ))
+        print(f"sync baseline (one outstanding request): "
+              f"{result['baseline']['ops_per_sec']:.0f} ops/s")
+        return _finish_bench(args, payload)
     if args.experiment == "read_path":
         from .bench.harness import run_read_path
 

@@ -1,21 +1,11 @@
-"""ClusterClient: the unified client over a distributed deployment.
+"""ClusterClient: the sync facade over the distributed async backend.
 
-Wraps :class:`~repro.distrib.cluster.Cluster` routing (§2.4, §5.5) in
-the ``PequodClient`` surface.  The paper's Twip deployment strategy is
-generalized into key-space routing:
-
-* **Writes** go to the written key's home server (lookaside, §5.1) —
-  ``Cluster.put`` / ``remove`` / ``apply_batch`` already do this.
-* **Reads of computed ranges** (any table some installed join outputs)
-  go to the affinity compute server ``S(u)`` (§2.4), which executes
-  joins locally, fetching and subscribing to missing base ranges
-  (§3.3).  The affinity is the key's first slot segment by default —
-  ``t|ann|…`` routes on ``ann`` — matching the paper's per-user read
-  affinity; pass ``affinity_of`` to override.
-* **Reads of base data** go to the data's home server(s), the source
-  of truth — compute nodes only mirror base ranges their joins have
-  demanded, so asking a compute server for arbitrary base data would
-  invent a miss the deployment doesn't have.
+The routing strategy (writes to home servers, computed reads to the
+affinity compute server ``S(u)``, base reads to the data's homes —
+§2.4, §5.5) lives in :class:`~repro.client.aio.AsyncClusterClient`;
+this facade owns an event loop and drives it per operation, which also
+executes the async backend's per-server fan-outs (scans and batched
+writes ``gather`` one task per home server).
 
 Freshness follows §2.4: maintenance propagates asynchronously, so
 reads of computed data may briefly trail writes; :meth:`settle`
@@ -25,23 +15,13 @@ single server would return.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Optional
 
-from ..core.joins import JoinError
-from ..core.pattern import PatternError
 from ..distrib.cluster import Cluster, Session
-from ..store.batch import PUT
-from ..store.keys import prefix_upper_bound
-from ..store.stats import StoreStats
-from .base import BatchLike, JoinLike, PequodClient, join_text
-from .errors import JoinSpecError
+from .aio import AsyncClusterClient, default_affinity
+from .base import PequodClient
 
-
-def default_affinity(key: str) -> str:
-    """The paper's read affinity: the user segment of the key —
-    the first ``|``-separated segment after the table tag."""
-    parts = key.split("|", 2)
-    return parts[1] if len(parts) > 1 else key
+__all__ = ["ClusterClient", "default_affinity"]
 
 
 class ClusterClient(PequodClient):
@@ -54,147 +34,16 @@ class ClusterClient(PequodClient):
         cluster: Cluster,
         affinity_of: Optional[Callable[[str], str]] = None,
     ) -> None:
-        self.cluster = cluster
-        self.affinity_of = affinity_of or default_affinity
-        self._computed_cache: Optional[set] = None
+        self._adopt(AsyncClusterClient(cluster, affinity_of))
 
-    # ------------------------------------------------------------------
-    # Routing helpers
-    # ------------------------------------------------------------------
-    def _computed_tables(self) -> set:
-        """Tables produced by installed joins (compute-node data).
+    @property
+    def cluster(self) -> Cluster:
+        return self._async.cluster  # type: ignore[attr-defined]
 
-        Cached: joins are installed identically on every compute node
-        through :meth:`add_join` (which invalidates the cache), so one
-        node's join list is authoritative.
-        """
-        if self._computed_cache is None:
-            self._computed_cache = {
-                j.output.table
-                for node in self.cluster.compute_nodes[:1]
-                for j in node.server.joins
-            }
-        return self._computed_cache
-
-    def _is_computed(self, table: str) -> bool:
-        return table in self._computed_tables()
-
-    @staticmethod
-    def _table_of(key: str) -> str:
-        return key.split("|", 1)[0]
-
-    # ------------------------------------------------------------------
-    def get(self, key: str) -> Optional[str]:
-        if self._is_computed(self._table_of(key)):
-            return self.cluster.get(self.affinity_of(key), key)
-        # Base / plain data: read the home server directly.
-        return self.cluster.get_home(key)
-
-    def _compute_node_of(self, key: str):
-        return self.cluster.compute_node_for(self.affinity_of(key))
-
-    def put(self, key: str, value: str) -> None:
-        self.check_value(value)
-        if self._is_computed(self._table_of(key)):
-            # Direct writes into a computed range live where the range
-            # is computed and read — the affinity compute server — not
-            # at a base home that no reader ever consults.
-            self.cluster.put_at(self._compute_node_of(key), key, value)
-            return
-        self.cluster.put(key, value)
-
-    def remove(self, key: str) -> bool:
-        if self._is_computed(self._table_of(key)):
-            return self.cluster.remove_at(self._compute_node_of(key), key)
-        return self.cluster.remove(key)
-
-    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
-        table = self._table_of(first)
-        if not self._is_computed(table):
-            # Base data lives at its home server(s); merge their slices.
-            return self.cluster.scan_homes(first, last)
-        affinity = self.affinity_of(first)
-        rows = self.cluster.scan(affinity, first, last)
-        # A scan confined to one affinity — the paper's read pattern
-        # (§2.4: all of a user's reads go to S(u)) — is complete: the
-        # affinity server demand-computes the whole range.  A scan
-        # crossing affinities must also merge rows that other compute
-        # servers hold exclusively (direct writes into their slice of
-        # the computed range); their stored rows suffice, with the
-        # demand-computing affinity server winning key collisions.
-        prefix = f"{table}|{affinity}|"
-        if first.startswith(prefix) and last <= prefix_upper_bound(prefix):
-            return rows
-        seen = {key for key, _ in rows}
-        merged = list(rows)
-        scanned = self._compute_node_of(first)
-        for node in self.cluster.compute_nodes:
-            if node is scanned:
-                continue
-            merged.extend(
-                (key, value)
-                for key, value in self.cluster.stored_rows_at(
-                    node, first, last
-                )
-                if key not in seen
-            )
-        merged.sort()
-        return merged
-
-    def add_join(self, join: JoinLike) -> List[str]:
-        """Install joins on every compute server (they execute joins;
-        base servers only hold base data).
-
-        Compute servers stay in lock-step: the whole spec is validated
-        as one batch before installation (PequodServer's add-join
-        atomicity), so a rejected spec touches no node and every
-        compute server always holds the same join set.
-        """
-        text = join_text(join)
-        installed: List[str] = []
-        try:
-            for i, node in enumerate(self.cluster.compute_nodes):
-                added = node.server.add_join(text)
-                if i == 0:
-                    installed = [j.text for j in added]
-        except (JoinError, PatternError) as exc:
-            raise JoinSpecError(str(exc)) from exc
-        finally:
-            self._computed_cache = None
-        return installed
-
-    def apply_batch(self, batch: BatchLike) -> int:
-        # Ops on computed tables go to their affinity compute server
-        # (like single writes); the rest take the home-server path.
-        base_ops: List[Tuple[str, Optional[str]]] = []
-        by_compute: Dict[str, List[Tuple[str, Optional[str]]]] = {}
-        nodes = {}
-        for op in self.checked_ops(batch):
-            pair = (op.key, op.value if op.kind == PUT else None)
-            if self._is_computed(self._table_of(op.key)):
-                node = self._compute_node_of(op.key)
-                nodes[node.name] = node
-                by_compute.setdefault(node.name, []).append(pair)
-            else:
-                base_ops.append(pair)
-        applied = 0
-        if base_ops:
-            applied += self.cluster.apply_batch(base_ops)
-        for name, pairs in by_compute.items():
-            applied += self.cluster.apply_batch_at(nodes[name], pairs)
-        return applied
-
-    def stats(self) -> Dict[str, float]:
-        merged = StoreStats()
-        for node in self.cluster.nodes:
-            merged = merged.merged_with(node.server.stats)
-        return merged.snapshot()
-
-    # ------------------------------------------------------------------
-    def settle(self) -> int:
-        """Deliver all in-flight subscription updates (§2.4)."""
-        return self.cluster.settle()
+    @property
+    def affinity_of(self) -> Callable[[str], str]:
+        return self._async.affinity_of  # type: ignore[attr-defined]
 
     def session(self, affinity: str) -> Session:
         """A read-your-own-writes session pinned to ``S(affinity)``."""
-        return self.cluster.session(affinity)
+        return self._async.session(affinity)  # type: ignore[attr-defined]

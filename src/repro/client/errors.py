@@ -10,6 +10,11 @@ its transport's native faults onto these types:
 * :class:`JoinSpecError` — a cache join failed to parse or failed
   installation-time validation (§3's add-join checks).  A subclass of
   :class:`BadRequestError`: a bad join is a bad request.
+* :class:`NotFoundError` — the request was well-formed but named
+  something that does not exist (an unknown watch subscription, a
+  missing-key engine fault).  Distinct from :class:`BadRequestError`
+  so "that thing isn't there" never masquerades as "your request was
+  malformed"; also a :class:`KeyError` for idiomatic handling.
 * :class:`ServerError` — the server faulted while executing a
   well-formed request.
 * :class:`TransportError` — the request never completed: connection
@@ -37,6 +42,14 @@ class JoinSpecError(BadRequestError):
     """A cache join failed parsing or add-join validation (§3)."""
 
 
+class NotFoundError(ClientError, KeyError):
+    """The request named something that does not exist."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; keep messages plain.
+        return Exception.__str__(self)
+
+
 class ServerError(ClientError):
     """The server faulted while executing the request."""
 
@@ -49,6 +62,7 @@ class TransportError(ClientError):
 _CODE_TYPES = {
     protocol.ERR_CODE_JOIN: JoinSpecError,
     protocol.ERR_CODE_BAD_REQUEST: BadRequestError,
+    protocol.ERR_CODE_NOT_FOUND: NotFoundError,
     protocol.ERR_CODE_SERVER: ServerError,
 }
 

@@ -1,23 +1,39 @@
 """Backend selection: one call builds a client for any deployment.
 
-``make_client("local" | "rpc" | "cluster")`` is how the CLI, the
-benchmark harness, and the conformance tests pick a deployment shape
-without changing a line of application code.  The "rpc" backend with
-no explicit ``port`` is self-contained: it starts a real asyncio RPC
-server on a loopback socket in a background thread and connects a
-:class:`RemoteClient` to it, so every operation crosses genuine TCP
-framing and dispatch; ``close()`` tears both down.
+``make_async_client("local" | "rpc" | "cluster")`` (a coroutine) is
+the primary entry point: it builds an event-driven
+:class:`~repro.client.aio.AsyncPequodClient` on the running loop.
+``make_client`` is its synchronous counterpart — it builds the same
+async backend on a private event loop and wraps it in the matching
+blocking facade, which is how the CLI, the benchmark harness, and the
+conformance tests pick a deployment shape without changing a line of
+application code.
+
+The "rpc" backend with no explicit ``port`` is self-contained — a
+real asyncio RPC server on a loopback socket, owned by the returned
+client, with every operation crossing genuine TCP framing and
+dispatch.  Where that server lives follows the caller's model: for
+``make_async_client`` it runs *on the same event loop as the client*
+(the loop is live whenever anything awaits, so other connections are
+served too); for the synchronous ``make_client`` it runs on its own
+event-loop thread, because a sync facade's loop only runs while a call
+is in flight and an in-loop server would be unreachable between calls.
 """
 
 from __future__ import annotations
 
 import asyncio
-import threading
 from typing import Optional, Sequence
 
 from ..core.server import PequodServer
 from ..distrib.cluster import Cluster
-from ..net.rpc_server import RpcServer
+from ..net.rpc_server import RpcServer, ThreadedRpcService
+from .aio import (
+    AsyncClusterClient,
+    AsyncLocalClient,
+    AsyncPequodClient,
+    AsyncRemoteClient,
+)
 from .base import JoinLike, PequodClient
 from .cluster import ClusterClient
 from .errors import BadRequestError, TransportError
@@ -26,58 +42,125 @@ from .remote import RemoteClient
 
 BACKENDS = ("local", "rpc", "cluster")
 
+#: Backend tag -> the sync facade class wrapping its async core.
+_FACADES = {"local": LocalClient, "rpc": RemoteClient, "cluster": ClusterClient}
 
-class _OwnedRpcService:
-    """A Pequod RPC server on a private event-loop thread."""
 
-    def __init__(self, server: PequodServer, host: str = "127.0.0.1") -> None:
-        self.rpc = RpcServer(server, host, 0)
-        self._loop = asyncio.new_event_loop()
-        started = threading.Event()
-        failure: list = []
+class _AsyncEphemeralRemoteClient(AsyncRemoteClient):
+    """An AsyncRemoteClient that owns the loopback server it talks to."""
 
-        def run() -> None:
-            asyncio.set_event_loop(self._loop)
-            try:
-                self._loop.run_until_complete(self.rpc.start())
-            except Exception as exc:  # noqa: BLE001 - surfaced to caller
-                failure.append(exc)
-                self._loop.close()
-                started.set()
-                return
-            started.set()
-            self._loop.run_forever()
-            self._loop.run_until_complete(self.rpc.stop())
-            # One more tick so closed transports detach their sockets
-            # before the loop goes away (avoids ResourceWarnings).
-            self._loop.run_until_complete(asyncio.sleep(0.02))
-            self._loop.close()
+    def __init__(self, service: RpcServer) -> None:
+        super().__init__("127.0.0.1", service.port)
+        self._service = service
 
-        self._thread = threading.Thread(
-            target=run, name="pequod-rpc", daemon=True
+    async def aclose(self) -> None:
+        try:
+            await super().aclose()
+        finally:
+            await self._service.stop()
+            # One extra tick so closed transports detach their sockets
+            # before a private loop goes away (avoids ResourceWarnings).
+            await asyncio.sleep(0)
+
+
+async def make_async_client(
+    backend: str = "local",
+    *,
+    joins: Optional[JoinLike] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    base_count: int = 2,
+    compute_count: int = 2,
+    base_tables: Sequence[str] = (),
+    **server_kwargs,
+) -> AsyncPequodClient:
+    """Build an :class:`AsyncPequodClient` for the named backend.
+
+    * ``local`` — in-process server; ``server_kwargs`` reach
+      :class:`PequodServer` (``subtable_config``, ``memory_limit``,
+      ``store_impl`` to pick the ordered-map backend, …).
+    * ``rpc`` — with ``host`` and/or ``port``, connect to an existing
+      server there (defaults: ``127.0.0.1``, the protocol's port
+      7709); with neither, start an ephemeral loopback server (built
+      from ``server_kwargs``) on the current loop, owned by the
+      returned client.
+    * ``cluster`` — a simulated deployment of ``base_count`` home and
+      ``compute_count`` compute servers; ``base_tables`` names the
+      partitioned base tables (e.g. ``("p", "s")`` for Twip).
+
+    ``joins`` (any :data:`~repro.client.base.JoinLike`) are installed
+    before the client is returned, on whichever servers execute them.
+
+    The cluster-shape arguments (``base_count`` / ``compute_count`` /
+    ``base_tables``) are deliberately accepted and ignored by the
+    other backends, so one call site can serve every backend.
+    ``host``/``port`` express connect intent and are rejected off-RPC.
+    """
+    if backend not in BACKENDS:
+        raise BadRequestError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
-        self._thread.start()
-        started.wait()
-        if failure:
-            raise TransportError(f"cannot start RPC server: {failure[0]}")
-
-    @property
-    def port(self) -> int:
-        return self.rpc.port
-
-    def stop(self) -> None:
-        if self._thread.is_alive():
-            self._loop.call_soon_threadsafe(self._loop.stop)
-            self._thread.join(timeout=5)
+    if backend != "rpc" and (host is not None or port is not None):
+        raise BadRequestError(
+            f"host/port describe a server to connect to; the {backend!r} "
+            "backend does not connect anywhere"
+        )
+    client: AsyncPequodClient
+    if backend == "local":
+        client = AsyncLocalClient(**server_kwargs)
+    elif backend == "rpc":
+        if host is not None or port is not None:
+            # Connect intent: an existing server at host:port (the
+            # protocol's default port when only a host is given).
+            if server_kwargs:
+                raise BadRequestError(
+                    "server kwargs are meaningless when connecting to an "
+                    "existing server"
+                )
+            client = await AsyncRemoteClient.open(host or "127.0.0.1", port or 7709)
+        else:
+            service = RpcServer(PequodServer(**server_kwargs), "127.0.0.1", 0)
+            try:
+                await service.start()
+            except OSError as exc:
+                raise TransportError(f"cannot start RPC server: {exc}") from exc
+            client = _AsyncEphemeralRemoteClient(service)
+            try:
+                await client.connect()
+            except BaseException:
+                await service.stop()
+                raise
+    else:
+        cluster = Cluster(
+            base_count,
+            compute_count,
+            tuple(base_tables),
+            server_factory=lambda name: PequodServer(name=name, **server_kwargs),
+        )
+        client = AsyncClusterClient(cluster)
+    if joins is not None:
+        try:
+            await client.add_join(joins)
+        except BaseException:
+            await client.aclose()
+            raise
+    return client
 
 
 class _EphemeralRemoteClient(RemoteClient):
-    """A RemoteClient that owns the server it talks to."""
+    """A RemoteClient facade that owns the loopback server it talks
+    to — an RPC server on a private event-loop *thread*, so it serves
+    this client, and any other connection, between the facade's
+    blocking calls."""
 
-    def __init__(self, service: _OwnedRpcService) -> None:
+    def __init__(
+        self, service: ThreadedRpcService, joins: Optional[JoinLike]
+    ) -> None:
         self._service = service
         try:
             super().__init__("127.0.0.1", service.port)
+            if joins is not None:
+                self.add_join(joins)
         except BaseException:
             service.stop()
             raise
@@ -100,64 +183,38 @@ def make_client(
     base_tables: Sequence[str] = (),
     **server_kwargs,
 ) -> PequodClient:
-    """Build a :class:`PequodClient` for the named backend.
+    """Build a synchronous :class:`PequodClient` for the named backend.
 
-    * ``local`` — in-process server; ``server_kwargs`` reach
-      :class:`PequodServer` (``subtable_config``, ``memory_limit``,
-      ``store_impl`` to pick the ordered-map backend, …).
-    * ``rpc`` — with ``host`` and/or ``port``, connect to an existing
-      server there (defaults: ``127.0.0.1``, the protocol's port
-      7709); with neither, start an ephemeral loopback server (built
-      from ``server_kwargs``) owned by the returned client.
-    * ``cluster`` — a simulated deployment of ``base_count`` home and
-      ``compute_count`` compute servers; ``base_tables`` names the
-      partitioned base tables (e.g. ``("p", "s")`` for Twip).
-
-    ``joins`` (any :data:`~repro.client.base.JoinLike`) are installed
-    before the client is returned, on whichever servers execute them.
-
-    The cluster-shape arguments (``base_count`` / ``compute_count`` /
-    ``base_tables``) are deliberately accepted and ignored by the
-    other backends, so one call site can serve every backend.
-    ``host``/``port`` express connect intent and are rejected off-RPC.
+    The same selection rules as :func:`make_async_client` (which does
+    the actual building, on a private loop the returned facade owns) —
+    except the self-contained "rpc" server, which runs on its own
+    thread here (see module docstring).
     """
     if backend not in BACKENDS:
         raise BadRequestError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
-    if backend != "rpc" and (host is not None or port is not None):
-        raise BadRequestError(
-            f"host/port describe a server to connect to; the {backend!r} "
-            "backend does not connect anywhere"
-        )
-    client: PequodClient
-    if backend == "local":
-        client = LocalClient(**server_kwargs)
-    elif backend == "rpc":
-        if host is not None or port is not None:
-            # Connect intent: an existing server at host:port (the
-            # protocol's default port when only a host is given).
-            if server_kwargs:
-                raise BadRequestError(
-                    "server kwargs are meaningless when connecting to an "
-                    "existing server"
-                )
-            client = RemoteClient(host or "127.0.0.1", port or 7709)
-        else:
-            service = _OwnedRpcService(PequodServer(**server_kwargs))
-            client = _EphemeralRemoteClient(service)
-    else:
-        cluster = Cluster(
-            base_count,
-            compute_count,
-            tuple(base_tables),
-            server_factory=lambda name: PequodServer(name=name, **server_kwargs),
-        )
-        client = ClusterClient(cluster)
-    if joins is not None:
+    if backend == "rpc" and host is None and port is None:
         try:
-            client.add_join(joins)
-        except Exception:
-            client.close()
-            raise
-    return client
+            service = ThreadedRpcService(PequodServer(**server_kwargs))
+        except RuntimeError as exc:
+            raise TransportError(str(exc)) from exc
+        return _EphemeralRemoteClient(service, joins)
+    loop = asyncio.new_event_loop()
+    try:
+        aclient = loop.run_until_complete(
+            make_async_client(
+                backend,
+                joins=joins,
+                host=host,
+                port=port,
+                base_count=base_count,
+                compute_count=compute_count,
+                base_tables=base_tables,
+                **server_kwargs,
+            )
+        )
+    except BaseException:
+        loop.close()
+        raise
+    return _FACADES[backend]._from_async(aclient, loop)

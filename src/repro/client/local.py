@@ -1,20 +1,23 @@
-"""LocalClient: the unified client over an in-process PequodServer.
+"""LocalClient: the sync facade over an in-process async backend.
 
 The zero-deployment backend — what the paper calls the single-machine
-configuration (§5.2).  Every operation is a direct method call into the
-join engine, so this is also the semantic reference the other backends
-are conformance-tested against.
+configuration (§5.2).  The implementation lives in
+:class:`~repro.client.aio.AsyncLocalClient`; this facade owns an event
+loop and drives it per operation, with a fast path for the common case
+(in-process operations complete without ever suspending, so the
+coroutine can be stepped to completion directly — no loop round trip
+on the hot path).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Awaitable, Optional, TypeVar
 
-from ..core.joins import JoinError
-from ..core.pattern import PatternError
 from ..core.server import PequodServer
-from .base import BatchLike, JoinLike, PequodClient, join_text
-from .errors import BadRequestError, JoinSpecError
+from .aio import AsyncLocalClient
+from .base import PequodClient
+
+T = TypeVar("T")
 
 
 class LocalClient(PequodClient):
@@ -32,38 +35,24 @@ class LocalClient(PequodClient):
     def __init__(
         self, server: Optional[PequodServer] = None, **server_kwargs
     ) -> None:
-        if server is not None and server_kwargs:
-            raise BadRequestError(
-                "pass either an existing server or server kwargs, not both"
-            )
-        self.server = (
-            server if server is not None else PequodServer(**server_kwargs)
-        )
+        self._adopt(AsyncLocalClient(server, **server_kwargs))
 
-    # ------------------------------------------------------------------
-    def get(self, key: str) -> Optional[str]:
-        return self.server.get(key)
+    @property
+    def server(self) -> PequodServer:
+        """The in-process server (tests and benchmarks poke it)."""
+        return self._async.server  # type: ignore[attr-defined]
 
-    def put(self, key: str, value: str) -> None:
-        self.check_value(value)
-        self.server.put(key, value)
-
-    def remove(self, key: str) -> bool:
-        return self.server.remove(key)
-
-    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
-        return self.server.scan(first, last)
-
-    def add_join(self, join: JoinLike) -> List[str]:
+    def _run(self, coro: Awaitable[T]) -> T:
+        # In-process operations never suspend: AsyncLocalClient's
+        # primitives are straight-line calls into the engine, so the
+        # coroutine runs to StopIteration on its first step.  Stepping
+        # it directly skips the event-loop round trip per operation;
+        # anything that genuinely suspends (watch streams — see
+        # ``_run_wait``) still takes the loop.
         try:
-            # One spec, one server call: the whole install is atomic.
-            installed = self.server.add_join(join_text(join))
-        except (JoinError, PatternError) as exc:
-            raise JoinSpecError(str(exc)) from exc
-        return [j.text for j in installed]
-
-    def apply_batch(self, batch: BatchLike) -> int:
-        return self.server.apply_batch(self.checked_ops(batch))
-
-    def stats(self) -> Dict[str, float]:
-        return self.server.stats.snapshot()
+            coro.send(None)  # type: ignore[attr-defined]
+        except StopIteration as stop:
+            return stop.value
+        raise AssertionError(
+            "local client coroutine suspended; use _run_wait"
+        )  # pragma: no cover - invariant of AsyncLocalClient

@@ -1,21 +1,21 @@
-"""RemoteClient: the unified client over TCP RPC (paper §5.1).
+"""RemoteClient: the sync facade over the pipelined RPC backend.
 
-Wraps the pipelined RPC client in the synchronous ``PequodClient``
-surface and maps wire-level failures onto the unified exception
-hierarchy: the server attaches an error code to every failure response
-(``repro.net.protocol``), so a join rejected over the network raises
-the same :class:`JoinSpecError` an in-process installation would.
+The implementation lives in
+:class:`~repro.client.aio.AsyncRemoteClient`, which drives the
+pipelined :class:`~repro.net.rpc_client.RpcClient` directly (§5.1) —
+this facade owns a private event loop and blocks on one operation at a
+time, mapping wire-level failures onto the unified exception
+hierarchy.  Watch subscriptions are true server push even here: the
+server writes change frames whenever they commit, and the facade's
+loop collects them while any call (or ``iter_watch``'s ``next``) runs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import asyncio
 
-from ..net import protocol
-from ..net.rpc_client import RpcError, SyncRpcClient
-from ..store.batch import PUT
-from .base import BatchLike, JoinLike, PequodClient, join_text
-from .errors import TransportError, error_for_code
+from .aio import AsyncRemoteClient
+from .base import PequodClient
 
 
 class RemoteClient(PequodClient):
@@ -23,79 +23,28 @@ class RemoteClient(PequodClient):
 
     Connection errors — at construction or on any later call — raise
     :class:`TransportError`; server-reported failures raise the typed
-    error their code names.  ``close`` tears down the connection (and
-    the private event loop under the synchronous facade).
+    error their code names.  ``close`` tears down the connection and
+    the private event loop.
     """
 
     backend = "rpc"
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7709) -> None:
-        self.host = host
-        self.port = port
+        loop = asyncio.new_event_loop()
         try:
-            self._rpc: Optional[SyncRpcClient] = SyncRpcClient(host, port)
-        except OSError as exc:
-            raise TransportError(
-                f"cannot connect to pequod at {host}:{port}: {exc}"
-            ) from exc
+            aclient = loop.run_until_complete(AsyncRemoteClient.open(host, port))
+        except BaseException:
+            loop.close()
+            raise
+        self._adopt(aclient, loop)
 
-    # ------------------------------------------------------------------
-    def _call(self, method: str, *args):
-        if self._rpc is None:
-            raise TransportError("client is closed")
-        try:
-            return self._rpc.call(method, *args)
-        except RpcError as exc:
-            raise error_for_code(exc.code, str(exc)) from exc
-        except (OSError, RuntimeError) as exc:
-            raise TransportError(f"rpc {method} failed: {exc}") from exc
+    @property
+    def host(self) -> str:
+        return self._async.host  # type: ignore[attr-defined]
 
-    # ------------------------------------------------------------------
-    def get(self, key: str) -> Optional[str]:
-        return self._call("get", key)
-
-    def put(self, key: str, value: str) -> None:
-        self.check_value(value)
-        self._call("put", key, value)
-
-    def remove(self, key: str) -> bool:
-        return bool(self._call("remove", key))
-
-    def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
-        return [tuple(pair) for pair in self._call("scan", first, last)]
-
-    def scan_prefix(self, prefix: str) -> List[Tuple[str, str]]:
-        # One RPC instead of a client-side bound computation + scan.
-        return [tuple(pair) for pair in self._call("scan_prefix", prefix)]
-
-    def count(self, first: str, last: str) -> int:
-        return self._call("count", first, last)
-
-    def add_join(self, join: JoinLike) -> List[str]:
-        # One spec, one RPC: the whole install is atomic server-side.
-        return self._call("add_join", join_text(join))
-
-    def apply_batch(self, batch: BatchLike) -> int:
-        # checked_ops already coalesced and sorted; go straight to the
-        # wire encoding rather than re-coalescing in the RPC layer.
-        pairs = [
-            (op.key, op.value if op.kind == PUT else None)
-            for op in self.checked_ops(batch)
-        ]
-        if not pairs:
-            return 0
-        return self._call("batch", *protocol.encode_batch_args(pairs))
-
-    def stats(self) -> Dict[str, float]:
-        return self._call("stats")
+    @property
+    def port(self) -> int:
+        return self._async.port  # type: ignore[attr-defined]
 
     def ping(self) -> str:
-        return self._call("ping")
-
-    # ------------------------------------------------------------------
-    def close(self) -> None:
-        if self._rpc is not None:
-            try:
-                self._rpc.close()
-            finally:
-                self._rpc = None
+        return self._run(self._async.ping())  # type: ignore[attr-defined]

@@ -23,6 +23,7 @@ from .operators import (
     ChangeKind,
     UpdateOutcome,
 )
+from .hub import ChangeEvent, ChangeHub, WatchHandle
 from .pattern import Pattern, PatternError, Segment
 from .ranges import SlotConstraints
 from .server import PequodServer
@@ -42,6 +43,8 @@ __all__ = [
     "COPY",
     "COUNT",
     "CacheJoin",
+    "ChangeEvent",
+    "ChangeHub",
     "ChangeKind",
     "ChangeListener",
     "Clock",
@@ -70,6 +73,7 @@ __all__ = [
     "SystemClock",
     "UpdateOutcome",
     "Updater",
+    "WatchHandle",
     "compact_pending",
     "install_updater",
     "parse_join",

@@ -115,6 +115,10 @@ class JoinEngine:
         self.enable_sharing = enable_sharing
         self.enable_hints = enable_hints
         self.enable_validation_memo = enable_validation_memo
+        #: Collapse contiguous same-(join, source) pending-log runs to
+        #: one re-execution per run (off = the per-key reference path;
+        #: the regression suite asserts both produce identical state).
+        self.enable_pending_batching = True
         self.joins: List[CacheJoin] = []
         self._output_joins: Dict[str, List[CacheJoin]] = {}
         #: Precomputed views of ``joins``: materialized joins per output
@@ -465,6 +469,7 @@ class JoinEngine:
         agg: Optional[Dict[str, AggValue]],
         mode: ChangeKind,
         skip_source: Optional[int],
+        source_window: Optional[Tuple[int, str, str]] = None,
     ) -> None:
         if idx == len(join.sources):
             self._emit(join, cs, out_lo, out_hi, value, sr, results, agg, mode)
@@ -474,16 +479,26 @@ class JoinEngine:
             # application); its slots are already merged into ``cs``.
             self._exec_source(
                 join, idx + 1, cs, out_lo, out_hi, value, sr, results, agg,
-                mode, skip_source,
+                mode, skip_source, source_window,
             )
             return
         src = join.sources[idx]
         lo, hi = cs.containing_range(src.pattern)
+        # A batched pending-log application windows ONE source to the
+        # run's key span: scan only that slice, and treat it like a
+        # pinned source — no data resolution, no updater install (the
+        # original build's broad updater already covers the range).
+        windowed = source_window is not None and source_window[0] == idx
+        if windowed:
+            lo, hi = clamp_range(lo, hi, source_window[1], source_window[2])
         if not lo < hi:
             return
-        self._ensure_source_data(src.pattern.table, lo, hi)
-        if sr is not None and join.is_push and mode is ChangeKind.INSERT:
-            self._install_updater_for(join, idx, cs, out_lo, out_hi, lo, hi, sr)
+        if not windowed:
+            self._ensure_source_data(src.pattern.table, lo, hi)
+            if sr is not None and join.is_push and mode is ChangeKind.INSERT:
+                self._install_updater_for(
+                    join, idx, cs, out_lo, out_hi, lo, hi, sr
+                )
         table = self.store.table(src.pattern.table)
         share = (
             src.operator == COPY
@@ -506,7 +521,7 @@ class JoinEngine:
                     v = materialize(node.value)
             self._exec_source(
                 join, idx + 1, child, out_lo, out_hi, v, sr, results, agg,
-                mode, skip_source,
+                mode, skip_source, source_window,
             )
 
     def _promote_shared(self, table: Table, node) -> Value:
@@ -1025,34 +1040,111 @@ class JoinEngine:
         """Apply this range's pending log before serving a read (§3.2).
 
         The log is compacted first — entries superseded by a later
-        write of the same source key collapse to one.  Each surviving
-        entry re-executes the join with the changed source key pinned,
-        restricted to this (already isolated) output range; only the
-        work the query strictly requires is performed.
+        write of the same source key collapse to one.  Surviving
+        entries apply in log order, but a *run* of entries for the
+        same (join, source) whose keys are contiguous in the source
+        table — the shape a burst of subscribes leaves behind —
+        collapses to ONE join re-execution over the run's key span
+        instead of one per logged key (the remaining sources are
+        scanned once per run, not once per entry).  Entries the span
+        test rejects fall back to per-key application: re-execute the
+        join with the changed source key pinned, restricted to this
+        (already isolated) output range.
         """
         pending, sr.pending = compact_pending(sr.pending), []
-        for entry in pending:
-            self.stats.add("pending_applied")
-            cs = SlotConstraints.for_output_range(entry.join.output, sr.lo, sr.hi)
-            if not cs.compatible:
+        i = 0
+        n = len(pending)
+        while i < n:
+            entry = pending[i]
+            # Extend the run: consecutive log entries for the same
+            # join, source, and change kind.
+            j = i + 1
+            while (
+                j < n
+                and pending[j].join is entry.join
+                and pending[j].source_index == entry.source_index
+                and pending[j].kind is entry.kind
+            ):
+                j += 1
+            if (
+                j - i > 1
+                and self.enable_pending_batching
+                and self._apply_pending_run(sr, pending[i:j])
+            ):
+                i = j
                 continue
-            src = entry.join.sources[entry.source_index]
-            match = src.pattern.match(entry.key)
-            if match is None:
-                continue
-            child = cs.child_with(match)
-            if child is None:
-                continue  # irrelevant to this output range
-            if entry.join.is_aggregate:
-                # Aggregates cannot be patched tuple-by-tuple without
-                # group context; recompute this range instead.
-                joins = self._materialized_joins.get(tbl_name, [])
-                self._recompute_range(tbl_name, stable, joins, sr)
-                return
-            self._exec_source(
-                entry.join, 0, child, sr.lo, sr.hi, None, sr, None, None,
-                mode=ChangeKind.INSERT, skip_source=entry.source_index,
-            )
+            if self._apply_pending_entry(tbl_name, stable, sr, entry):
+                return  # recomputed wholesale; the rest is superseded
+            i += 1
+
+    def _apply_pending_entry(
+        self, tbl_name: str, stable: StatusTable, sr: StatusRange,
+        entry: PendingEntry,
+    ) -> bool:
+        """Apply ONE pending entry (the per-key reference path).
+
+        Returns True when the entry forced a wholesale recomputation
+        of the range, which supersedes any remaining log entries.
+        """
+        self.stats.add("pending_applied")
+        cs = SlotConstraints.for_output_range(entry.join.output, sr.lo, sr.hi)
+        if not cs.compatible:
+            return False
+        src = entry.join.sources[entry.source_index]
+        match = src.pattern.match(entry.key)
+        if match is None:
+            return False
+        child = cs.child_with(match)
+        if child is None:
+            return False  # irrelevant to this output range
+        if entry.join.is_aggregate:
+            # Aggregates cannot be patched tuple-by-tuple without
+            # group context; recompute this range instead.
+            joins = self._materialized_joins.get(tbl_name, [])
+            self._recompute_range(tbl_name, stable, joins, sr)
+            return True
+        self._exec_source(
+            entry.join, 0, child, sr.lo, sr.hi, None, sr, None, None,
+            mode=ChangeKind.INSERT, skip_source=entry.source_index,
+        )
+        return False
+
+    def _apply_pending_run(
+        self, sr: StatusRange, entries: List[PendingEntry]
+    ) -> bool:
+        """Apply a same-(join, source) run of pending entries as ONE
+        re-execution windowed to the run's source-key span.
+
+        Safe only when the span ``[min_key, succ(max_key))`` holds
+        exactly the logged keys — every logged key still stored, no
+        foreign key interleaved — so the windowed scan visits the very
+        keys the per-key path would pin, and nothing else.  Returns
+        False (caller falls back to per-key application) otherwise.
+        """
+        join = entries[0].join
+        if join.is_aggregate or entries[0].kind is not ChangeKind.INSERT:
+            return False
+        source_index = entries[0].source_index
+        keys = sorted({e.key for e in entries})
+        table = self.store.existing_table_for_key(keys[0])
+        if table is None:
+            return False
+        lo, hi = keys[0], key_successor(keys[-1])
+        if table.count_range(lo, hi) != len(keys) or any(
+            table.count_range(k, key_successor(k)) != 1 for k in keys
+        ):
+            return False  # interleaved or vanished keys: not contiguous
+        cs = SlotConstraints.for_output_range(join.output, sr.lo, sr.hi)
+        self.stats.add("pending_applied", len(entries))
+        if not cs.compatible:
+            return True  # nothing in this output range to patch
+        self.stats.add("pending_range_batches")
+        self._exec_source(
+            join, 0, cs, sr.lo, sr.hi, None, sr, None, None,
+            mode=ChangeKind.INSERT, skip_source=None,
+            source_window=(source_index, lo, hi),
+        )
+        return True
 
     # ------------------------------------------------------------------
     def _fire_eager(

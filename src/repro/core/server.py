@@ -28,6 +28,7 @@ from .clock import Clock, SystemClock
 from .eviction import EvictionManager
 from .executor import ChangeListener, DataResolver, JoinEngine
 from .grammar import parse_joins
+from .hub import ChangeHub, EventSink, WatchHandle
 from .joins import CacheJoin
 
 
@@ -75,6 +76,7 @@ class PequodServer:
         self.eviction = EvictionManager(
             self.engine, memory_limit, policy=eviction_policy
         )
+        self._hub: Optional[ChangeHub] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PequodServer {self.name!r} keys={len(self.store)}>"
@@ -195,6 +197,24 @@ class PequodServer:
     def add_listener(self, listener: ChangeListener) -> None:
         """Observe every store change (used for subscriptions, §2.4)."""
         self.engine.listeners.append(listener)
+
+    @property
+    def hub(self) -> ChangeHub:
+        """The server's change hub (§2.4's push model, client-facing).
+
+        Attached to the engine's listener chain on first use, so
+        servers nobody watches pay nothing on the write path.
+        """
+        if self._hub is None:
+            self._hub = ChangeHub()
+            self.add_listener(self._hub.publish)
+        return self._hub
+
+    def watch(self, lo: str, hi: str, sink: EventSink) -> WatchHandle:
+        """Push every future committed change in ``[lo, hi)`` — client
+        writes and maintained join outputs alike — to ``sink``, exactly
+        once, in commit order (per key: key-version order)."""
+        return self.hub.watch(lo, hi, sink)
 
     def set_resolver(self, resolver: Optional[DataResolver]) -> None:
         """Install the missing-data resolver (§3.3)."""

@@ -211,25 +211,32 @@ class Cluster:
             node, [key], lambda: node.get(key), self._value_reply
         )
 
-    def scan_homes(self, first: str, last: str) -> List[Tuple[str, str]]:
-        """Scan base data across its home server(s), merged in key
-        order.  Partitioned tables ask only the homes owning a slice
-        of the range; unpartitioned (hash-placed) tables ask every
-        base server, since their keys interleave."""
+    def home_nodes_for_range(self, first: str, last: str) -> List[DistributedNode]:
+        """The home server(s) owning slices of a base range.
+        Partitioned tables resolve to the homes owning a slice;
+        unpartitioned (hash-placed) tables involve every base server,
+        since their keys interleave."""
         table = first.split(SEP, 1)[0]
         if self.partitioner.is_base_table(table):
             names = self.partitioner.homes_for_range(table, first, last)
-            nodes = [self._by_name(name) for name in names]
-        else:
-            nodes = list(self.base_nodes)
+            return [self._by_name(name) for name in names]
+        return list(self.base_nodes)
+
+    def scan_home_at(
+        self, node: DistributedNode, first: str, last: str
+    ) -> List[Tuple[str, str]]:
+        """One home server's slice of a base scan, as one client op."""
+        return self._client_op(
+            node, [first, last], lambda: node.scan(first, last),
+            self._rows_reply,
+        )
+
+    def scan_homes(self, first: str, last: str) -> List[Tuple[str, str]]:
+        """Scan base data across its home server(s), merged in key
+        order."""
         rows: List[Tuple[str, str]] = []
-        for node in nodes:
-            rows.extend(
-                self._client_op(
-                    node, [first, last], lambda: node.scan(first, last),
-                    self._rows_reply,
-                )
-            )
+        for node in self.home_nodes_for_range(first, last):
+            rows.extend(self.scan_home_at(node, first, last))
         rows.sort()
         return rows
 

@@ -17,8 +17,9 @@ from .protocol import (
     parse_request,
     parse_response,
 )
+from .protocol import PUSH, encode_push, parse_push
 from .rpc_client import RpcClient, RpcError, SyncRpcClient
-from .rpc_server import RpcServer
+from .rpc_server import RpcServer, ThreadedRpcService
 from .simnet import SimError, SimHost, SimNetwork
 
 __all__ = [
@@ -28,10 +29,12 @@ __all__ = [
     "KeyList",
     "METHODS",
     "OK",
+    "PUSH",
     "ProtocolError",
     "RpcClient",
     "RpcError",
     "RpcServer",
+    "ThreadedRpcService",
     "SimError",
     "SimHost",
     "SimNetwork",
@@ -42,9 +45,11 @@ __all__ = [
     "decode_prefix",
     "encode",
     "encode_batch_args",
+    "encode_push",
     "encode_request",
     "encode_response",
     "frame",
+    "parse_push",
     "parse_request",
     "parse_response",
 ]

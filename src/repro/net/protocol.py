@@ -11,12 +11,20 @@ Response : ``[id, status, payload]`` with status "ok" or "err".  An
 "err" payload is ``[code, message]`` where ``code`` is one of
 :data:`ERR_CODES`, letting clients surface server-side faults as the
 unified exception types of ``repro.client.errors``.
+Push     : ``[push_id, "push", events]`` — a server-initiated frame
+carrying committed changes for one subscription (§2.4's push model).
+Push ids are *reserved negative ids*: clients allocate request ids
+from 0 upward, the server derives ``push_id = -sub_id - 1``, so pushed
+frames interleave freely with pipelined responses on one connection
+and a client can route every inbound frame by the sign of its id.
 
 Methods mirror the server API: ``get``, ``put``, ``remove``, ``scan``,
 ``add_join``, ``count``, ``stats``, ``ping``, plus ``batch`` — a group
 of coalesced writes shipped as one request (sorted keys travel
 prefix-compressed; a None value marks a remove), applied server-side as
-one maintenance pass.
+one maintenance pass — and the watch-stream pair ``subscribe`` /
+``unsubscribe`` (``subscribe lo hi`` answers a per-connection
+subscription id whose changes then arrive as push frames).
 """
 
 from __future__ import annotations
@@ -24,12 +32,15 @@ from __future__ import annotations
 import struct
 from typing import Any, List, Optional, Tuple
 
+from ..core.hub import ChangeEvent
+from ..core.operators import ChangeKind
 from .codec import CodecError, KeyList, decode, encode
 
 MAX_FRAME = 64 * 1024 * 1024  # sanity cap
 
 OK = "ok"
 ERR = "err"
+PUSH = "push"
 
 #: Error codes attached to failure responses so every client backend
 #: can raise the same unified exception type (repro.client.errors).
@@ -37,13 +48,16 @@ ERR = "err"
 #: older peers are treated as ``ERR_CODE_SERVER``.
 ERR_CODE_JOIN = "join"  # join failed parse or add-join validation
 ERR_CODE_BAD_REQUEST = "bad_request"  # invalid arguments / unknown method
+ERR_CODE_NOT_FOUND = "not_found"  # the named thing does not exist
 ERR_CODE_SERVER = "server"  # server fault executing a valid request
-ERR_CODES = (ERR_CODE_JOIN, ERR_CODE_BAD_REQUEST, ERR_CODE_SERVER)
+ERR_CODES = (
+    ERR_CODE_JOIN, ERR_CODE_BAD_REQUEST, ERR_CODE_NOT_FOUND, ERR_CODE_SERVER,
+)
 
 #: Methods a Pequod RPC server accepts, mapped to server attributes.
 METHODS = (
     "get", "put", "remove", "scan", "scan_prefix", "count", "add_join",
-    "stats", "ping", "batch",
+    "stats", "ping", "batch", "subscribe", "unsubscribe",
 )
 
 
@@ -87,9 +101,57 @@ def parse_response(message: List[Any]) -> Tuple[int, str, Any]:
     if len(message) != 3:
         raise ProtocolError(f"malformed response: {message!r}")
     request_id, status, payload = message
-    if not isinstance(request_id, int) or status not in (OK, ERR):
+    if not isinstance(request_id, int) or status not in (OK, ERR, PUSH):
         raise ProtocolError(f"malformed response: {message!r}")
     return request_id, status, payload
+
+
+# ----------------------------------------------------------------------
+# Server-push frames (watch subscriptions, §2.4)
+# ----------------------------------------------------------------------
+def push_id_for(sub_id: int) -> int:
+    """The reserved negative frame id for subscription ``sub_id``."""
+    if sub_id < 0:
+        raise ProtocolError(f"subscription ids are non-negative: {sub_id}")
+    return -sub_id - 1
+
+
+def sub_id_of(push_id: int) -> int:
+    """Invert :func:`push_id_for`."""
+    if push_id >= 0:
+        raise ProtocolError(f"push ids are negative: {push_id}")
+    return -push_id - 1
+
+
+def encode_event(event: ChangeEvent) -> List[Any]:
+    return [event.seq, event.key, event.old, event.new, event.kind.value]
+
+
+def decode_event(body: Any) -> ChangeEvent:
+    if not isinstance(body, list) or len(body) != 5:
+        raise ProtocolError(f"malformed change event: {body!r}")
+    seq, key, old, new, kind = body
+    if not isinstance(seq, int) or not isinstance(key, str):
+        raise ProtocolError(f"malformed change event: {body!r}")
+    try:
+        return ChangeEvent(seq, key, old, new, ChangeKind(kind))
+    except ValueError as exc:
+        raise ProtocolError(f"malformed change event: {body!r}") from exc
+
+
+def encode_push(sub_id: int, events: List[ChangeEvent]) -> bytes:
+    """One server-push frame carrying ``events`` for ``sub_id``."""
+    return frame(
+        encode([push_id_for(sub_id), PUSH, [encode_event(e) for e in events]])
+    )
+
+
+def parse_push(message: List[Any]) -> Tuple[int, List[ChangeEvent]]:
+    """``(sub_id, events)`` from a parsed push message."""
+    push_id, status, payload = parse_response(message)
+    if status != PUSH or push_id >= 0 or not isinstance(payload, list):
+        raise ProtocolError(f"malformed push frame: {message!r}")
+    return sub_id_of(push_id), [decode_event(item) for item in payload]
 
 
 def encode_error(code: str, message: str) -> List[Any]:

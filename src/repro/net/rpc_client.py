@@ -1,20 +1,29 @@
-"""Asyncio RPC client with pipelining.
+"""Asyncio RPC client with pipelining and server-push routing.
 
 The paper's clients "are event-driven processes that keep many RPCs
 outstanding" (§5.1).  :class:`RpcClient` assigns each request an id,
 writes frames without waiting, and resolves per-request futures as
 responses arrive — so a single connection can have hundreds of
-operations in flight.  :class:`SyncRpcClient` wraps it in a private
-event loop for synchronous callers (examples, tests).
+operations in flight.  Requests use ids >= 0; frames with *negative*
+ids are server pushes carrying watch-subscription changes (§2.4) and
+are routed to per-subscription sinks, so one connection interleaves
+pipelined responses and pushed updates.  :class:`SyncRpcClient` wraps
+it all in a private event loop for synchronous callers (examples,
+tests).
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..core.hub import ChangeEvent
 from ..store.batch import PUT, WriteBatch, as_ops
 from . import protocol
+
+#: A subscription's delivery callback: a list of pushed events, or
+#: None when the connection is lost and the stream can never resume.
+PushSink = Callable[[Optional[List[ChangeEvent]]], None]
 
 #: Anything acceptable as a batch: a WriteBatch or (key, value) pairs
 #: with None values meaning removes.
@@ -51,9 +60,18 @@ class RpcClient:
         self._writer: Optional[asyncio.StreamWriter] = None
         self._buffer = protocol.FrameBuffer()
         self._pending: Dict[int, asyncio.Future] = {}
+        self._push_sinks: Dict[int, PushSink] = {}
         self._next_id = 0
         self._reader_task: Optional[asyncio.Task] = None
+        #: Encoded frames awaiting one coalesced transport write.
+        #: Started calls buffer here and a flush runs at the end of
+        #: the current loop tick, so a burst of requests (a pipeline
+        #: window refilling as responses arrive) costs ONE send
+        #: syscall instead of one per request.
+        self._out_frames: List[bytes] = []
+        self._flush_scheduled = False
         self.requests_sent = 0
+        self.pushes_received = 0
 
     async def connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(
@@ -62,6 +80,7 @@ class RpcClient:
         self._reader_task = asyncio.create_task(self._read_loop())
 
     async def close(self) -> None:
+        self._fail_push_sinks()
         if self._reader_task is not None:
             self._reader_task.cancel()
             try:
@@ -84,10 +103,20 @@ class RpcClient:
             while True:
                 data = await self._reader.read(65536)
                 if not data:
+                    self._fail_push_sinks()
                     break
                 for payload in self._buffer.feed(data):
                     message = protocol.decode_message(payload)
                     request_id, status, body = protocol.parse_response(message)
+                    if request_id < 0:
+                        # Reserved negative id: a server push for one
+                        # of our watch subscriptions.
+                        sub_id, events = protocol.parse_push(message)
+                        self.pushes_received += len(events)
+                        sink = self._push_sinks.get(sub_id)
+                        if sink is not None:
+                            sink(events)
+                        continue
                     future = self._pending.pop(request_id, None)
                     if future is None or future.done():
                         continue
@@ -103,6 +132,30 @@ class RpcClient:
                 if not future.done():
                     future.set_exception(exc)
             self._pending.clear()
+            self._fail_push_sinks()
+
+    def _fail_push_sinks(self) -> None:
+        """The connection is gone: tell every watch stream it ended."""
+        sinks, self._push_sinks = list(self._push_sinks.values()), {}
+        for sink in sinks:
+            sink(None)
+
+    # -- watch subscriptions -----------------------------------------------------
+    def set_push_sink(self, sub_id: int, sink: PushSink) -> None:
+        """Route push frames for ``sub_id`` to ``sink``."""
+        self._push_sinks[sub_id] = sink
+
+    def drop_push_sink(self, sub_id: int) -> None:
+        self._push_sinks.pop(sub_id, None)
+
+    async def subscribe(self, lo: str, hi: str) -> int:
+        """Install a watch subscription; returns its id.  Register a
+        sink with :meth:`set_push_sink` before awaiting changes."""
+        return await self.call("subscribe", lo, hi)
+
+    async def unsubscribe(self, sub_id: int) -> bool:
+        self.drop_push_sink(sub_id)
+        return await self.call("unsubscribe", sub_id)
 
     def _start_call(self, method: str, args: List[Any]) -> asyncio.Future:
         assert self._writer is not None, "client is not connected"
@@ -110,13 +163,28 @@ class RpcClient:
         self._next_id += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(protocol.encode_request(request_id, method, args))
+        self._out_frames.append(protocol.encode_request(request_id, method, args))
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush)
         self.requests_sent += 1
         return future
+
+    def _flush(self) -> None:
+        """Hand buffered frames to the transport in one write."""
+        self._flush_scheduled = False
+        if self._out_frames and self._writer is not None:
+            if len(self._out_frames) == 1:
+                data = self._out_frames[0]
+            else:
+                data = b"".join(self._out_frames)
+            self._out_frames.clear()
+            self._writer.write(data)
 
     async def call(self, method: str, *args: Any) -> Any:
         """One RPC; awaits the response."""
         future = self._start_call(method, list(args))
+        self._flush()  # single call: write now, skip the loop hop
         assert self._writer is not None
         await self._writer.drain()
         return await future
@@ -124,9 +192,70 @@ class RpcClient:
     async def call_many(self, calls: List[Tuple[str, List[Any]]]) -> List[Any]:
         """Pipeline a batch of RPCs; results come back in call order."""
         futures = [self._start_call(method, args) for method, args in calls]
+        self._flush()
         assert self._writer is not None
         await self._writer.drain()
         return list(await asyncio.gather(*futures))
+
+    async def call_windowed(
+        self, calls: List[Tuple[str, List[Any]]], depth: int
+    ) -> List[Any]:
+        """Run ``calls`` keeping up to ``depth`` requests outstanding.
+
+        The §5.1 client model as a driver: a continuous sliding
+        window — each completion immediately launches the next call,
+        so the connection never drains between windows — with results
+        returned in call order.  Frames launched within one loop tick
+        coalesce into a single transport write.
+        """
+        if depth < 1:
+            raise ValueError(f"window depth must be >= 1, got {depth}")
+        total = len(calls)
+        if total == 0:
+            return []
+        loop = asyncio.get_running_loop()
+        done: asyncio.Future = loop.create_future()
+        results: List[Any] = [None] * total
+        state = {"next": 0, "completed": 0}
+
+        def launch() -> None:
+            index = state["next"]
+            if index >= total:
+                return
+            state["next"] += 1
+            method, args = calls[index]
+            future = self._start_call(method, list(args))
+            future.add_done_callback(
+                lambda fut, index=index: on_done(index, fut)
+            )
+
+        def on_done(index: int, future: asyncio.Future) -> None:
+            state["completed"] += 1
+            if future.cancelled():
+                if not done.done():
+                    done.cancel()
+                return
+            exc = future.exception()
+            if exc is not None:
+                if not done.done():
+                    done.set_exception(exc)
+            else:
+                results[index] = future.result()
+                if not done.done():
+                    # A failed window stops issuing further calls: the
+                    # caller has already seen the exception, so late
+                    # completions must not keep feeding the server.
+                    launch()
+            if state["completed"] == total and not done.done():
+                done.set_result(None)
+
+        for _ in range(min(depth, total)):
+            launch()
+        self._flush()
+        assert self._writer is not None
+        await self._writer.drain()
+        await done
+        return results
 
     # -- convenience wrappers ----------------------------------------------------
     async def get(self, key: str) -> Optional[str]:

@@ -5,14 +5,25 @@ the Python analogue: one event loop, per-connection frame reassembly,
 and request dispatch into the (non-async) cache engine.  Clients
 pipeline requests; responses go back in completion order carrying the
 request id.
+
+Beyond request/response, connections carry *watch subscriptions*
+(§2.4's push model): ``subscribe lo hi`` registers a range on the
+server's :class:`~repro.core.hub.ChangeHub` and answers a
+per-connection subscription id; every committed change in the range is
+then written to the connection as a push frame with a reserved
+negative id, interleaving freely with pipelined responses.  All of a
+connection's subscriptions — and any partially reassembled frames —
+are dropped when the connection ends, however it ends.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import traceback
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
+from ..core.hub import WatchHandle
 from ..core.joins import JoinError
 from ..core.pattern import PatternError
 from ..core.server import PequodServer
@@ -21,12 +32,40 @@ from .codec import CodecError
 
 
 def classify_error(exc: BaseException) -> str:
-    """The protocol error code for one server-side exception."""
+    """The protocol error code for one server-side exception.
+
+    ``KeyError`` classifies before the generic bad-request bucket: the
+    engine (and the subscription table) raise it for *missing things*,
+    which a client must be able to distinguish from a malformed
+    request — see ``repro.client.errors.NotFoundError``.
+    """
     if isinstance(exc, (JoinError, PatternError)):
         return protocol.ERR_CODE_JOIN
-    if isinstance(exc, (ValueError, KeyError, TypeError, CodecError)):
+    if isinstance(exc, KeyError):
+        return protocol.ERR_CODE_NOT_FOUND
+    if isinstance(exc, (ValueError, TypeError, CodecError)):
         return protocol.ERR_CODE_BAD_REQUEST
     return protocol.ERR_CODE_SERVER
+
+
+class _Connection:
+    """Per-connection state: the writer, frame reassembly, and watches."""
+
+    __slots__ = ("writer", "buffer", "subscriptions", "next_sub_id")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.buffer = protocol.FrameBuffer()
+        self.subscriptions: Dict[int, WatchHandle] = {}
+        self.next_sub_id = 0
+
+    def teardown(self) -> None:
+        """Drop everything this connection holds on the server:
+        active watch subscriptions and any partial frame bytes."""
+        for handle in self.subscriptions.values():
+            handle.close()
+        self.subscriptions.clear()
+        self.buffer = protocol.FrameBuffer()
 
 
 class RpcServer:
@@ -40,6 +79,8 @@ class RpcServer:
         self._connection_tasks: set = set()
         self.requests_served = 0
         self.connections = 0
+        self.pushes_sent = 0
+        self.slow_watchers_dropped = 0
 
     async def start(self) -> None:
         self._asyncio_server = await asyncio.start_server(
@@ -68,6 +109,10 @@ class RpcServer:
         async with self._asyncio_server:
             await self._asyncio_server.serve_forever()
 
+    def watcher_count(self) -> int:
+        """Active watch subscriptions across every connection."""
+        return self.server.hub.watcher_count()
+
     # ------------------------------------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -75,41 +120,54 @@ class RpcServer:
         task = asyncio.current_task()
         if task is not None:
             self._connection_tasks.add(task)
-            task.add_done_callback(self._connection_tasks.discard)
         self.connections += 1
-        buffer = protocol.FrameBuffer()
+        conn = _Connection(writer)
         try:
             while True:
                 data = await reader.read(65536)
                 if not data:
                     break
-                for payload in buffer.feed(data):
-                    response = self._dispatch(payload)
-                    writer.write(response)
+                # Dispatch the whole chunk, then write every response
+                # in ONE transport write: a pipelined window of N
+                # requests costs one send syscall, not N.
+                responses = [
+                    self._dispatch(conn, payload)
+                    for payload in conn.buffer.feed(data)
+                ]
+                if len(responses) == 1:
+                    writer.write(responses[0])
+                elif responses:
+                    writer.write(b"".join(responses))
                 await writer.drain()
         except protocol.ProtocolError:
             # Unframeable garbage: drop this connection, keep serving
             # the rest.
             pass
-        except (ConnectionResetError, asyncio.IncompleteReadError):
+        except (OSError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
             # Server shutdown cancels connection handlers; exiting
             # normally keeps asyncio's stream callbacks quiet.
             pass
         finally:
+            # Teardown must run on EVERY exit path — a fault mid-frame
+            # must not leave subscriptions pushing into a dead writer
+            # or partial state behind the reader task.
+            conn.teardown()
+            if task is not None:
+                self._connection_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            except (OSError, asyncio.CancelledError):
                 pass
 
-    def _dispatch(self, payload: bytes) -> bytes:
+    def _dispatch(self, conn: _Connection, payload: bytes) -> bytes:
         request_id = -1
         try:
             message = protocol.decode_message(payload)
             request_id, method, args = protocol.parse_request(message)
-            result = self._invoke(method, args)
+            result = self._invoke(conn, method, args)
             self.requests_served += 1
             return protocol.encode_response(request_id, protocol.OK, result)
         except Exception as exc:  # noqa: BLE001 - faults go to the client
@@ -121,7 +179,54 @@ class RpcServer:
                 request_id, protocol.ERR, protocol.encode_error(code, detail)
             )
 
-    def _invoke(self, method: str, args: List[Any]) -> Any:
+    # ------------------------------------------------------------------
+    # Watch subscriptions (server push, §2.4)
+    # ------------------------------------------------------------------
+    #: A subscriber whose connection has this many un-flushed push
+    #: bytes is not keeping up; its subscriptions are dropped rather
+    #: than letting the server buffer grow without bound.
+    MAX_PUSH_BACKLOG = 8 * 1024 * 1024
+
+    def _subscribe(self, conn: _Connection, lo: Any, hi: Any) -> int:
+        if not isinstance(lo, str) or not isinstance(hi, str) or not lo < hi:
+            raise ValueError(f"bad watch range [{lo!r}, {hi!r})")
+        sub_id = conn.next_sub_id
+        conn.next_sub_id += 1
+        writer = conn.writer
+
+        def sink(event) -> None:
+            # Synchronous with the commit: the frame enters the
+            # writer's buffer before the originating request's
+            # response, so a subscriber never sees an ack ahead of the
+            # changes it implies.  StreamWriter flushes asynchronously.
+            transport = writer.transport
+            if (
+                transport is None
+                or transport.is_closing()
+                or transport.get_write_buffer_size() > self.MAX_PUSH_BACKLOG
+            ):
+                # Slow-consumer policy: a watcher that stopped reading
+                # loses its subscriptions instead of growing server
+                # memory without bound.
+                for handle in conn.subscriptions.values():
+                    handle.close()
+                conn.subscriptions.clear()
+                self.slow_watchers_dropped += 1
+                return
+            writer.write(protocol.encode_push(sub_id, [event]))
+            self.pushes_sent += 1
+
+        conn.subscriptions[sub_id] = self.server.watch(lo, hi, sink)
+        return sub_id
+
+    def _unsubscribe(self, conn: _Connection, sub_id: Any) -> bool:
+        handle = conn.subscriptions.pop(sub_id, None)
+        if handle is None:
+            raise KeyError(f"no subscription {sub_id!r} on this connection")
+        handle.close()
+        return True
+
+    def _invoke(self, conn: _Connection, method: str, args: List[Any]) -> Any:
         srv = self.server
         if method == "get":
             (key,) = args
@@ -148,8 +253,63 @@ class RpcServer:
         if method == "add_join":
             (text,) = args
             return [j.text for j in srv.add_join(text)]
+        if method == "subscribe":
+            lo, hi = args
+            return self._subscribe(conn, lo, hi)
+        if method == "unsubscribe":
+            (sub_id,) = args
+            return self._unsubscribe(conn, sub_id)
         if method == "stats":
             return srv.stats.snapshot()
         if method == "ping":
             return "pong"
         raise ValueError(f"unknown method {method!r}")
+
+
+class ThreadedRpcService:
+    """A Pequod RPC server on a private event-loop thread.
+
+    The loopback deployment used by benchmarks and tests that need the
+    server genuinely concurrent with a client (separate thread, real
+    TCP) rather than sharing the caller's loop.
+    """
+
+    def __init__(self, server: PequodServer, host: str = "127.0.0.1") -> None:
+        self.rpc = RpcServer(server, host, 0)
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+        failure: list = []
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self.rpc.start())
+            except Exception as exc:  # noqa: BLE001 - surfaced to caller
+                failure.append(exc)
+                self._loop.close()
+                started.set()
+                return
+            started.set()
+            self._loop.run_forever()
+            self._loop.run_until_complete(self.rpc.stop())
+            # One more tick so closed transports detach their sockets
+            # before the loop goes away (avoids ResourceWarnings).
+            self._loop.run_until_complete(asyncio.sleep(0.02))
+            self._loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="pequod-rpc", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if failure:
+            raise RuntimeError(f"cannot start RPC server: {failure[0]}")
+
+    @property
+    def port(self) -> int:
+        return self.rpc.port
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)

@@ -1,0 +1,28 @@
+"""Shared test configuration: async test support.
+
+The asyncio lane prefers ``pytest-asyncio`` (pinned in the ``[test]``
+extras, ``asyncio_mode = "auto"`` in pyproject.toml).  Offline
+environments without the plugin still run every async test: the hook
+below detects plain ``async def`` tests and drives each through
+``asyncio.run`` with its (synchronous) fixtures resolved as usual.
+"""
+
+import asyncio
+import inspect
+
+import pytest
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    if pyfuncitem.config.pluginmanager.hasplugin("asyncio"):
+        return None  # pytest-asyncio owns async tests when installed
+    func = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(func):
+        return None
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    asyncio.run(func(**kwargs))
+    return True

@@ -155,3 +155,92 @@ class TestServeCommand:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+
+class TestWatchCommand:
+    @pytest.mark.parametrize("backend", ["local", "rpc", "cluster"])
+    def test_watch_feed_renders_pushed_updates(self, backend, capsys):
+        assert main(
+            ["watch", "t|", "t}", "--backend", backend, "--feed",
+             "--count", "3", "--timeout", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "watching" in out and "server push" in out
+        assert out.count("insert") == 3
+        assert "t|ann|0100|bob" in out and "hello, world!" in out
+        assert "3 event(s)" in out
+
+    def test_watch_timeout_without_events(self, capsys):
+        assert main(
+            ["watch", "q|", "q}", "--backend", "local",
+             "--timeout", "0.05"]
+        ) == 0
+        assert "0 event(s)" in capsys.readouterr().out
+
+    def test_host_rejected_off_rpc(self, capsys):
+        assert main(
+            ["watch", "t|", "t}", "--backend", "local",
+             "--host", "127.0.0.1"]
+        ) == 2
+
+    def test_watch_against_live_serve(self, tmp_path):
+        """The deployment story: `repro watch` streaming from a
+        separate `repro serve` process over real TCP."""
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner
+            port = int(banner.rsplit(":", 1)[1])
+
+            from repro.net.rpc_client import SyncRpcClient
+
+            watcher = subprocess.Popen(
+                [sys.executable, "-u", "-m", "repro", "watch", "p|", "p}",
+                 "--host", "127.0.0.1", "--port", str(port),
+                 "--count", "3", "--timeout", "10"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            )
+            try:
+                # The banner prints only after the subscription is
+                # installed server-side; writes after it are pushed.
+                banner = watcher.stdout.readline()
+                assert "watching" in banner
+                client = SyncRpcClient("127.0.0.1", port)
+                try:
+                    for i in range(3):
+                        client.put(f"p|bob|{i:04d}", f"live {i}")
+                finally:
+                    client.close()
+                out, _ = watcher.communicate(timeout=30)
+            except BaseException:
+                watcher.kill()
+                raise
+            assert watcher.returncode == 0, out
+            assert out.count("insert") == 3
+            assert "live 2" in out
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+class TestBenchConcurrency:
+    @pytest.mark.slow
+    def test_concurrency_with_json(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_concurrency.json"
+        assert main(
+            ["bench", "concurrency", "--scale", "0.2",
+             "--json", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pipelined RPCs outstanding" in out
+        assert "sync baseline" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == "concurrency"
+        assert [p["depth"] for p in payload["points"]] == [1, 4, 8, 32]
+        assert payload["baseline"]["ops_per_sec"] > 0
+        assert payload["max_speedup"] >= 1.0

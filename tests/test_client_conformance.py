@@ -1,11 +1,15 @@
-"""Backend conformance: one suite, every deployment shape.
+"""Backend conformance: one suite, every deployment shape, sync and
+async.
 
-Each test runs against all three ``PequodClient`` backends via the
-parameterized fixture — in-process, real TCP RPC, and a simulated
-cluster — asserting identical results for the paper's §2 walkthrough,
-batches, aggregates, and error cases.  The local backend is the
-semantic reference; staleness is normalized by ``settle()`` (a no-op
-off-cluster), the one deliberate difference the API admits (§2.4).
+Each test runs against all three backends — in-process, real TCP RPC,
+and a simulated cluster — through the synchronous facade (the
+parameterized ``client`` fixture) *and* through the async-native API
+(the ``TestAsync*`` classes), asserting identical results for the
+paper's §2 walkthrough, batches, aggregates, error cases, and the
+server-push watch streams (ordering, range filtering, unsubscribe,
+disconnect cleanup).  The local backend is the semantic reference;
+staleness is normalized by ``settle()`` (a no-op off-cluster), the one
+deliberate difference the API admits (§2.4).
 """
 
 import pytest
@@ -15,8 +19,10 @@ from repro.client import (
     ClientError,
     JoinSpecError,
     LocalClient,
+    NotFoundError,
     ServerError,
     join,
+    make_async_client,
     make_client,
 )
 
@@ -352,3 +358,329 @@ class TestBackendReporting:
             assert isinstance(c, LocalClient)
             c.put("p|a|1", "x")
             assert c.server.key_count() == 1
+
+
+# ======================================================================
+# Async conformance: the same semantics through the async-native API
+# ======================================================================
+def _async_client(backend):
+    """Build an async client for one backend (awaitable)."""
+    return make_async_client(backend, base_tables=BASE_TABLES)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestAsyncConformance:
+    async def test_walkthrough(self, backend):
+        async with await _async_client(backend) as client:
+            await client.add_join(TIMELINE)
+            await client.put("s|ann|bob", "1")
+            await client.put("p|bob|0100", "hello!")
+            await client.settle()
+            assert await client.scan_prefix("t|ann|") == [
+                ("t|ann|0100|bob", "hello!")
+            ]
+            await client.put("p|bob|0120", "again")
+            await client.settle()
+            assert await client.scan_prefix("t|ann|") == [
+                ("t|ann|0100|bob", "hello!"),
+                ("t|ann|0120|bob", "again"),
+            ]
+
+    async def test_roundtrip_and_derived_ops(self, backend):
+        async with await _async_client(backend) as client:
+            assert await client.get("p|bob|0100") is None
+            await client.put("p|bob|0100", "x")
+            assert await client.get("p|bob|0100") == "x"
+            assert await client.exists("p|bob|0100") is True
+            assert await client.remove("p|bob|0100") is True
+            assert await client.remove("p|bob|0100") is False
+            await client.put_many([(f"p|u|{i:04d}", f"v{i}") for i in range(6)])
+            await client.settle()
+            assert await client.count("p|u|", "p|u}") == 6
+            assert await client.scan_prefix("p|u|") == await client.scan(
+                "p|u|", "p|u}"
+            )
+
+    async def test_write_batch_async_context(self, backend):
+        async with await _async_client(backend) as client:
+            await client.add_join(TIMELINE)
+            await client.put("s|ann|bob", "1")
+            await client.settle()
+            await client.scan_prefix("t|ann|")  # warm the timeline
+            async with client.write_batch() as batch:
+                batch.put("p|bob|0100", "one")
+                batch.put("p|bob|0100", "two")  # coalesces in-batch
+                batch.put("p|bob|0200", "three")
+            await client.settle()
+            assert batch.coalesced_ops == 1
+            assert await client.scan_prefix("t|ann|") == [
+                ("t|ann|0100|bob", "two"),
+                ("t|ann|0200|bob", "three"),
+            ]
+
+    async def test_aggregates(self, backend):
+        async with await _async_client(backend) as client:
+            await client.add_join(KARMA)
+            await client.put("vote|bob|001|ann", "1")
+            await client.put("vote|bob|001|liz", "1")
+            await client.settle()
+            assert await client.get("karma|bob") == "2"
+            assert await client.remove("vote|bob|001|liz") is True
+            await client.settle()
+            assert await client.get("karma|bob") == "1"
+
+    async def test_errors(self, backend):
+        async with await _async_client(backend) as client:
+            with pytest.raises(JoinSpecError):
+                await client.add_join("not a join at all")
+            with pytest.raises(BadRequestError):
+                await client.put("p|bob|0100", 42)
+            with pytest.raises(BadRequestError):
+                await client.apply_batch([("", "empty key")])
+            # The client stays usable after errors.
+            await client.put("p|bob|0100", "still works")
+            assert await client.get("p|bob|0100") == "still works"
+
+    async def test_stats(self, backend):
+        async with await _async_client(backend) as client:
+            await client.put("p|a|1", "x")
+            await client.get("p|a|1")
+            stats = await client.stats()
+            assert stats.get("op_put", 0) >= 1
+            assert stats.get("op_get", 0) >= 1
+
+
+# ======================================================================
+# Sync/async parity: byte-identical store state on the same workload
+# ======================================================================
+def _conformance_ops():
+    """A deterministic workload touching joins, batches, aggregates,
+    overwrites, and removes."""
+    ops = [("join", TIMELINE), ("join", KARMA)]
+    users = ["ann", "bob", "cid", "liz"]
+    for u in users:
+        for v in users:
+            if u != v:
+                ops.append(("put", f"s|{u}|{v}", "1"))
+    for tick in range(12):
+        poster = users[tick % len(users)]
+        ops.append(("put", f"p|{poster}|{tick:04d}", f"tweet {tick}"))
+        if tick % 3 == 0:
+            ops.append(("scan", f"t|{users[(tick + 1) % len(users)]}|"))
+        if tick % 4 == 0:
+            ops.append(("vote", f"vote|{poster}|{tick:03d}|ann"))
+    ops.append(("batch", [("p|ann|9000", "batched"), ("p|bob|0000", None)]))
+    ops.append(("remove", "s|liz|ann"))
+    for u in users:
+        ops.append(("scan", f"t|{u}|"))
+    return ops
+
+
+def _read_state(scan_prefix):
+    state = []
+    for prefix in ("t|", "p|", "s|", "vote|", "karma|"):
+        state.extend(scan_prefix(prefix))
+    return state
+
+
+def _drive_sync(client):
+    for op in _conformance_ops():
+        if op[0] == "join":
+            client.add_join(op[1])
+        elif op[0] == "put":
+            client.put(op[1], op[2])
+        elif op[0] == "vote":
+            client.put(op[1], "1")
+        elif op[0] == "scan":
+            client.scan_prefix(op[1])
+        elif op[0] == "batch":
+            client.apply_batch(op[1])
+        elif op[0] == "remove":
+            client.remove(op[1])
+        client.settle()
+    return _read_state(client.scan_prefix)
+
+
+async def _drive_async(client):
+    for op in _conformance_ops():
+        if op[0] == "join":
+            await client.add_join(op[1])
+        elif op[0] == "put":
+            await client.put(op[1], op[2])
+        elif op[0] == "vote":
+            await client.put(op[1], "1")
+        elif op[0] == "scan":
+            await client.scan_prefix(op[1])
+        elif op[0] == "batch":
+            await client.apply_batch(op[1])
+        elif op[0] == "remove":
+            await client.remove(op[1])
+        await client.settle()
+    state = []
+    for prefix in ("t|", "p|", "s|", "vote|", "karma|"):
+        state.extend(await client.scan_prefix(prefix))
+    return state
+
+
+class TestSyncAsyncParity:
+    def test_state_identical_across_all_backends(self):
+        """The acceptance bar: the conformance workload leaves
+        byte-identical observable state through every sync facade and
+        every async backend."""
+        import asyncio
+
+        async def drive(backend):
+            async with await _async_client(backend) as client:
+                return await _drive_async(client)
+
+        states = {}
+        for backend in BACKENDS:
+            with make_client(backend, base_tables=BASE_TABLES) as client:
+                states[f"sync-{backend}"] = _drive_sync(client)
+            states[f"async-{backend}"] = asyncio.run(drive(backend))
+        reference = states["sync-local"]
+        assert reference  # the workload actually produced data
+        for name, state in states.items():
+            assert state == reference, f"{name} diverged from sync-local"
+
+
+# ======================================================================
+# Watch streams: server push on every backend (§2.4)
+# ======================================================================
+class TestWatchSync:
+    """iter_watch through the sync facade, all three backends."""
+
+    def test_delivers_committed_changes_in_order(self, client):
+        watch = client.iter_watch("p|", "p}")
+        client.put("p|a|1", "x")
+        client.put("p|a|2", "y")
+        client.put("p|a|1", "x2")
+        client.settle()
+        events = watch.drain()
+        assert [(e.key, e.new, e.kind.value) for e in events] == [
+            ("p|a|1", "x", "insert"),
+            ("p|a|2", "y", "insert"),
+            ("p|a|1", "x2", "update"),
+        ]
+        # Key-version order: seqs strictly increase.
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        watch.close()
+
+    def test_range_filtering(self, client):
+        watch = client.iter_watch("p|b|", "p|b}")
+        client.put("p|a|1", "outside")
+        client.put("p|b|1", "inside")
+        client.put("p|c|1", "outside")
+        client.remove("p|b|1")
+        client.settle()
+        events = watch.drain()
+        assert [(e.key, e.kind.value) for e in events] == [
+            ("p|b|1", "insert"),
+            ("p|b|1", "remove"),
+        ]
+        watch.close()
+
+    def test_close_stops_delivery(self, client):
+        watch = client.iter_watch("p|", "p}")
+        client.put("p|a|1", "x")
+        client.settle()
+        assert len(watch.drain()) == 1
+        watch.close()
+        client.put("p|a|2", "y")
+        client.settle()
+        assert watch.drain() == []
+
+    def test_watch_sees_maintained_outputs(self, client):
+        """Join maintenance commits count as changes: the watcher of a
+        computed range sees every output the engine installs."""
+        client.add_join(TIMELINE)
+        client.put("s|ann|bob", "1")
+        client.settle()
+        client.scan_prefix("t|ann|")  # materialize (empty) timeline
+        watch = client.iter_watch("t|ann|", "t|ann}")
+        client.put("p|bob|0100", "pushed")
+        client.settle()
+        events = watch.drain()
+        assert [(e.key, e.new) for e in events] == [
+            ("t|ann|0100|bob", "pushed")
+        ]
+        watch.close()
+
+    def test_empty_range_rejected(self, client):
+        with pytest.raises(BadRequestError):
+            client.iter_watch("p}", "p|")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestWatchAsync:
+    """The async watch stream: exactly-once, ordered, range-true."""
+
+    async def test_exactly_once_in_commit_order(self, backend):
+        async with await _async_client(backend) as client:
+            watch = await client.watch("p|", "p}")
+            expected = []
+            for i in range(10):
+                key = f"p|u{i % 3}|{i:04d}"
+                await client.put(key, f"v{i}")
+                expected.append((key, f"v{i}"))
+            await client.settle()
+            events = watch.drain()
+            assert [(e.key, e.new) for e in events] == expected
+            # Exactly once: no duplicate (key, seq); versions ordered.
+            stamps = [(e.key, e.seq) for e in events]
+            assert len(set(stamps)) == len(stamps)
+            per_key = {}
+            for e in events:
+                assert per_key.get(e.key, -1) < e.seq
+                per_key[e.key] = e.seq
+            await watch.close()
+
+    async def test_unsubscribe_stops_push(self, backend):
+        async with await _async_client(backend) as client:
+            watch = await client.watch("p|", "p}")
+            await client.put("p|a|1", "x")
+            await client.settle()
+            assert len(watch.drain()) == 1
+            await watch.close()
+            await client.put("p|a|2", "y")
+            await client.settle()
+            assert watch.drain() == []
+            assert await watch.next_event(timeout=0.01) is None
+
+    async def test_async_iteration(self, backend):
+        async with await _async_client(backend) as client:
+            watch = await client.watch("p|", "p}")
+            for i in range(3):
+                await client.put(f"p|a|{i}", f"v{i}")
+            await client.settle()
+            seen = []
+            async for event in watch:
+                seen.append(event.key)
+                if len(seen) == 3:
+                    break
+            assert seen == ["p|a|0", "p|a|1", "p|a|2"]
+            await watch.close()
+
+    async def test_two_watches_independent_ranges(self, backend):
+        async with await _async_client(backend) as client:
+            wa = await client.watch("p|a|", "p|a}")
+            wb = await client.watch("p|b|", "p|b}")
+            await client.put("p|a|1", "x")
+            await client.put("p|b|1", "y")
+            await client.settle()
+            assert [e.key for e in wa.drain()] == ["p|a|1"]
+            assert [e.key for e in wb.drain()] == ["p|b|1"]
+            await wa.close()
+            await wb.close()
+
+
+class TestNotFoundHierarchy:
+    def test_not_found_is_client_and_key_error(self):
+        """The wire-distinguishable "missing thing" error (the
+        classify_error satellite): a ClientError for the unified
+        hierarchy and a KeyError for idiomatic handling.  It is NOT a
+        BadRequestError — missing is not malformed."""
+        assert issubclass(NotFoundError, ClientError)
+        assert issubclass(NotFoundError, KeyError)
+        assert not issubclass(NotFoundError, BadRequestError)

@@ -89,3 +89,55 @@ class TestMessages:
         _, method, args = protocol.parse_request(protocol.decode_message(payload))
         assert method == "ping"
         assert args == []
+
+
+class TestPushFrames:
+    """Server-push framing: reserved negative ids (§2.4)."""
+
+    def test_push_id_round_trip(self):
+        for sub_id in (0, 1, 7, 12345):
+            push_id = protocol.push_id_for(sub_id)
+            assert push_id < 0
+            assert protocol.sub_id_of(push_id) == sub_id
+
+    def test_invalid_ids_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.push_id_for(-1)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.sub_id_of(0)
+
+    def test_push_frame_round_trip(self):
+        from repro.core.hub import ChangeEvent
+        from repro.core.operators import ChangeKind
+
+        events = [
+            ChangeEvent(7, "p|a|1", None, "x", ChangeKind.INSERT),
+            ChangeEvent(9, "p|a|1", "x", None, ChangeKind.REMOVE),
+        ]
+        data = protocol.encode_push(3, events)
+        buf = protocol.FrameBuffer()
+        (payload,) = buf.feed(data)
+        message = protocol.decode_message(payload)
+        # Push frames parse as responses (id routes by sign)...
+        request_id, status, _body = protocol.parse_response(message)
+        assert request_id < 0 and status == protocol.PUSH
+        # ...and fully decode to the events that were sent.
+        sub_id, decoded = protocol.parse_push(message)
+        assert sub_id == 3
+        assert decoded == events
+
+    def test_malformed_push_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_push([4, protocol.PUSH, []])  # non-negative id
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_push([-1, protocol.OK, []])  # wrong status
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_event([1, "key"])  # truncated event
+
+    def test_not_found_is_a_valid_error_code(self):
+        payload = protocol.encode_error(
+            protocol.ERR_CODE_NOT_FOUND, "no subscription 9"
+        )
+        code, message = protocol.parse_error(payload)
+        assert code == protocol.ERR_CODE_NOT_FOUND
+        assert message == "no subscription 9"
