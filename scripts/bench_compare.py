@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare a bench-smoke JSON result against a committed baseline.
+
+CI runs the bench smoke at a reduced scale and writes ``SMOKE_*.json``;
+this script diffs each smoke result against the corresponding committed
+``BENCH_*.json`` and fails the job when a configuration's *speedup*
+regressed past the threshold.  Speedup (each experiment's ratio over
+its own in-run baseline) is the only series that transfers across
+machines and scales — absolute ops/s on a shared CI runner is noise.
+
+Exit status: 0 clean, 1 regression past ``--fail``, 2 usage/shape error.
+Stdlib only; no repo imports, so it runs before the package installs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: How a point identifies itself, per experiment family.  The first key
+#: present in a point is its identity.
+IDENTITY_KEYS = ("config", "depth", "mode", "batch_size", "backend")
+
+#: The series compared.  Ratio-over-own-baseline; machine-independent.
+METRIC = "speedup"
+
+
+def point_identity(point: Dict[str, object]) -> Optional[str]:
+    for key in IDENTITY_KEYS:
+        if key in point:
+            return f"{key}={point[key]}"
+    return None
+
+
+def load_points(path: str) -> Dict[str, float]:
+    """Map point identity -> speedup for one bench JSON file."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    points = data.get("points")
+    if not isinstance(points, list) or not points:
+        print(f"{path}: no 'points' list", file=sys.stderr)
+        raise SystemExit(2)
+    out: Dict[str, float] = {}
+    for point in points:
+        ident = point_identity(point)
+        if ident is None or METRIC not in point:
+            continue
+        out[ident] = float(point[METRIC])
+    if not out:
+        print(f"{path}: no points carry '{METRIC}'", file=sys.stderr)
+        raise SystemExit(2)
+    return out
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    warn_at: float,
+    fail_at: float,
+) -> Tuple[List[str], bool]:
+    lines: List[str] = []
+    failed = False
+    width = max(len(k) for k in baseline)
+    for ident in sorted(baseline):
+        base = baseline[ident]
+        cur = current.get(ident)
+        if cur is None:
+            lines.append(f"FAIL {ident:<{width}}  missing from current run")
+            failed = True
+            continue
+        # Regression fraction: how much of the baseline speedup we lost.
+        # Improvements are negative and never flagged.
+        loss = (base - cur) / base if base > 0 else 0.0
+        verdict = "ok  "
+        if loss > fail_at:
+            verdict, failed = "FAIL", True
+        elif loss > warn_at:
+            verdict = "WARN"
+        lines.append(
+            f"{verdict} {ident:<{width}}  baseline {base:6.2f}x  "
+            f"current {cur:6.2f}x  ({-loss * 100:+.1f}%)"
+        )
+    for ident in sorted(set(current) - set(baseline)):
+        lines.append(f"note {ident:<{width}}  new point (no baseline)")
+    return lines, failed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly produced smoke JSON")
+    parser.add_argument(
+        "--warn", type=float, default=0.10, metavar="FRAC",
+        help="warn when speedup drops by more than this fraction",
+    )
+    parser.add_argument(
+        "--fail", type=float, default=0.25, metavar="FRAC",
+        help="fail when speedup drops by more than this fraction",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.warn <= args.fail:
+        print("need 0 <= --warn <= --fail", file=sys.stderr)
+        return 2
+    base = load_points(args.baseline)
+    cur = load_points(args.current)
+    print(f"bench regression gate: {args.current} vs {args.baseline}")
+    lines, failed = compare(base, cur, args.warn, args.fail)
+    for line in lines:
+        print(f"  {line}")
+    if failed:
+        print(
+            f"REGRESSION: speedup dropped more than {args.fail * 100:.0f}% "
+            "(or a baseline point vanished)"
+        )
+        return 1
+    print("bench gate clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the observability surface, for the CI chaos lane.
+
+Boots a real ``ThreadedRpcService`` (its own thread, genuine TCP),
+drives traffic through ``SyncRpcClient``, hosts the Prometheus endpoint
+on the service's loop, then scrapes ``GET /metrics`` over HTTP like a
+Prometheus server would and asserts the exposition text is well-formed
+and carries the series the README documents.  Exits non-zero with a
+diagnostic on any failure.
+
+Run from the repo root: ``PYTHONPATH=src python scripts/metrics_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import sys
+import urllib.error
+import urllib.request
+
+from repro.apps.twip import TIMELINE_JOIN
+from repro.core.load import OverloadPolicy
+from repro.core.server import PequodServer
+from repro.metrics import MetricsHttpServer
+from repro.net.rpc_client import SyncRpcClient
+from repro.net.rpc_server import ThreadedRpcService
+from repro.store.keys import prefix_upper_bound
+
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? '
+    r"[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$"
+)
+
+#: Series the README's metric catalog promises; the scrape must carry
+#: at least one sample of each family.
+REQUIRED_FAMILIES = (
+    "repro_join_validations_total",
+    "repro_join_memo_hits_total",
+    "repro_pending_log_depth",
+    "repro_status_ranges",
+    "repro_table_memory_bytes",
+    "repro_memory_bytes",
+    "repro_rpc_frame_latency_seconds_bucket",
+    "repro_rpc_window_occupancy_bucket",
+    "repro_overloaded",
+    "repro_stat",
+)
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.12 has NoReturn
+    print(f"metrics smoke FAILED: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def drive_traffic(port: int) -> None:
+    client = SyncRpcClient("127.0.0.1", port)
+    try:
+        client.put("s|ann|bob", "1")
+        client.put("p|bob|0001", "hello")
+        client.scan("t|ann|", prefix_upper_bound("t|ann|"))
+        client.put("p|bob|0002", "again")
+        client.scan("t|ann|", prefix_upper_bound("t|ann|"))
+        stats = client.stats()
+        if "op_get" not in stats and "op_scan" not in stats:
+            fail(f"stats() over RPC lacks op counters: {sorted(stats)[:8]}")
+    finally:
+        client.close()
+
+
+def check_exposition(text: str) -> int:
+    """Validate Prometheus text format; return the number of samples."""
+    helped, typed = set(), set()
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if parts[3] not in ("counter", "gauge", "histogram"):
+                fail(f"line {lineno}: bad TYPE {line!r}")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            fail(f"line {lineno}: unknown comment {line!r}")
+        if not SAMPLE_RE.match(line):
+            fail(f"line {lineno}: malformed sample {line!r}")
+        samples += 1
+        name = line.split("{")[0].split(" ")[0]
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and family not in typed:
+            fail(f"line {lineno}: sample {name} precedes its # TYPE")
+    if helped != typed:
+        fail(f"HELP/TYPE mismatch: {sorted(helped ^ typed)}")
+    for family in REQUIRED_FAMILIES:
+        if not re.search(rf"^{re.escape(family)}(\{{| )", text, re.M):
+            fail(f"required series {family} absent from scrape")
+    return samples
+
+
+def main() -> int:
+    policy = OverloadPolicy(mode="degrade", max_staleness=5.0)
+    server = PequodServer(overload_policy=policy)
+    server.add_join(TIMELINE_JOIN)
+    service = ThreadedRpcService(server)
+    metrics = MetricsHttpServer(server.metrics_text)
+    try:
+        drive_traffic(service.port)
+        asyncio.run_coroutine_threadsafe(
+            metrics.start(), service._loop  # noqa: SLF001 - loopback smoke
+        ).result(timeout=5)
+        url = f"http://127.0.0.1:{metrics.port}/metrics"
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            if resp.status != 200:
+                fail(f"GET /metrics -> {resp.status}")
+            ctype = resp.headers.get("Content-Type", "")
+            if not ctype.startswith("text/plain"):
+                fail(f"unexpected content type {ctype!r}")
+            text = resp.read().decode()
+        samples = check_exposition(text)
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{metrics.port}/other", timeout=5
+            ) as resp:
+                fail(f"GET /other -> {resp.status}, expected 404")
+        except urllib.error.HTTPError as exc:
+            if exc.code != 404:
+                fail(f"GET /other -> {exc.code}, expected 404")
+        print(f"metrics smoke OK: {samples} samples at {url}")
+        return 0
+    finally:
+        asyncio.run_coroutine_threadsafe(
+            metrics.close(), service._loop
+        ).result(timeout=5)
+        service.stop()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,10 @@ setup(
             "hypothesis>=6",
             "pytest-benchmark>=4",
         ],
+        # Coverage is a CI-lane concern, not a local test dependency.
+        "cov": [
+            "pytest-cov>=4",
+        ],
     },
     entry_points={
         "console_scripts": ["repro=repro.cli:main"],

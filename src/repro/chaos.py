@@ -1,0 +1,134 @@
+"""Fault injection hooks (`repro.chaos`).
+
+The observability layer's claim is that the system *degrades instead of
+collapsing*; these hooks are how the chaos tests (and the CI chaos
+lane) make it prove that:
+
+* :class:`RpcChaos` — delay or drop RPC response frames on a live
+  ``RpcServer`` (install as ``rpc.chaos``).  A dropped response leaves
+  exactly one pipelined request hanging — the shape of a lost frame —
+  while earlier and later requests on the window complete.
+* :class:`SlowMaintenance` — stall the join engine's maintenance entry
+  points (install as ``engine.fault_hook``), the "one hot write fans
+  out forever" failure.
+* :func:`kill_compute` — kill a cluster compute node mid-workload (the
+  node vanishes from the network, in-flight messages and all; routing
+  rehashes onto survivors, which demand-recompute from base data).
+* :func:`net_latency` / :func:`net_drop_filter` — degrade the simulated
+  network under a workload.
+
+Every injector counts what it injected, so tests can assert the fault
+actually fired and wasn't silently bypassed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, List, Optional
+
+
+class RpcChaos:
+    """Delay and/or drop encoded RPC response frames.
+
+    Installed as ``RpcServer.chaos``; the server passes each pipelined
+    chunk's responses through :meth:`apply` before writing them.
+
+    * ``delay_s`` — sleep this long (wall clock, on the event loop)
+      before releasing each chunk's responses.
+    * ``drop_every`` — drop every Nth response frame (1-indexed over
+      the injector's lifetime); 0 disables dropping.  The dropped
+      request's client future simply never resolves — the client-side
+      symptom of a lost frame.
+    """
+
+    def __init__(self, delay_s: float = 0.0, drop_every: int = 0) -> None:
+        if delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        if drop_every < 0:
+            raise ValueError("drop_every must be >= 0")
+        self.delay_s = delay_s
+        self.drop_every = drop_every
+        self.frames_seen = 0
+        self.frames_dropped = 0
+        self.chunks_delayed = 0
+
+    async def apply(self, responses: List[bytes]) -> List[bytes]:
+        if self.delay_s and responses:
+            self.chunks_delayed += 1
+            await asyncio.sleep(self.delay_s)
+        if not self.drop_every:
+            self.frames_seen += len(responses)
+            return responses
+        kept: List[bytes] = []
+        for frame in responses:
+            self.frames_seen += 1
+            if self.frames_seen % self.drop_every == 0:
+                self.frames_dropped += 1
+                continue
+            kept.append(frame)
+        return kept
+
+
+class SlowMaintenance:
+    """Stall every maintenance pass by ``seconds`` (wall clock).
+
+    Installed as ``JoinEngine.fault_hook``; the engine calls it at each
+    notification entry point (per-write and batched).  ``limit`` bounds
+    how many stalls fire, so a test can inject a burst of slowness and
+    then let the system recover.
+    """
+
+    def __init__(self, seconds: float, limit: Optional[int] = None) -> None:
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        self.seconds = seconds
+        self.limit = limit
+        self.stalls = 0
+
+    def __call__(self, site: str) -> None:
+        if self.limit is not None and self.stalls >= self.limit:
+            return
+        self.stalls += 1
+        if self.seconds:
+            time.sleep(self.seconds)
+
+    def install(self, engine) -> "SlowMaintenance":
+        engine.fault_hook = self
+        return self
+
+    @staticmethod
+    def uninstall(engine) -> None:
+        engine.fault_hook = None
+
+
+def kill_compute(cluster, affinity: Optional[str] = None, name: Optional[str] = None):
+    """Kill one compute node mid-workload; returns the killed node.
+
+    Pick the victim by ``affinity`` (the node currently serving that
+    user — the worst case for that user's timeline), by ``name``, or
+    let the injector take the first live compute node.
+    """
+    if name is not None:
+        return cluster.kill_node(name)
+    if affinity is not None:
+        return cluster.kill_node(cluster.compute_node_for(affinity))
+    live = cluster.live_compute_nodes
+    if not live:
+        raise RuntimeError("no live compute nodes to kill")
+    return cluster.kill_node(live[0])
+
+
+def net_latency(net, extra_seconds: float) -> None:
+    """Add ``extra_seconds`` to every subsequent simulated delivery."""
+    if extra_seconds < 0:
+        raise ValueError("extra_seconds must be >= 0")
+    net.extra_latency = extra_seconds
+
+
+def net_drop_filter(
+    net, should_drop: Callable[[str, str, str, object], bool]
+) -> None:
+    """Install a message drop predicate ``(src, dst, kind, body)`` on a
+    :class:`~repro.net.simnet.SimNetwork` (None clears)."""
+    net.loss_filter = should_drop

@@ -60,6 +60,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--store-impl", choices=["rbtree", "sortedarray"], default=None,
         help="ordered map backing the data plane (default: sortedarray)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve Prometheus text on http://HOST:PORT/metrics",
+    )
+    serve.add_argument(
+        "--overload-mode", choices=["shed", "degrade"], default=None,
+        help="admission control: shed overloaded work with a typed "
+        "error, or degrade reads to bounded staleness",
+    )
+    serve.add_argument(
+        "--max-staleness", type=float, default=None, metavar="SECONDS",
+        help="staleness bound for --overload-mode degrade",
+    )
+    serve.add_argument(
+        "--overload-queue-depth", type=int, default=None, metavar="N",
+        help="pipelined request depth above which the server is overloaded",
+    )
+    serve.add_argument(
+        "--overload-memory-limit", type=int, default=None, metavar="BYTES",
+        help="soft memory ceiling above which the server is overloaded",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="scrape a running server's metrics"
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=7709)
+    metrics.add_argument(
+        "--format", choices=["table", "prom"], default="table",
+        help="table of series, or raw Prometheus exposition text",
+    )
+    metrics.add_argument(
+        "--match", default=None, metavar="SUBSTRING",
+        help="only show series whose key contains SUBSTRING",
+    )
 
     watch = sub.add_parser(
         "watch", help="stream committed changes in a key range (server push)"
@@ -99,7 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "write_batching",
-                 "read_path", "twip", "concurrency"],
+                 "read_path", "twip", "concurrency", "overload"],
     )
     bench.add_argument(
         "--scale", type=float, default=1.0,
@@ -141,6 +176,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "watch":
         return _cmd_watch(args)
     if args.command == "demo":
@@ -188,7 +225,37 @@ def _concurrency_sizes(s: float) -> dict:
     }
 
 
+def _overload_sizes(s: float) -> dict:
+    return {
+        "n_users": max(40, int(300 * s)),
+        "mean_follows": max(3.0, 10 * min(s, 1.0)),
+        "ops": max(600, int(6000 * s)),
+    }
+
+
 # ----------------------------------------------------------------------
+def _overload_policy_from(args):
+    """Build an OverloadPolicy from serve flags, or None."""
+    if args.overload_mode is None:
+        if args.max_staleness is not None or args.overload_queue_depth is not None \
+                or args.overload_memory_limit is not None:
+            print("overload flags require --overload-mode", file=sys.stderr)
+            raise SystemExit(2)
+        return None
+    from .core.load import OverloadPolicy
+
+    try:
+        return OverloadPolicy(
+            mode=args.overload_mode,
+            max_staleness=args.max_staleness,
+            soft_memory_limit=args.overload_memory_limit,
+            max_queue_depth=args.overload_queue_depth,
+        )
+    except ValueError as exc:
+        print(f"bad overload policy: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
 def _cmd_serve(args) -> int:
     from .net.rpc_server import RpcServer
 
@@ -204,6 +271,7 @@ def _cmd_serve(args) -> int:
         subtable_config=config or None,
         memory_limit=args.memory_limit,
         store_impl=args.store_impl,
+        overload_policy=_overload_policy_from(args),
     )
     texts = list(args.join)
     if args.join_file:
@@ -217,12 +285,53 @@ def _cmd_serve(args) -> int:
         rpc = RpcServer(server, args.host, args.port)
         await rpc.start()
         print(f"pequod {__version__} listening on {rpc.host}:{rpc.port}")
+        if args.metrics_port is not None:
+            from .metrics import MetricsHttpServer
+
+            http = MetricsHttpServer(
+                server.metrics_text, args.host, args.metrics_port
+            )
+            await http.start()
+            print(
+                f"metrics on http://{args.host}:{http.port}/metrics"
+            )
         await rpc.serve_forever()
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         print("bye")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Scrape a live ``repro serve`` instance over its RPC port."""
+    from .net.rpc_client import SyncRpcClient
+
+    try:
+        client = SyncRpcClient(args.host, args.port)
+    except OSError as exc:
+        print(f"cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        if args.format == "prom":
+            text = client.call("metrics")
+            if args.match:
+                text = "\n".join(
+                    line for line in text.splitlines() if args.match in line
+                ) + "\n"
+            sys.stdout.write(text)
+            return 0
+        snapshot = client.stats()
+    finally:
+        client.close()
+    rows = sorted(snapshot.items())
+    if args.match:
+        rows = [(k, v) for k, v in rows if args.match in k]
+    width = max((len(k) for k, _ in rows), default=0)
+    for key, value in rows:
+        print(f"{key:<{width}}  {value:g}")
     return 0
 
 
@@ -391,6 +500,28 @@ def _cmd_bench(args) -> int:
         print(f"sync baseline (one outstanding request): "
               f"{result['baseline']['ops_per_sec']:.0f} ops/s")
         return _finish_bench(args, payload)
+    if args.experiment == "overload":
+        from .bench.harness import run_overload
+
+        result = run_overload(**_overload_sizes(s))
+        payload.update(result)
+        rows = [
+            (p["mode"], f"{p['ops_per_sec']:.0f}", f"{p['speedup']:.2f}x",
+             f"{p['served']:.0f}", f"{p['shed']:.0f}",
+             f"{p['stale_reads_served']:.0f}")
+            for p in result["points"]
+        ]
+        print(format_table(
+            ["Mode", "ops/s", "vs baseline", "served", "shed", "stale"],
+            rows,
+            title="Overload policy under a forced burst (middle half)",
+        ))
+        print("degrade staleness within bound:",
+              result["staleness_bounded"])
+        status = _finish_bench(args, payload)
+        if not result["staleness_bounded"]:
+            return 1
+        return status
     if args.experiment == "read_path":
         from .bench.harness import run_read_path
 

@@ -64,6 +64,7 @@ from .errors import (
     ClientError,
     JoinSpecError,
     NotFoundError,
+    OverloadError,
     ServerError,
     TransportError,
     error_for_code,
@@ -89,6 +90,7 @@ __all__ = [
     "JoinSpecError",
     "LocalClient",
     "NotFoundError",
+    "OverloadError",
     "PequodClient",
     "RemoteClient",
     "ServerError",

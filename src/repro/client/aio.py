@@ -51,23 +51,30 @@ from typing import (
 
 from ..core.hub import ChangeEvent
 from ..core.joins import JoinError
+from ..core.load import OverloadError as CoreOverloadError
 from ..core.pattern import PatternError
 from ..core.server import PequodServer
 from ..distrib.cluster import Cluster, Session
 from ..distrib.node import ROLE_BASE, ROLE_COMPUTE, DistributedNode
+from ..metrics import merge_snapshots
 from ..net import protocol
 from ..net.rpc_client import RpcClient, RpcError
 from ..store.batch import PUT, WriteBatch
 from ..store.keys import prefix_upper_bound
-from ..store.stats import StoreStats
 from .base import BatchLike, JoinLike, check_value, checked_ops, join_text
 from .errors import (
     BadRequestError,
     JoinSpecError,
     NotFoundError,
+    OverloadError,
     TransportError,
     error_for_code,
 )
+
+
+def _overload(exc: CoreOverloadError) -> OverloadError:
+    """Re-raise an engine-level shed as the unified client type."""
+    return OverloadError(str(exc), reason=exc.reason)
 
 #: Sentinel queued into a Watch when its stream has ended.
 _STREAM_END = object()
@@ -313,17 +320,29 @@ class AsyncLocalClient(AsyncPequodClient):
 
     # ------------------------------------------------------------------
     async def get(self, key: str) -> Optional[str]:
-        return self.server.get(key)
+        try:
+            return self.server.get(key)
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
 
     async def put(self, key: str, value: str) -> None:
         check_value(value)
-        self.server.put(key, value)
+        try:
+            self.server.put(key, value)
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
 
     async def remove(self, key: str) -> bool:
-        return self.server.remove(key)
+        try:
+            return self.server.remove(key)
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
 
     async def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
-        return self.server.scan(first, last)
+        try:
+            return self.server.scan(first, last)
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
 
     async def add_join(self, join: JoinLike) -> List[str]:
         try:
@@ -334,10 +353,13 @@ class AsyncLocalClient(AsyncPequodClient):
         return [j.text for j in installed]
 
     async def apply_batch(self, batch: BatchLike) -> int:
-        return self.server.apply_batch(checked_ops(batch))
+        try:
+            return self.server.apply_batch(checked_ops(batch))
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
 
     async def stats(self) -> Dict[str, float]:
-        return self.server.stats.snapshot()
+        return self.server.metrics_snapshot()
 
     async def watch(self, lo: str, hi: str) -> Watch:
         if not lo < hi:
@@ -527,7 +549,7 @@ class AsyncClusterClient(AsyncPequodClient):
         if self._computed_cache is None:
             self._computed_cache = {
                 j.output.table
-                for node in self.cluster.compute_nodes[:1]
+                for node in self.cluster.live_compute_nodes[:1]
                 for j in node.server.joins
             }
         return self._computed_cache
@@ -553,25 +575,34 @@ class AsyncClusterClient(AsyncPequodClient):
 
     # ------------------------------------------------------------------
     async def get(self, key: str) -> Optional[str]:
-        if self._is_computed(self._table_of(key)):
-            return self.cluster.get(self.affinity_of(key), key)
-        # Base / plain data: read the home server directly.
-        return self.cluster.get_home(key)
+        try:
+            if self._is_computed(self._table_of(key)):
+                return self.cluster.get(self.affinity_of(key), key)
+            # Base / plain data: read the home server directly.
+            return self.cluster.get_home(key)
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
 
     async def put(self, key: str, value: str) -> None:
         check_value(value)
-        if self._is_computed(self._table_of(key)):
-            # Direct writes into a computed range live where the range
-            # is computed and read — the affinity compute server — not
-            # at a base home that no reader ever consults.
-            self.cluster.put_at(self._compute_node_of(key), key, value)
-            return
-        self.cluster.put(key, value)
+        try:
+            if self._is_computed(self._table_of(key)):
+                # Direct writes into a computed range live where the
+                # range is computed and read — the affinity compute
+                # server — not at a base home no reader ever consults.
+                self.cluster.put_at(self._compute_node_of(key), key, value)
+                return
+            self.cluster.put(key, value)
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
 
     async def remove(self, key: str) -> bool:
-        if self._is_computed(self._table_of(key)):
-            return self.cluster.remove_at(self._compute_node_of(key), key)
-        return self.cluster.remove(key)
+        try:
+            if self._is_computed(self._table_of(key)):
+                return self.cluster.remove_at(self._compute_node_of(key), key)
+            return self.cluster.remove(key)
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
 
     async def _scan_homes(self, first: str, last: str) -> List[Tuple[str, str]]:
         """Fan-out: every involved home server's slice is requested as
@@ -588,6 +619,12 @@ class AsyncClusterClient(AsyncPequodClient):
         return rows
 
     async def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
+        try:
+            return await self._scan_routed(first, last)
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
+
+    async def _scan_routed(self, first: str, last: str) -> List[Tuple[str, str]]:
         table = self._table_of(first)
         if not self._is_computed(table):
             # Base data lives at its home server(s); merge their slices.
@@ -607,7 +644,9 @@ class AsyncClusterClient(AsyncPequodClient):
         seen = {key for key, _ in rows}
         scanned = self._compute_node_of(first)
         others = [
-            node for node in self.cluster.compute_nodes if node is not scanned
+            node
+            for node in self.cluster.live_compute_nodes
+            if node is not scanned
         ]
 
         async def stored(node: DistributedNode) -> List[Tuple[str, str]]:
@@ -678,16 +717,24 @@ class AsyncClusterClient(AsyncPequodClient):
         ) -> int:
             return self.cluster.apply_batch_at(node, pairs)
 
-        applied = await asyncio.gather(
-            *(ship(node, pairs) for node, pairs in shipments)
-        )
+        try:
+            applied = await asyncio.gather(
+                *(ship(node, pairs) for node, pairs in shipments)
+            )
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
         return sum(applied)
 
     async def stats(self) -> Dict[str, float]:
-        merged = StoreStats()
-        for node in self.cluster.nodes:
-            merged = merged.merged_with(node.server.stats)
-        return merged.snapshot()
+        # Per-node stats supersets merged cluster-wide: counters and
+        # depths sum, staleness high-water marks take the max.  Dead
+        # nodes are excluded — their counters describe state nobody can
+        # reach anymore.
+        return merge_snapshots(
+            node.server.metrics_snapshot()
+            for node in self.cluster.nodes
+            if node.name not in self.cluster.dead
+        )
 
     async def watch(self, lo: str, hi: str) -> Watch:
         if not lo < hi:

@@ -17,6 +17,9 @@ its transport's native faults onto these types:
   malformed"; also a :class:`KeyError` for idiomatic handling.
 * :class:`ServerError` — the server faulted while executing a
   well-formed request.
+* :class:`OverloadError` — admission control shed the request (load
+  control; see ``repro.core.load``).  Also a subclass of the core
+  ``OverloadError`` so engine-level handlers catch it unchanged.
 * :class:`TransportError` — the request never completed: connection
   refused/reset, protocol framing errors, client used after close.
 
@@ -27,6 +30,7 @@ server attaches to failure responses (``repro.net.protocol``), so
 
 from __future__ import annotations
 
+from ..core.load import OverloadError as CoreOverloadError
 from ..net import protocol
 
 
@@ -54,6 +58,17 @@ class ServerError(ClientError):
     """The server faulted while executing the request."""
 
 
+class OverloadError(ServerError, CoreOverloadError):
+    """Admission control refused the request: the server is overloaded.
+
+    Multiple inheritance keeps both ``except`` spellings working: code
+    written against the client API catches :class:`ClientError` /
+    :class:`ServerError`, code written against the core server catches
+    ``repro.core.load.OverloadError`` — local backends re-raise the
+    engine's exception as this type.
+    """
+
+
 class TransportError(ClientError):
     """The request could not be delivered or completed."""
 
@@ -64,6 +79,7 @@ _CODE_TYPES = {
     protocol.ERR_CODE_BAD_REQUEST: BadRequestError,
     protocol.ERR_CODE_NOT_FOUND: NotFoundError,
     protocol.ERR_CODE_SERVER: ServerError,
+    protocol.ERR_CODE_OVERLOAD: OverloadError,
 }
 
 

@@ -94,6 +94,37 @@ class DataResolver:
 ChangeListener = Callable[[str, Optional[str], Optional[str], ChangeKind], None]
 
 
+class JoinTableMetrics:
+    """Validation-outcome counters for one materialized output table.
+
+    Bumped where validation happens (``_validate_table``), one slotted
+    integer add per outcome — cheap enough to stay on even when nobody
+    scrapes.  ``ServerMetrics`` turns these into the per-join
+    hit/miss/memo series.
+    """
+
+    __slots__ = (
+        "validations",
+        "memo_hits",
+        "fresh_hits",
+        "computes",
+        "recomputes",
+        "pending_applies",
+        "stale_served",
+        "stale_age_max",
+    )
+
+    def __init__(self) -> None:
+        self.validations = 0      # validate calls touching this table
+        self.memo_hits = 0        # satisfied by the validation memo
+        self.fresh_hits = 0       # covered by VALID ranges, no work
+        self.computes = 0         # never-computed gaps filled
+        self.recomputes = 0       # invalid/expired ranges rebuilt
+        self.pending_applies = 0  # pending logs drained before a read
+        self.stale_served = 0     # served under a staleness bound
+        self.stale_age_max = 0.0  # oldest staleness ever served (s)
+
+
 class JoinEngine:
     """Join execution and maintenance over one server's store."""
 
@@ -128,11 +159,13 @@ class JoinEngine:
         #: measurable overhead.
         self._materialized_joins: Dict[str, List[CacheJoin]] = {}
         self._pull_joins: List[CacheJoin] = []
-        #: ``(table, table_upper_bound, joins)`` triples for every table
-        #: with materialized joins — the per-read validation loop walks
-        #: this instead of re-deriving bounds and filtering pull joins
-        #: on every operation.
-        self._validate_plan: List[Tuple[str, str, List[CacheJoin]]] = []
+        #: ``(table, table_upper_bound, joins, metrics)`` tuples for
+        #: every table with materialized joins — the per-read validation
+        #: loop walks this instead of re-deriving bounds and filtering
+        #: pull joins on every operation.
+        self._validate_plan: List[
+            Tuple[str, str, List[CacheJoin], "JoinTableMetrics"]
+        ] = []
         #: Per-table validation hints (paper §4.2's output-hint idea
         #: applied to validation): the status range that satisfied the
         #: last scan ending at a given ``hi``, so repeated timeline
@@ -142,6 +175,17 @@ class JoinEngine:
         #: maintenance — a stale hint simply misses.
         self._validation_memo: Dict[str, Dict[str, StatusRange]] = {}
         self.status: Dict[str, StatusTable] = {}
+        #: Per-output-table validation outcome counters (metrics layer).
+        self.table_metrics: Dict[str, JoinTableMetrics] = {}
+        #: Degrade-mode staleness bound, in seconds.  Set by the
+        #: admission controller while the server is overloaded; while
+        #: set, ranges validated within the bound are served without
+        #: re-validation (stale-with-a-bound, §"load control").
+        self.staleness_bound: Optional[float] = None
+        #: Chaos hook: called as ``fault_hook(site)`` at maintenance
+        #: entry points when installed (``repro.chaos``); None costs one
+        #: attribute check per notification.
+        self.fault_hook: Optional[Callable[[str], None]] = None
         self.resolver: Optional[DataResolver] = None
         self.lru = LRUList()
         self.listeners: List[ChangeListener] = []
@@ -201,7 +245,12 @@ class JoinEngine:
         else:
             self._materialized_joins.setdefault(join.output.table, []).append(join)
             self._validate_plan = [
-                (tbl, prefix_upper_bound(tbl), joins)
+                (
+                    tbl,
+                    prefix_upper_bound(tbl),
+                    joins,
+                    self.table_metrics.setdefault(tbl, JoinTableMetrics()),
+                )
                 for tbl, joins in self._materialized_joins.items()
             ]
         self.status.setdefault(join.output.table, StatusTable())
@@ -260,11 +309,11 @@ class JoinEngine:
         """Bring every overlapping join output in ``[first, last)`` up
         to date: compute gaps, recompute invalid/expired ranges, apply
         pending partial invalidations (§3.2)."""
-        for tbl_name, bound, joins in self._validate_plan:
+        for tbl_name, bound, joins, tm in self._validate_plan:
             t_lo = first if first > tbl_name else tbl_name
             t_hi = last if last < bound else bound
             if t_lo < t_hi:
-                self._validate_table(tbl_name, joins, t_lo, t_hi)
+                self._validate_table(tbl_name, joins, t_lo, t_hi, tm)
 
     def _memo_usable(self, sr: Optional[StatusRange], lo: str, hi: str, now: float) -> bool:
         """May a remembered status range satisfy ``[lo, hi)`` as-is?
@@ -285,8 +334,14 @@ class JoinEngine:
         )
 
     def _validate_table(
-        self, tbl_name: str, joins: List[CacheJoin], lo: str, hi: str
+        self,
+        tbl_name: str,
+        joins: List[CacheJoin],
+        lo: str,
+        hi: str,
+        tm: JoinTableMetrics,
     ) -> None:
+        tm.validations += 1
         memo = self._validation_memo.get(tbl_name)
         if memo is not None and self.enable_validation_memo:
             # The paper's §4.2 hint idea applied to validation: the
@@ -307,6 +362,7 @@ class JoinEngine:
                          or self.clock.now() < sr.expires_at)
                 ):
                     self.stats.counters["validation_memo_hits"] += 1
+                    tm.memo_hits += 1
                     entry = sr.lru_entry
                     if entry is not None and entry.linked():
                         self.lru.touch(entry)
@@ -315,22 +371,46 @@ class JoinEngine:
                 # its hinted node) until the cap clears; drop it now.
                 del memo[hi]
         now = self.clock.now()
+        bound = self.staleness_bound
         stable = self.status[tbl_name]
         # pieces() snapshots the cover; computation below may split it.
         pieces = stable.pieces(lo, hi)
         for piece_lo, piece_hi, sr in pieces:
             if sr is None:
+                tm.computes += 1
                 self._compute_piece(tbl_name, stable, joins, piece_lo, piece_hi)
+            elif (
+                bound is not None
+                and sr.validated_at is not None
+                and now - sr.validated_at <= bound
+                and sr.needs_work(now)
+            ):
+                # Degrade mode: the range needs work, but its last full
+                # validation is within the staleness bound — serve the
+                # stored content as-is.  Gaps (sr is None) still compute:
+                # there is nothing stale to serve for never-computed key
+                # space.
+                tm.stale_served += 1
+                age = now - sr.validated_at
+                if age > tm.stale_age_max:
+                    tm.stale_age_max = age
+                self.stats.counters["stale_reads_served"] += 1
+                self._touch(sr)
             elif not sr.is_valid_at(now):
+                tm.recomputes += 1
                 for part in stable.isolate(piece_lo, piece_hi):
                     self._ensure_tracked(tbl_name, part)
                     self._recompute_range(tbl_name, stable, joins, part)
             elif sr.pending:
+                tm.pending_applies += 1
                 for part in stable.isolate(piece_lo, piece_hi):
                     self._ensure_tracked(tbl_name, part)
                     self._apply_pending(tbl_name, stable, part)
+                    part.validated_at = now
                     self._touch(part)
             else:
+                tm.fresh_hits += 1
+                sr.validated_at = now
                 self._touch(sr)
         if not self.enable_validation_memo or len(pieces) != 1:
             return
@@ -371,6 +451,7 @@ class JoinEngine:
         stable.add(sr)
         self._ensure_tracked(tbl_name, sr)
         self._fill_range(joins, sr)
+        sr.validated_at = self.clock.now()
 
     def _recompute_range(
         self,
@@ -388,6 +469,7 @@ class JoinEngine:
         sr.expires_at = None
         sr.generation += 1  # retires updaters from the previous build
         self._fill_range(joins, sr)
+        sr.validated_at = self.clock.now()
 
     def _fill_range(self, joins: List[CacheJoin], sr: StatusRange) -> None:
         expiry: Optional[float] = None
@@ -719,6 +801,8 @@ class JoinEngine:
         stabbed once per key, and each (entry, updater) pair fires once
         over the keys it covers.
         """
+        if self.fault_hook is not None:
+            self.fault_hook("maintenance")
         by_table: Dict[str, List[Change]] = {}
         for change in changes:
             by_table.setdefault(table_of(change[0]), []).append(change)
@@ -950,6 +1034,8 @@ class JoinEngine:
         kind: ChangeKind,
     ) -> None:
         """Run every updater covering ``key`` (§3.2), then listeners."""
+        if self.fault_hook is not None:
+            self.fault_hook("maintenance")
         table = self.store.existing_table_for_key(key)
         if table is not None and table.updaters:
             entries = table.updaters.stab(key)
@@ -1100,6 +1186,9 @@ class JoinEngine:
         if entry.join.is_aggregate:
             # Aggregates cannot be patched tuple-by-tuple without
             # group context; recompute this range instead.
+            tm = self.table_metrics.get(tbl_name)
+            if tm is not None:
+                tm.recomputes += 1
             joins = self._materialized_joins.get(tbl_name, [])
             self._recompute_range(tbl_name, stable, joins, sr)
             return True

@@ -1,0 +1,184 @@
+"""Overload policy and admission control.
+
+Pequod's pitch is fresh results under heavy write fan-out, but a cache
+that queues unboundedly under overload serves neither fresh nor stale
+results — it collapses.  This module gives ``PequodServer`` a small,
+configurable degradation ladder instead:
+
+* **shed** — refuse work outright with a typed :class:`OverloadError`
+  that every client backend surfaces, so callers can back off or fail
+  over instead of piling onto a saturated node.
+* **degrade** — keep serving reads, but *stale-with-a-bound*: while
+  overloaded the join engine skips re-validation for status ranges
+  whose last validation is younger than ``max_staleness`` seconds
+  (see ``JoinEngine.staleness_bound``).  Reads stay cheap, staleness
+  stays bounded, and writes still shed once the queue signal trips.
+
+The overload *signals* are deliberately cheap: a soft memory ceiling
+(O(#tables) to evaluate), the RPC layer's reported per-connection read
+queue depth, and an explicit :meth:`AdmissionController.force` override
+used by tests and chaos drills.  Expensive global gauges (total pending
+log depth, say) belong in scrape-time metrics, not on the admission
+fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+MODE_SHED = "shed"
+MODE_DEGRADE = "degrade"
+
+_MODES = (MODE_SHED, MODE_DEGRADE)
+
+
+class OverloadError(RuntimeError):
+    """The server refused work because it is overloaded.
+
+    Raised by the core server under a ``shed``-mode policy (and for
+    writes under ``degrade``).  The client layer re-exports a subclass
+    that also inherits from ``ClientError`` so both ``except`` spellings
+    work on every backend.
+    """
+
+    def __init__(self, message: str = "server overloaded", reason: str = ""):
+        super().__init__(message)
+        self.reason = reason
+
+
+class OverloadPolicy:
+    """Configuration for admission control.
+
+    * ``mode`` — ``"shed"`` (refuse overloaded work) or ``"degrade"``
+      (serve reads stale-with-a-bound, shed only writes).
+    * ``max_staleness`` — the staleness bound, in seconds, for degrade
+      mode: while overloaded, ranges validated within the last
+      ``max_staleness`` seconds are served without re-validation.
+      Required when ``mode="degrade"``.
+    * ``soft_memory_limit`` — byte ceiling above which the server is
+      considered overloaded.  Softer than the eviction ``memory_limit``:
+      eviction reclaims, admission control stops digging.
+    * ``max_queue_depth`` — pipelined-request depth (per connection
+      read chunk, reported by the RPC layer) above which the server is
+      considered overloaded.
+    """
+
+    __slots__ = ("mode", "max_staleness", "soft_memory_limit", "max_queue_depth")
+
+    def __init__(
+        self,
+        mode: str = MODE_SHED,
+        max_staleness: Optional[float] = None,
+        soft_memory_limit: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"unknown overload mode {mode!r}; pick one of {_MODES}")
+        if mode == MODE_DEGRADE:
+            if max_staleness is None:
+                raise ValueError("degrade mode requires max_staleness")
+            if max_staleness < 0:
+                raise ValueError("max_staleness must be >= 0")
+        if soft_memory_limit is not None and soft_memory_limit <= 0:
+            raise ValueError("soft_memory_limit must be positive")
+        if max_queue_depth is not None and max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive")
+        self.mode = mode
+        self.max_staleness = max_staleness
+        self.soft_memory_limit = soft_memory_limit
+        self.max_queue_depth = max_queue_depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<OverloadPolicy {self.mode} staleness={self.max_staleness} "
+            f"mem={self.soft_memory_limit} queue={self.max_queue_depth}>"
+        )
+
+
+class AdmissionController:
+    """Evaluates the overload signals and gates each operation.
+
+    Owned by ``PequodServer`` when an :class:`OverloadPolicy` is
+    configured; the server calls :meth:`admit_read` / :meth:`admit_write`
+    at the top of every data operation.  In degrade mode the controller
+    drives ``engine.staleness_bound`` — set while overloaded, cleared
+    when pressure lifts — which is all the join engine needs to serve
+    bounded-stale reads (see ``JoinEngine._validate_table``).
+    """
+
+    __slots__ = ("engine", "policy", "stats", "queue_depth", "_forced")
+
+    def __init__(self, engine, policy: OverloadPolicy) -> None:
+        self.engine = engine
+        self.policy = policy
+        self.stats = engine.stats
+        #: Most recent pipelined read-chunk depth, reported by the RPC
+        #: layer; stays 0 for in-process servers.
+        self.queue_depth = 0
+        self._forced: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def report_queue_depth(self, depth: int) -> None:
+        self.queue_depth = depth
+
+    def force(self, reason: Optional[str]) -> None:
+        """Force the overloaded verdict (tests, chaos drills); pass
+        None to release."""
+        self._forced = reason
+
+    def overload_reason(self) -> Optional[str]:
+        """Why the server is currently overloaded, or None if it isn't."""
+        if self._forced is not None:
+            return self._forced
+        policy = self.policy
+        if (
+            policy.max_queue_depth is not None
+            and self.queue_depth > policy.max_queue_depth
+        ):
+            return f"queue depth {self.queue_depth} > {policy.max_queue_depth}"
+        if policy.soft_memory_limit is not None:
+            used = self.engine.memory_bytes()
+            if used > policy.soft_memory_limit:
+                return f"memory {used}B > {policy.soft_memory_limit}B"
+        return None
+
+    @property
+    def overloaded(self) -> bool:
+        return self.overload_reason() is not None
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+    def admit_read(self) -> None:
+        """Gate a read; raises :class:`OverloadError` in shed mode.
+
+        In degrade mode the read proceeds with the engine's staleness
+        bound armed; the bound is cleared again the moment the signals
+        recover, so un-overloaded reads always re-validate fully.
+        """
+        reason = self.overload_reason()
+        if reason is None:
+            if self.engine.staleness_bound is not None:
+                self.engine.staleness_bound = None
+            return
+        if self.policy.mode == MODE_DEGRADE:
+            self.stats.add("overload_degraded_reads")
+            self.engine.staleness_bound = self.policy.max_staleness
+            return
+        self.stats.add("overload_shed_reads")
+        raise OverloadError(f"read shed: {reason}", reason=reason)
+
+    def admit_write(self) -> None:
+        """Gate a write; writes shed in *both* modes.
+
+        Serving a stale write makes no sense, and under overload the
+        write path (maintenance fan-out) is exactly the work to stop
+        accepting.
+        """
+        reason = self.overload_reason()
+        if reason is None:
+            return
+        self.stats.add("overload_shed_writes")
+        raise OverloadError(f"write shed: {reason}", reason=reason)

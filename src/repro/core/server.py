@@ -30,6 +30,7 @@ from .executor import ChangeListener, DataResolver, JoinEngine
 from .grammar import parse_joins
 from .hub import ChangeHub, EventSink, WatchHandle
 from .joins import CacheJoin
+from .load import AdmissionController, OverloadPolicy
 
 
 class PequodServer:
@@ -46,6 +47,9 @@ class PequodServer:
     * ``clock`` — injectable time source for snapshot joins.
     * ``store_impl`` — the ordered map backing the data plane
       (``"rbtree"`` or ``"sortedarray"``; None picks the default).
+    * ``overload_policy`` — optional :class:`OverloadPolicy`; when set,
+      every operation passes admission control (shed with
+      ``OverloadError``, or degrade to bounded-staleness reads).
     """
 
     def __init__(
@@ -59,6 +63,7 @@ class PequodServer:
         stats: Optional[StoreStats] = None,
         name: str = "pequod",
         store_impl=None,
+        overload_policy: Optional[OverloadPolicy] = None,
     ) -> None:
         self.name = name
         self.stats = stats if stats is not None else StoreStats()
@@ -76,7 +81,13 @@ class PequodServer:
         self.eviction = EvictionManager(
             self.engine, memory_limit, policy=eviction_policy
         )
+        self.load: Optional[AdmissionController] = (
+            AdmissionController(self.engine, overload_policy)
+            if overload_policy is not None
+            else None
+        )
         self._hub: Optional[ChangeHub] = None
+        self._metrics = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PequodServer {self.name!r} keys={len(self.store)}>"
@@ -125,6 +136,8 @@ class PequodServer:
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[str]:
         """The value for ``key``, computing overlapping joins on demand."""
+        if self.load is not None:
+            self.load.admit_read()
         self.stats.add("op_get")
         return self.engine.get(key)
 
@@ -132,12 +145,16 @@ class PequodServer:
         """Write ``key``; incremental maintenance runs before returning."""
         if not isinstance(value, str):
             raise TypeError("Pequod values are strings")
+        if self.load is not None:
+            self.load.admit_write()
         self.stats.add("op_put")
         self.engine.apply_put(key, value)
         self.eviction.maybe_evict()
 
     def remove(self, key: str) -> bool:
         """Remove ``key``; returns True if it was present."""
+        if self.load is not None:
+            self.load.admit_write()
         self.stats.add("op_remove")
         return self.engine.apply_remove(key)
 
@@ -159,6 +176,8 @@ class PequodServer:
         Incremental maintenance runs once per affected updater range
         instead of once per write; returns the number of net changes.
         """
+        if self.load is not None:
+            self.load.admit_write()
         self.stats.add("op_batch")
         applied = self.engine.apply_batch(batch)
         self.eviction.maybe_evict()
@@ -170,6 +189,8 @@ class PequodServer:
 
     def scan(self, first: str, last: str) -> List[Tuple[str, str]]:
         """Ordered pairs with ``first <= key < last`` (§2's scan)."""
+        if self.load is not None:
+            self.load.admit_read()
         self.stats.add("op_scan")
         results = self.engine.scan(first, last)
         self.eviction.maybe_evict()
@@ -225,3 +246,25 @@ class PequodServer:
 
     def key_count(self) -> int:
         return len(self.store)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self):
+        """The server's scrape-time metric registry (lazy; a server
+        nobody scrapes never builds it)."""
+        if self._metrics is None:
+            from ..metrics import ServerMetrics
+
+            self._metrics = ServerMetrics(self)
+        return self._metrics
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat stats superset: every raw counter plus the derived
+        per-join / per-table / backlog / overload series."""
+        return self.metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition rendering of the snapshot."""
+        return self.metrics.prometheus()

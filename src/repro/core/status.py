@@ -118,6 +118,7 @@ class StatusRange:
         "generation",
         "compute_cost",
         "attached",
+        "validated_at",
         "_pending_index",
     )
 
@@ -156,6 +157,12 @@ class StatusRange:
         #: eviction flips this off, so stale hints structurally miss
         #: instead of requiring eager memo invalidation.
         self.attached = False
+        #: Engine-clock time this range last served a fully validated
+        #: read (stamped on compute, recompute, pending application, and
+        #: valid touch).  Degrade-mode admission control serves ranges
+        #: younger than the staleness bound without re-validation; None
+        #: (never validated) always re-validates.
+        self.validated_at: Optional[float] = None
 
     def is_valid_at(self, now: float) -> bool:
         if self.state is not RangeState.VALID:
@@ -295,6 +302,7 @@ class StatusTable:
         right.expires_at = sr.expires_at
         right.pending = list(sr.pending)
         right.generation = sr.generation
+        right.validated_at = sr.validated_at
         right.compute_cost = sr.compute_cost / 2
         sr.compute_cost /= 2
         sr.hi = at

@@ -72,6 +72,8 @@ class Cluster:
             for node in self.compute_nodes:
                 node.server.add_join(joins)
         self.client_ops = 0
+        #: Names of nodes killed by fault injection (see kill_node).
+        self.dead: set = set()
 
     # ------------------------------------------------------------------
     # Routing
@@ -84,10 +86,26 @@ class Cluster:
             return self.base_nodes[index]
         return self._by_name(home)
 
+    @property
+    def live_compute_nodes(self) -> List[DistributedNode]:
+        """Compute nodes still in service (routing skips killed ones)."""
+        if not self.dead:
+            return self.compute_nodes
+        return [n for n in self.compute_nodes if n.name not in self.dead]
+
     def compute_node_for(self, affinity: str) -> DistributedNode:
-        """The compute server ``S(u)`` all of ``affinity``'s reads use."""
-        index = stable_hash(affinity) % len(self.compute_nodes)
-        return self.compute_nodes[index]
+        """The compute server ``S(u)`` all of ``affinity``'s reads use.
+
+        Routes over the *live* compute tier: killing a node rehashes
+        its affinities onto the survivors, which demand-recompute from
+        surviving base data (compute state is soft — §2.5's cache view
+        applied to failure recovery).
+        """
+        live = self.live_compute_nodes
+        if not live:
+            raise RuntimeError("no live compute nodes")
+        index = stable_hash(affinity) % len(live)
+        return live[index]
 
     def _by_name(self, name: str) -> DistributedNode:
         for node in self.base_nodes + self.compute_nodes:
@@ -242,6 +260,40 @@ class Cluster:
 
     def session(self, affinity: str) -> "Session":
         return Session(self, affinity)
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.chaos)
+    # ------------------------------------------------------------------
+    def kill_node(self, node_or_name) -> DistributedNode:
+        """Kill one *compute* node mid-workload.
+
+        The node is partitioned off the network (in-flight messages to
+        and from it vanish), routing rehashes its affinities onto the
+        surviving compute tier, and every base server drops its
+        subscriptions — exactly what a crashed subscriber looks like.
+        Compute state is soft (demand-recomputed from base data), so
+        this models the recoverable failure; base nodes hold the only
+        copy of base data and cannot be killed here.
+        """
+        node = (
+            node_or_name
+            if isinstance(node_or_name, DistributedNode)
+            else self._by_name(node_or_name)
+        )
+        if node.role != ROLE_COMPUTE:
+            raise ValueError(
+                f"cannot kill {node.name!r}: base data is unreplicated; "
+                "only compute nodes are killable"
+            )
+        if node.name in self.dead:
+            return node
+        if len(self.live_compute_nodes) <= 1:
+            raise RuntimeError("cannot kill the last live compute node")
+        self.dead.add(node.name)
+        self.net.kill_host(node.name)
+        for base in self.base_nodes:
+            base.subscriptions.drop_subscriber(node.name)
+        return node
 
     # ------------------------------------------------------------------
     # Simulation control & metrics

@@ -53,6 +53,22 @@ class SubscriptionRegistry:
             out.update(entry.payloads)
         return out
 
+    def drop_subscriber(self, subscriber: str) -> int:
+        """Remove every subscription ``subscriber`` holds — what a home
+        server does when a subscriber crashes (cluster fault injection).
+        Returns how many range subscriptions were dropped."""
+        dropped = 0
+        for tree in self._by_table.values():
+            doomed = [
+                (entry.lo, entry.hi)
+                for entry in tree.entries()
+                if subscriber in entry.payloads
+            ]
+            for lo, hi in doomed:
+                if tree.discard(lo, hi, subscriber):
+                    dropped += 1
+        return dropped
+
     def subscription_count(self) -> int:
         return sum(t.payload_count() for t in self._by_table.values())
 

@@ -50,14 +50,16 @@ ERR_CODE_JOIN = "join"  # join failed parse or add-join validation
 ERR_CODE_BAD_REQUEST = "bad_request"  # invalid arguments / unknown method
 ERR_CODE_NOT_FOUND = "not_found"  # the named thing does not exist
 ERR_CODE_SERVER = "server"  # server fault executing a valid request
+ERR_CODE_OVERLOAD = "overload"  # admission control shed the request
 ERR_CODES = (
     ERR_CODE_JOIN, ERR_CODE_BAD_REQUEST, ERR_CODE_NOT_FOUND, ERR_CODE_SERVER,
+    ERR_CODE_OVERLOAD,
 )
 
 #: Methods a Pequod RPC server accepts, mapped to server attributes.
 METHODS = (
     "get", "put", "remove", "scan", "scan_prefix", "count", "add_join",
-    "stats", "ping", "batch", "subscribe", "unsubscribe",
+    "stats", "metrics", "ping", "batch", "subscribe", "unsubscribe",
 )
 
 

@@ -19,26 +19,37 @@ are dropped when the connection ends, however it ends.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
+import time
 import traceback
 from typing import Any, Dict, List, Optional
 
 from ..core.hub import WatchHandle
 from ..core.joins import JoinError
+from ..core.load import OverloadError
 from ..core.pattern import PatternError
 from ..core.server import PequodServer
+from ..metrics import LATENCY_BUCKETS, WINDOW_BUCKETS, Histogram, sample_key
 from . import protocol
 from .codec import CodecError
+
+log = logging.getLogger(__name__)
 
 
 def classify_error(exc: BaseException) -> str:
     """The protocol error code for one server-side exception.
 
-    ``KeyError`` classifies before the generic bad-request bucket: the
-    engine (and the subscription table) raise it for *missing things*,
-    which a client must be able to distinguish from a malformed
-    request — see ``repro.client.errors.NotFoundError``.
+    ``OverloadError`` classifies first — it subclasses RuntimeError but
+    carries load-control semantics every backend must surface as the
+    typed client error, not a generic server fault.  ``KeyError``
+    classifies before the generic bad-request bucket: the engine (and
+    the subscription table) raise it for *missing things*, which a
+    client must be able to distinguish from a malformed request — see
+    ``repro.client.errors.NotFoundError``.
     """
+    if isinstance(exc, OverloadError):
+        return protocol.ERR_CODE_OVERLOAD
     if isinstance(exc, (JoinError, PatternError)):
         return protocol.ERR_CODE_JOIN
     if isinstance(exc, KeyError):
@@ -61,9 +72,21 @@ class _Connection:
 
     def teardown(self) -> None:
         """Drop everything this connection holds on the server:
-        active watch subscriptions and any partial frame bytes."""
-        for handle in self.subscriptions.values():
-            handle.close()
+        active watch subscriptions and any partial frame bytes.
+
+        A handle whose ``close()`` faults must not abort the loop —
+        the remaining subscriptions still have to be dropped — but the
+        fault is *logged*, never swallowed: silent teardown failures
+        leave ghost watchers pushing into dead writers.
+        """
+        for sub_id, handle in self.subscriptions.items():
+            try:
+                handle.close()
+            except Exception:  # noqa: BLE001 - teardown must not abort
+                log.exception(
+                    "error closing subscription %s during disconnect teardown",
+                    sub_id,
+                )
         self.subscriptions.clear()
         self.buffer = protocol.FrameBuffer()
 
@@ -77,10 +100,40 @@ class RpcServer:
         self.port = port
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
         self._connection_tasks: set = set()
+        self._live_connections: set = set()
         self.requests_served = 0
         self.connections = 0
         self.pushes_sent = 0
         self.slow_watchers_dropped = 0
+        #: RPC-path observability: service time per frame and how many
+        #: requests each pipelined read chunk carried.
+        self.frame_latency = Histogram(LATENCY_BUCKETS)
+        self.window_occupancy = Histogram(WINDOW_BUCKETS)
+        #: Optional fault injector (``repro.chaos.RpcChaos``): applied
+        #: to each chunk's encoded responses before they are written.
+        self.chaos = None
+        server.metrics.add_source(self._metric_samples)
+
+    def _metric_samples(self):
+        """RPC-layer series merged into the server's snapshot."""
+        yield "rpc_requests_total", float(self.requests_served)
+        yield "rpc_connections_total", float(self.connections)
+        yield "rpc_live_connections", float(len(self._live_connections))
+        yield "rpc_pushes_total", float(self.pushes_sent)
+        yield "rpc_slow_watchers_dropped_total", float(self.slow_watchers_dropped)
+        backlog = 0
+        for conn in self._live_connections:
+            transport = conn.writer.transport
+            if transport is not None and not transport.is_closing():
+                backlog += transport.get_write_buffer_size()
+        yield "rpc_push_backlog_bytes", float(backlog)
+        yield from self.frame_latency.samples("rpc_frame_latency_seconds")
+        yield from self.window_occupancy.samples("rpc_window_occupancy")
+        for q in (50, 95, 99):
+            yield (
+                sample_key("rpc_frame_latency_quantile_seconds", q=str(q)),
+                self.frame_latency.percentile(q),
+            )
 
     async def start(self) -> None:
         self._asyncio_server = await asyncio.start_server(
@@ -122,18 +175,31 @@ class RpcServer:
             self._connection_tasks.add(task)
         self.connections += 1
         conn = _Connection(writer)
+        self._live_connections.add(conn)
+        load = self.server.load
         try:
             while True:
                 data = await reader.read(65536)
                 if not data:
                     break
+                payloads = conn.buffer.feed(data)
+                if payloads:
+                    self.window_occupancy.observe(len(payloads))
+                    if load is not None:
+                        # The pipelined chunk depth is the admission
+                        # controller's queue signal: a client windowing
+                        # hundreds of requests per read is the
+                        # unbounded-queueing shape overload policies
+                        # exist for.
+                        load.report_queue_depth(len(payloads))
                 # Dispatch the whole chunk, then write every response
                 # in ONE transport write: a pipelined window of N
                 # requests costs one send syscall, not N.
                 responses = [
-                    self._dispatch(conn, payload)
-                    for payload in conn.buffer.feed(data)
+                    self._dispatch(conn, payload) for payload in payloads
                 ]
+                if self.chaos is not None:
+                    responses = await self.chaos.apply(responses)
                 if len(responses) == 1:
                     writer.write(responses[0])
                 elif responses:
@@ -154,6 +220,7 @@ class RpcServer:
             # must not leave subscriptions pushing into a dead writer
             # or partial state behind the reader task.
             conn.teardown()
+            self._live_connections.discard(conn)
             if task is not None:
                 self._connection_tasks.discard(task)
             writer.close()
@@ -164,6 +231,7 @@ class RpcServer:
 
     def _dispatch(self, conn: _Connection, payload: bytes) -> bytes:
         request_id = -1
+        started = time.perf_counter()
         try:
             message = protocol.decode_message(payload)
             request_id, method, args = protocol.parse_request(message)
@@ -178,6 +246,8 @@ class RpcServer:
             return protocol.encode_response(
                 request_id, protocol.ERR, protocol.encode_error(code, detail)
             )
+        finally:
+            self.frame_latency.observe(time.perf_counter() - started)
 
     # ------------------------------------------------------------------
     # Watch subscriptions (server push, §2.4)
@@ -260,7 +330,9 @@ class RpcServer:
             (sub_id,) = args
             return self._unsubscribe(conn, sub_id)
         if method == "stats":
-            return srv.stats.snapshot()
+            return srv.metrics_snapshot()
+        if method == "metrics":
+            return srv.metrics_text()
         if method == "ping":
             return "pong"
         raise ValueError(f"unknown method {method!r}")

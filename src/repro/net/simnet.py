@@ -40,6 +40,12 @@ class SimNetwork:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self.hosts: Dict[str, "SimHost"] = {}
+        #: Hosts taken down by fault injection; messages to (or already
+        #: in flight toward) a down host are dropped, not delivered.
+        self.down: set = set()
+        #: Extra per-message delay injected by fault injection, on top
+        #: of the configured link latency.
+        self.extra_latency = 0.0
         #: Optional fault injector: called as (src, dst, kind, body);
         #: returning True drops the message (counted, never delivered).
         self.loss_filter: Optional[Callable[[str, str, str, Any], bool]] = None
@@ -80,12 +86,36 @@ class SimNetwork:
             raise SimError(f"unknown host {dst!r}")
         size = size_bytes if size_bytes is not None else len(encode([kind, body]))
         self.account(src, dst, kind, size)
+        if dst in self.down or src in self.down:
+            self.messages_dropped += 1
+            return
         if self.loss_filter is not None and self.loss_filter(src, dst, kind, body):
             self.messages_dropped += 1
             return
-        delay = self.latency + size / self.bandwidth
+        delay = self.latency + self.extra_latency + size / self.bandwidth
         host = self.hosts[dst]
-        self.schedule(delay, lambda: host.deliver(src, kind, body))
+        self.schedule(delay, lambda: self._deliver(host, src, kind, body))
+
+    def _deliver(self, host: "SimHost", src: str, kind: str, body: Any) -> None:
+        # Down-ness is re-checked at delivery time so messages already
+        # in flight when a host is killed vanish with it.
+        if host.name in self.down:
+            self.messages_dropped += 1
+            return
+        host.deliver(src, kind, body)
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.chaos)
+    # ------------------------------------------------------------------
+    def kill_host(self, name: str) -> None:
+        """Partition ``name`` off: everything to or from it — including
+        messages already in flight — is dropped until revived."""
+        if name not in self.hosts:
+            raise SimError(f"unknown host {name!r}")
+        self.down.add(name)
+
+    def revive_host(self, name: str) -> None:
+        self.down.discard(name)
 
     def account(self, src: str, dst: str, kind: str, size: int) -> None:
         """Charge traffic without scheduling a delivery.

@@ -684,3 +684,86 @@ class TestNotFoundHierarchy:
         assert issubclass(NotFoundError, ClientError)
         assert issubclass(NotFoundError, KeyError)
         assert not issubclass(NotFoundError, BadRequestError)
+
+
+# ----------------------------------------------------------------------
+# Observability & load control: identical surface on every backend
+# ----------------------------------------------------------------------
+from repro.client import OverloadError  # noqa: E402
+from repro.core.load import (  # noqa: E402
+    OverloadError as CoreOverloadError,
+    OverloadPolicy,
+)
+
+
+@pytest.fixture(params=BACKENDS)
+def shed_client(request):
+    """Every backend with a shed policy whose soft memory limit (one
+    byte) trips on the first stored value — deterministic overload
+    without reaching into server internals."""
+    c = make_client(
+        request.param,
+        base_tables=BASE_TABLES,
+        overload_policy=OverloadPolicy(mode="shed", soft_memory_limit=1),
+    )
+    yield c
+    c.close()
+
+
+class TestStatsSuperset:
+    """stats() returns the metrics superset — raw counters plus the
+    derived flat series — with the same key shapes on every backend."""
+
+    def test_counters_and_derived_series_present(self, client):
+        client.add_join(TIMELINE)
+        client.put("s|ann|bob", "1")
+        client.put("p|bob|0100", "hello")
+        client.settle()
+        client.scan_prefix("t|ann|")
+        stats = client.stats()
+        # Raw counter-bag entries pass through untouched.
+        assert stats.get("op_put", 0) >= 2
+        # Derived per-join series, Prometheus-style flat keys.
+        assert any(
+            k.startswith('join_validations_total{table="t"') for k in stats
+        ), sorted(k for k in stats if k.startswith("join"))
+        assert any(k.startswith("status_ranges{") for k in stats)
+        assert any(k.startswith("table_memory_bytes{") for k in stats)
+        assert stats.get("memory_bytes", 0) > 0
+
+    def test_rpc_histograms_only_where_rpc_exists(self, client):
+        client.put("p|a|1", "x")
+        stats = client.stats()
+        from repro.client import RemoteClient
+
+        has_rpc_series = any(k.startswith("rpc_requests_total") for k in stats)
+        # The RPC backend serves over TCP and must expose its frame
+        # accounting; local and cluster have no RPC layer to account.
+        assert has_rpc_series == isinstance(client, RemoteClient)
+
+
+class TestOverloadConformance:
+    """OverloadError classification is uniform: every backend raises
+    the client-layer OverloadError, catchable both as a client-side
+    ServerError and as the core OverloadError."""
+
+    def test_shed_write_raises_typed_overload_error(self, shed_client):
+        shed_client.put("p|a|1", "x")  # admitted: memory starts at zero
+        with pytest.raises(OverloadError) as ei:
+            shed_client.put("p|a|1", "now the server is over its limit")
+        assert isinstance(ei.value, ServerError)
+        assert isinstance(ei.value, CoreOverloadError)
+        assert isinstance(ei.value, ClientError)
+
+    def test_overload_is_not_a_bad_request(self, shed_client):
+        shed_client.put("p|a|1", "x")
+        with pytest.raises(OverloadError) as ei:
+            shed_client.put("p|a|1", "y")
+        assert not isinstance(ei.value, BadRequestError)
+        assert not isinstance(ei.value, NotFoundError)
+
+    def test_overload_gauge_reflects_state(self, shed_client):
+        shed_client.put("p|a|1", "x")
+        with pytest.raises(OverloadError):
+            shed_client.put("p|a|1", "y")
+        assert shed_client.stats().get("overloaded", 0) >= 1.0

@@ -1,0 +1,233 @@
+"""Tests for admission control: overload policy validation, shed and
+degrade modes, the bounded-staleness guarantee (deterministic via
+``SimClock``), and the overload signals (queue depth, soft memory)."""
+
+import pytest
+
+from repro import PequodServer
+from repro.core.clock import SimClock
+from repro.core.load import (
+    AdmissionController,
+    MODE_DEGRADE,
+    MODE_SHED,
+    OverloadError,
+    OverloadPolicy,
+)
+
+TIMELINE = (
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+)
+
+
+class TestPolicyValidation:
+    def test_modes(self):
+        assert OverloadPolicy(mode=MODE_SHED).mode == "shed"
+        assert OverloadPolicy(mode=MODE_DEGRADE, max_staleness=1.0).mode == "degrade"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            OverloadPolicy(mode="panic")
+
+    def test_degrade_requires_staleness_bound(self):
+        with pytest.raises(ValueError):
+            OverloadPolicy(mode=MODE_DEGRADE)
+
+    def test_nonpositive_limits_rejected(self):
+        with pytest.raises(ValueError):
+            OverloadPolicy(mode=MODE_SHED, max_queue_depth=0)
+        with pytest.raises(ValueError):
+            OverloadPolicy(mode=MODE_SHED, soft_memory_limit=-1)
+
+
+def shed_server(**policy_kwargs) -> PequodServer:
+    return PequodServer(
+        overload_policy=OverloadPolicy(mode=MODE_SHED, **policy_kwargs)
+    )
+
+
+class TestShedMode:
+    def test_not_overloaded_serves_normally(self):
+        server = shed_server()
+        server.put("p|a|1", "x")
+        assert server.get("p|a|1") == "x"
+
+    def test_forced_overload_sheds_reads_and_writes(self):
+        server = shed_server()
+        server.put("p|a|1", "x")
+        server.load.force("drill")
+        with pytest.raises(OverloadError) as ei:
+            server.get("p|a|1")
+        assert ei.value.reason == "drill"
+        with pytest.raises(OverloadError):
+            server.put("p|a|2", "y")
+        with pytest.raises(OverloadError):
+            server.scan("p|", "p}")
+
+    def test_release_restores_service(self):
+        server = shed_server()
+        server.load.force("drill")
+        with pytest.raises(OverloadError):
+            server.get("p|a|1")
+        server.load.force(None)
+        assert server.get("p|a|1") is None
+
+    def test_shed_counters(self):
+        server = shed_server()
+        server.load.force("drill")
+        for _ in range(3):
+            with pytest.raises(OverloadError):
+                server.get("p|a|1")
+        with pytest.raises(OverloadError):
+            server.put("p|a|1", "x")
+        snap = server.stats.snapshot()
+        assert snap["overload_shed_reads"] == 3
+        assert snap["overload_shed_writes"] == 1
+
+    def test_queue_depth_signal(self):
+        server = shed_server(max_queue_depth=4)
+        server.load.report_queue_depth(5)
+        assert server.load.overloaded
+        with pytest.raises(OverloadError) as ei:
+            server.get("p|a|1")
+        assert "queue" in ei.value.reason
+        server.load.report_queue_depth(2)
+        assert not server.load.overloaded
+        assert server.get("p|a|1") is None
+
+    def test_soft_memory_signal(self):
+        server = shed_server(soft_memory_limit=1)
+        server.put("p|a|1", "x" * 64)  # admitted: memory starts at zero
+        with pytest.raises(OverloadError) as ei:
+            server.put("p|a|2", "y")
+        assert "memory" in ei.value.reason
+
+    def test_overload_gauges_in_metrics(self):
+        server = shed_server()
+        server.load.force("drill")
+        snap = server.metrics_snapshot()
+        assert snap["overloaded"] == 1.0
+        server.load.force(None)
+        assert server.metrics_snapshot()["overloaded"] == 0.0
+
+
+def degrade_server(max_staleness: float, clock=None):
+    return PequodServer(
+        clock=clock,
+        overload_policy=OverloadPolicy(
+            mode=MODE_DEGRADE, max_staleness=max_staleness
+        ),
+    )
+
+
+class TestDegradeMode:
+    def _warm(self, server):
+        server.add_join(TIMELINE)
+        server.put("s|ann|bob", "1")
+        server.put("p|bob|0100", "first")
+        assert server.scan("t|ann|", "t|ann}") == [
+            ("t|ann|0100|bob", "first")
+        ]
+
+    def test_serves_stale_within_bound(self):
+        clock = SimClock()
+        server = degrade_server(10.0, clock=clock)
+        self._warm(server)
+        # Follow churn hits the lazy check source: a pending-log entry
+        # the next validation must resolve.
+        server.put("s|ann|liz", "1")
+        server.put("p|liz|0050", "liz old post")
+        clock.advance(3.0)
+        server.load.force("burst")
+        rows = server.scan("t|ann|", "t|ann}")
+        # Served the pre-churn timeline without revalidating.
+        assert rows == [("t|ann|0100|bob", "first")]
+        snap = server.stats.snapshot()
+        assert snap["overload_degraded_reads"] >= 1
+        assert snap["stale_reads_served"] >= 1
+
+    def test_staleness_never_exceeds_bound(self):
+        clock = SimClock()
+        server = degrade_server(5.0, clock=clock)
+        self._warm(server)
+        server.put("s|ann|liz", "1")
+        server.put("p|liz|0050", "liz old post")
+        clock.advance(6.0)  # older than the bound: must revalidate
+        server.load.force("burst")
+        rows = server.scan("t|ann|", "t|ann}")
+        assert rows == [
+            ("t|ann|0050|liz", "liz old post"),
+            ("t|ann|0100|bob", "first"),
+        ]
+        tm = server.engine.table_metrics["t"]
+        assert tm.stale_age_max <= 5.0
+
+    def test_stale_age_max_tracks_high_water(self):
+        clock = SimClock()
+        server = degrade_server(10.0, clock=clock)
+        self._warm(server)
+        server.put("s|ann|liz", "1")
+        clock.advance(4.0)
+        server.load.force("burst")
+        server.scan("t|ann|", "t|ann}")
+        tm = server.engine.table_metrics["t"]
+        assert tm.stale_age_max == pytest.approx(4.0)
+        assert tm.stale_age_max <= 10.0
+
+    def test_recovery_applies_pending_after_release(self):
+        clock = SimClock()
+        server = degrade_server(10.0, clock=clock)
+        self._warm(server)
+        server.put("s|ann|liz", "1")
+        server.put("p|liz|0050", "liz old post")
+        clock.advance(2.0)
+        server.load.force("burst")
+        assert server.scan("t|ann|", "t|ann}") == [
+            ("t|ann|0100|bob", "first")
+        ]
+        server.load.force(None)
+        assert server.scan("t|ann|", "t|ann}") == [
+            ("t|ann|0050|liz", "liz old post"),
+            ("t|ann|0100|bob", "first"),
+        ]
+
+    def test_degrade_still_sheds_writes(self):
+        server = degrade_server(10.0)
+        server.put("p|a|1", "x")
+        server.load.force("burst")
+        with pytest.raises(OverloadError):
+            server.put("p|a|2", "y")
+        server.load.force(None)
+        server.put("p|a|2", "y")
+
+    def test_bound_cleared_when_load_passes(self):
+        clock = SimClock()
+        server = degrade_server(10.0, clock=clock)
+        self._warm(server)
+        server.put("s|ann|liz", "1")
+        server.put("p|liz|0050", "liz old post")
+        server.load.force("burst")
+        server.scan("t|ann|", "t|ann}")
+        server.load.force(None)
+        # Next admitted read disarms the engine's staleness bound and
+        # revalidates.
+        rows = server.scan("t|ann|", "t|ann}")
+        assert len(rows) == 2
+        assert server.engine.staleness_bound is None
+
+
+class TestAdmissionController:
+    def test_standalone_controller_over_engine(self):
+        server = PequodServer()
+        ctl = AdmissionController(
+            server.engine, OverloadPolicy(mode=MODE_SHED)
+        )
+        assert not ctl.overloaded
+        ctl.force("x")
+        assert ctl.overloaded
+        assert ctl.overload_reason() == "x"
+
+    def test_no_policy_means_no_gate(self):
+        server = PequodServer()
+        assert server.load is None
+        server.put("p|a|1", "x")
+        assert server.get("p|a|1") == "x"

@@ -128,3 +128,61 @@ class TestPipelining:
             assert server.connections == 2
 
         run(with_server(body))
+
+
+class TestDisconnectTeardown:
+    """Watch-subscription cleanup when a client vanishes.
+
+    Regression: a handle whose ``close()`` faults during disconnect
+    teardown must be *logged* — not swallowed — and must not stop the
+    remaining subscriptions from being dropped (ghost watchers would
+    keep pushing into a dead writer)."""
+
+    class _FaultyHandle:
+        """Stands in for a WatchHandle whose close() blows up."""
+
+        def __init__(self, inner):
+            self.inner = inner
+
+        def close(self):
+            raise RuntimeError("injected close fault")
+
+    def test_faulting_close_is_logged_and_others_still_drop(self, caplog):
+        import logging
+
+        async def body(server, client):
+            await client.subscribe("p|", "p}")
+            await client.subscribe("q|", "q}")
+            hub = server.server.hub
+            assert hub.watcher_count() == 2
+            conn = next(iter(server._live_connections))
+            first_id = min(conn.subscriptions)
+            real = conn.subscriptions[first_id]
+            conn.subscriptions[first_id] = self._FaultyHandle(real)
+            with caplog.at_level(logging.ERROR, logger="repro.net.rpc_server"):
+                await client.close()
+                # Let the server observe EOF and run connection teardown.
+                for _ in range(50):
+                    await asyncio.sleep(0.01)
+                    if not server._live_connections:
+                        break
+            assert not server._live_connections
+            # The fault was logged with its traceback, not swallowed.
+            assert "disconnect teardown" in caplog.text
+            assert "injected close fault" in caplog.text
+            # ... and the *other* subscription still got dropped.
+            assert hub.watcher_count() == 1
+            real.close()  # release the wrapped one; teardown couldn't
+            assert hub.watcher_count() == 0
+
+        async def scenario():
+            server = RpcServer(PequodServer())
+            await server.start()
+            client = RpcClient("127.0.0.1", server.port)
+            await client.connect()
+            try:
+                await body(server, client)
+            finally:
+                await server.stop()
+
+        run(scenario())
