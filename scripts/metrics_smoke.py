@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import asyncio
 import re
+import shutil
 import sys
+import tempfile
 import urllib.error
 import urllib.request
 
@@ -46,6 +48,18 @@ REQUIRED_FAMILIES = (
     "repro_rpc_window_occupancy_bucket",
     "repro_overloaded",
     "repro_stat",
+    # The persistence tier (the server below runs with a data dir and
+    # the disk-backed store, so every family must be present).
+    "repro_persist_wal_bytes",
+    "repro_persist_segments",
+    "repro_persist_checkpoints_total",
+    "repro_persist_recovery_ms",
+    "repro_persist_segment_probes",
+    "repro_persist_bloom_negatives",
+    "repro_persist_spilled_values",
+    "repro_persist_spill_segments",
+    "repro_persist_flush_seconds_bucket",
+    "repro_persist_compaction_seconds_bucket",
 )
 
 
@@ -62,11 +76,23 @@ def drive_traffic(port: int) -> None:
         client.scan("t|ann|", prefix_upper_bound("t|ann|"))
         client.put("p|bob|0002", "again")
         client.scan("t|ann|", prefix_upper_bound("t|ann|"))
+        for i in range(20):
+            client.put(f"p|liz|{i:04d}", "x" * 100)  # spill fodder
         stats = client.stats()
         if "op_get" not in stats and "op_scan" not in stats:
             fail(f"stats() over RPC lacks op counters: {sorted(stats)[:8]}")
     finally:
         client.close()
+
+
+def drive_persistence(server: PequodServer) -> None:
+    """Exercise the durability tier so its families carry real values:
+    a checkpoint (WAL -> segment), a value spill, and a bloom-answered
+    negative probe."""
+    server.checkpoint()
+    if server.store.spill_all() <= 0:
+        fail("spill_all moved no bytes on the disk-backed store")
+    server.persist.segments.read("absent|key")
 
 
 def check_exposition(text: str) -> int:
@@ -104,12 +130,19 @@ def check_exposition(text: str) -> int:
 
 def main() -> int:
     policy = OverloadPolicy(mode="degrade", max_staleness=5.0)
-    server = PequodServer(overload_policy=policy)
+    data_dir = tempfile.mkdtemp(prefix="pequod-metrics-smoke-")
+    server = PequodServer(
+        overload_policy=policy,
+        store_impl="disk",
+        data_dir=data_dir,
+        wal_fsync="batch",
+    )
     server.add_join(TIMELINE_JOIN)
     service = ThreadedRpcService(server)
     metrics = MetricsHttpServer(server.metrics_text)
     try:
         drive_traffic(service.port)
+        drive_persistence(server)
         asyncio.run_coroutine_threadsafe(
             metrics.start(), service._loop  # noqa: SLF001 - loopback smoke
         ).result(timeout=5)
@@ -137,6 +170,8 @@ def main() -> int:
             metrics.close(), service._loop
         ).result(timeout=5)
         service.stop()
+        server.close()
+        shutil.rmtree(data_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -1055,3 +1055,162 @@ def run_overload(
         "points": points,
         "staleness_bounded": staleness_bounded,
     }
+
+
+# ======================================================================
+# Persistence: recovery throughput, spilled-read cost, bloom skip rate
+# ======================================================================
+def run_persistence(
+    n_keys: int = 100_000,
+    value_size: int = 64,
+    waves: int = 6,
+    read_ops: int = 4000,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """The durability tier's three costs, as machine-stable ratios.
+
+    1. **Recovery** — ingest ``n_keys`` writes through a durable server
+       (WAL, ``fsync="batch"``), close it cleanly, and reopen: recovery
+       replay throughput relative to live ingest throughput (replay
+       skips join maintenance and journaling, so it should not be
+       slower than ingest was).  The recovered state must be
+       byte-identical to the pre-shutdown state.
+    2. **Spilled reads** — random gets against the recovered server
+       with everything resident, then again after ``spill_all`` moved
+       every value to segment files: the disk/RAM throughput ratio is
+       the price of exceeding RAM.
+    3. **Bloom skip rate** — ``waves`` spill segments, each holding an
+       interleaved 1/waves slice of the key space, so every segment's
+       key *range* overlaps every probe and only the bloom filters can
+       rule segments out.  Point reads of every key count how many
+       negative segment probes the blooms answered without touching
+       the file.
+
+    Each point's ``speedup`` is a ratio of two rates measured on the
+    same machine in the same process, so ``scripts/bench_compare.py``
+    can trend them across commits without normalizing for hardware.
+    """
+    import hashlib
+    import os
+    import random
+    import tempfile
+
+    from ..persist.manager import SegmentStack
+    from ..store.stats import StoreStats
+
+    value = "x" * value_size
+    keys = [f"p|u{i % 997:04d}|{i:08d}" for i in range(n_keys)]
+    rng = random.Random(seed)
+
+    def state_digest(server: PequodServer) -> str:
+        digest = hashlib.sha256()
+        for key, val in server.scan("p|", "p}"):
+            digest.update(key.encode())
+            digest.update(b"=")
+            digest.update(val.encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    with tempfile.TemporaryDirectory(prefix="pequod-bench-") as tmp:
+        data_dir = os.path.join(tmp, "data")
+
+        # --- 1. ingest, shut down cleanly, recover -------------------
+        server = PequodServer(data_dir=data_dir, wal_fsync="batch")
+        start = time.perf_counter()
+        for lo in range(0, n_keys, 1000):
+            server.put_many(
+                [(key, f"{value}{i}") for i, key in
+                 enumerate(keys[lo:lo + 1000], lo)]
+            )
+        ingest_s = time.perf_counter() - start
+        digest_before = state_digest(server)
+        server.close()
+
+        start = time.perf_counter()
+        recovered = PequodServer(data_dir=data_dir, store_impl="disk")
+        recovery_s = time.perf_counter() - start
+        state_identical = state_digest(recovered) == digest_before
+        recovery_ms = recovered.stats.get("persist_recovery_ms")
+
+        # --- 2. resident vs spilled random gets ----------------------
+        probe_keys = [keys[rng.randrange(n_keys)] for _ in range(read_ops)]
+        start = time.perf_counter()
+        for key in probe_keys:
+            recovered.get(key)
+        ram_s = time.perf_counter() - start
+
+        spill_freed = recovered.store.spill_all()
+        start = time.perf_counter()
+        for key in probe_keys:
+            recovered.get(key)
+        disk_s = time.perf_counter() - start
+        recovered.close()
+
+        # --- 3. bloom filters on interleaved spill waves -------------
+        bloom_stats = StoreStats()
+        stack = SegmentStack(os.path.join(tmp, "waves"), stats=bloom_stats)
+        for wave in range(waves):
+            stack.push(
+                [(key, value) for i, key in enumerate(keys) if i % waves == wave]
+            )
+        for i in range(0, n_keys, max(1, n_keys // 20_000)):
+            stack.read(keys[i])
+        stack.close()
+        probes = bloom_stats.get("persist_segment_probes")
+        negatives = bloom_stats.get("persist_bloom_negatives")
+        false_pos = bloom_stats.get("persist_bloom_false_positives")
+        negative_probes = negatives + false_pos
+        bloom_skip = negatives / max(negative_probes, 1.0)
+
+    ingest_rate = n_keys / max(ingest_s, 1e-9)
+    recovery_rate = n_keys / max(recovery_s, 1e-9)
+    ram_rate = read_ops / max(ram_s, 1e-9)
+    disk_rate = read_ops / max(disk_s, 1e-9)
+    points = [
+        {
+            "config": "ram_reads",
+            "wall_s": ram_s,
+            "ops_per_sec": ram_rate,
+            "speedup": 1.0,
+        },
+        {
+            "config": "disk_reads",
+            "wall_s": disk_s,
+            "ops_per_sec": disk_rate,
+            "speedup": disk_rate / ram_rate,
+        },
+        {
+            "config": "recovery",
+            "wall_s": recovery_s,
+            "ops_per_sec": recovery_rate,
+            "speedup": recovery_rate / ingest_rate,
+        },
+        {
+            "config": "bloom_skip",
+            "speedup": bloom_skip,
+        },
+    ]
+    return {
+        "workload": {
+            "n_keys": n_keys,
+            "value_size": value_size,
+            "waves": waves,
+            "read_ops": read_ops,
+            "seed": seed,
+        },
+        "ingest": {"wall_s": ingest_s, "ops_per_sec": ingest_rate},
+        "recovery": {
+            "wall_s": recovery_s,
+            "ops_per_sec": recovery_rate,
+            "recovery_ms": recovery_ms,
+        },
+        "spill": {"freed_bytes": spill_freed},
+        "bloom": {
+            "probes": probes,
+            "negatives": negatives,
+            "false_positives": false_pos,
+            "skip_ratio": bloom_skip,
+        },
+        "points": points,
+        "state_identical": state_identical,
+    }

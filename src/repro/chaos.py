@@ -16,6 +16,12 @@ lane) make it prove that:
   rehashes onto survivors, which demand-recompute from base data).
 * :func:`net_latency` / :func:`net_drop_filter` — degrade the simulated
   network under a workload.
+* :func:`crash_server` — hard-kill a durable server: drop everything
+  after the WAL's last fsync, exactly the power-loss contract of the
+  configured fsync policy.
+* :func:`torn_wal_tail` — tear the WAL mid-record (a crash inside a
+  ``write()``): recovery must truncate to the last intact record, not
+  refuse to start.
 
 Every injector counts what it injected, so tests can assert the fault
 actually fired and wasn't silently bypassed.
@@ -117,6 +123,61 @@ def kill_compute(cluster, affinity: Optional[str] = None, name: Optional[str] = 
     if not live:
         raise RuntimeError("no live compute nodes to kill")
     return cluster.kill_node(live[0])
+
+
+def crash_server(server) -> int:
+    """Hard-kill a durable server (``kill -9`` + power loss).
+
+    Unsynced WAL bytes are discarded — pessimistically assuming they
+    never reached the platter — and the server object is left unusable,
+    like the process it models.  Returns the number of WAL bytes lost
+    (0 under ``fsync="always"``); recovery is opening a fresh server on
+    the same ``data_dir``.
+    """
+    if server.persist is None:
+        raise ValueError("crash_server needs a server with a data_dir")
+    lost = server.persist.wal.simulate_crash()
+    server.persist.segments.close()
+    factory = server.store._map_factory
+    if getattr(factory, "spill_store", None) is not None:
+        factory.close()
+    return lost
+
+
+def torn_wal_tail(data_dir: str, rng) -> int:
+    """Truncate the WAL inside its last record (a crash mid-``write``).
+
+    Cuts at a random byte strictly inside the final record, so the tail
+    fails the length or CRC check on replay.  Returns bytes torn off;
+    0 means the WAL had no records to tear (no fault injected — callers
+    should assert against this).
+    """
+    import os
+
+    from .persist.wal import WAL_HEADER_SIZE, scan_wal
+
+    path = os.path.join(data_dir, "pequod.wal")
+    records, good_offset, _ = scan_wal(path)
+    if not records:
+        return 0
+    size = os.path.getsize(path)
+    # Find the offset of the last record by re-scanning all but it.
+    prev_end = good_offset
+    with open(path, "rb") as fh:
+        data = fh.read(good_offset)
+    # Walk record frames to the start of the final one.
+    import struct as _struct
+
+    offset = 0
+    last_start = 0
+    while offset < len(data):
+        (length,) = _struct.unpack_from(">I", data, offset)
+        last_start = offset
+        offset += WAL_HEADER_SIZE + length
+    cut = rng.randrange(last_start + 1, size)
+    with open(path, "r+b") as fh:
+        fh.truncate(cut)
+    return size - cut
 
 
 def net_latency(net, extra_seconds: float) -> None:

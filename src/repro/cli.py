@@ -57,8 +57,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--memory-limit", type=int, default=None)
     serve.add_argument(
-        "--store-impl", choices=["rbtree", "sortedarray"], default=None,
-        help="ordered map backing the data plane (default: sortedarray)",
+        "--store-impl", choices=["rbtree", "sortedarray", "disk"],
+        default=None,
+        help="ordered map backing the data plane (default: sortedarray; "
+        "'disk' spills cold values to segment files)",
+    )
+    serve.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="journal client writes to a WAL under DIR, checkpoint them "
+        "into segment files, and recover prior state on startup",
+    )
+    serve.add_argument(
+        "--wal-fsync", choices=["always", "batch", "off"], default="batch",
+        help="WAL durability policy (default: batch — fsync every 64 KiB "
+        "and on shutdown)",
     )
     serve.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
@@ -134,7 +146,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "write_batching",
-                 "read_path", "twip", "concurrency", "overload"],
+                 "read_path", "twip", "concurrency", "overload",
+                 "persistence"],
     )
     bench.add_argument(
         "--scale", type=float, default=1.0,
@@ -233,6 +246,13 @@ def _overload_sizes(s: float) -> dict:
     }
 
 
+def _persistence_sizes(s: float) -> dict:
+    return {
+        "n_keys": max(2000, int(100_000 * s)),
+        "read_ops": max(500, int(4000 * s)),
+    }
+
+
 # ----------------------------------------------------------------------
 def _overload_policy_from(args):
     """Build an OverloadPolicy from serve flags, or None."""
@@ -267,12 +287,21 @@ def _cmd_serve(args) -> int:
                   file=sys.stderr)
             return 2
         config[table] = int(depth)
+    if args.store_impl == "disk" and args.data_dir is None:
+        print("note: --store-impl disk without --data-dir spills to a "
+              "temp dir (no durability)", file=sys.stderr)
     server = PequodServer(
         subtable_config=config or None,
         memory_limit=args.memory_limit,
         store_impl=args.store_impl,
         overload_policy=_overload_policy_from(args),
+        data_dir=args.data_dir,
+        wal_fsync=args.wal_fsync,
     )
+    if args.data_dir is not None and server.stats.get("persist_recovered_ops"):
+        print(f"recovered {server.stats.get('persist_recovered_ops'):.0f} "
+              f"op(s) from {args.data_dir} in "
+              f"{server.stats.get('persist_recovery_ms'):.1f} ms")
     texts = list(args.join)
     if args.join_file:
         with open(args.join_file) as fh:
@@ -282,6 +311,8 @@ def _cmd_serve(args) -> int:
             print(f"installed: {join.text}")
 
     async def run() -> None:
+        import signal
+
         rpc = RpcServer(server, args.host, args.port)
         await rpc.start()
         print(f"pequod {__version__} listening on {rpc.host}:{rpc.port}")
@@ -295,7 +326,28 @@ def _cmd_serve(args) -> int:
             print(
                 f"metrics on http://{args.host}:{http.port}/metrics"
             )
-        await rpc.serve_forever()
+        # Graceful shutdown: SIGTERM/SIGINT stop accepting, then flush
+        # and close the WAL so every acknowledged write is durable.
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, shutdown.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        serve_task = asyncio.ensure_future(rpc.serve_forever())
+        stop_task = asyncio.ensure_future(shutdown.wait())
+        try:
+            await asyncio.wait(
+                (serve_task, stop_task),
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            serve_task.cancel()
+            stop_task.cancel()
+            await rpc.stop()
+            server.close()
+            print("shut down cleanly (WAL flushed)")
 
     try:
         asyncio.run(run())
@@ -520,6 +572,32 @@ def _cmd_bench(args) -> int:
               result["staleness_bounded"])
         status = _finish_bench(args, payload)
         if not result["staleness_bounded"]:
+            return 1
+        return status
+    if args.experiment == "persistence":
+        from .bench.harness import run_persistence
+
+        result = run_persistence(**_persistence_sizes(s))
+        payload.update(result)
+        rows = [
+            (p["config"],
+             f"{p['wall_s']:.3f} s" if "wall_s" in p else "-",
+             f"{p['ops_per_sec']:.0f}" if "ops_per_sec" in p else "-",
+             f"{p['speedup']:.2f}x")
+            for p in result["points"]
+        ]
+        print(format_table(
+            ["Configuration", "Wall", "ops/s", "ratio"], rows,
+            title="Durable persistence: recovery, spilled reads, bloom skips",
+        ))
+        print(f"recovery: {result['recovery']['recovery_ms']:.1f} ms for "
+              f"{result['workload']['n_keys']} keys")
+        print(f"bloom skipped {result['bloom']['skip_ratio'] * 100:.1f}% of "
+              f"negative segment probes")
+        print("state identical across shutdown/recovery:",
+              result["state_identical"])
+        status = _finish_bench(args, payload)
+        if not result["state_identical"]:
             return 1
         return status
     if args.experiment == "read_path":

@@ -131,11 +131,21 @@ async def make_async_client(
                 await service.stop()
                 raise
     else:
+        def cluster_server(name: str) -> PequodServer:
+            kwargs = dict(server_kwargs)
+            # Durable cluster nodes must not share one WAL: give each
+            # node its own subdirectory of the requested data_dir.
+            if kwargs.get("data_dir") is not None:
+                import os
+
+                kwargs["data_dir"] = os.path.join(kwargs["data_dir"], name)
+            return PequodServer(name=name, **kwargs)
+
         cluster = Cluster(
             base_count,
             compute_count,
             tuple(base_tables),
-            server_factory=lambda name: PequodServer(name=name, **server_kwargs),
+            server_factory=cluster_server,
         )
         client = AsyncClusterClient(cluster)
     if joins is not None:

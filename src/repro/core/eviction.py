@@ -50,6 +50,7 @@ class EvictionManager:
         limit_bytes: Optional[int] = None,
         policy: str = POLICY_LRU,
         window: int = 8,
+        spill: bool = False,
     ) -> None:
         if policy not in (POLICY_LRU, POLICY_COST):
             raise ValueError(f"unknown eviction policy {policy!r}")
@@ -57,7 +58,15 @@ class EvictionManager:
         self.limit_bytes = limit_bytes
         self.policy = policy
         self.window = window
+        #: When the store is disk-backed, memory pressure first *spills*
+        #: the coldest range's values to segment files (keys, status
+        #: ranges, and validity stay intact — reads just fault values
+        #: back in) and only falls back to true §2.5 eviction when
+        #: spilling frees nothing.  Cold data stops costing RAM without
+        #: paying recomputation on the next read.
+        self.spill = spill and engine.store.supports_spill()
         self.evictions = 0
+        self.spills = 0
 
     def over_limit(self) -> bool:
         return (
@@ -75,10 +84,14 @@ class EvictionManager:
         return count
 
     def evict_one(self) -> bool:
-        """Evict one range chosen by the configured policy."""
+        """Relieve pressure once: spill a cold range if the store can
+        (and the coldest candidate has unspilled values), else evict
+        the range chosen by the configured policy."""
+        if self.spill and self._spill_one():
+            return True
         entry = self._choose()
         if entry is None:
-            return False
+            return self.spill and self.engine.store.spill_all() > 0
         self.engine.lru.remove(entry)
         payload = entry.payload
         if isinstance(payload, Evictable):
@@ -89,6 +102,26 @@ class EvictionManager:
         self.evictions += 1
         self.engine.stats.add("evictions")
         return True
+
+    def _spill_one(self) -> bool:
+        """Spill the coldest not-yet-spilled status range; True if any
+        bytes moved to disk."""
+        for entry in self.engine.lru:
+            if entry.pinned:
+                continue
+            payload = entry.payload
+            if isinstance(payload, Evictable):
+                continue
+            _, sr = payload
+            if sr.spilled:
+                continue
+            sr.spilled = True  # even if nothing moved: don't rescan it
+            freed = self.engine.store.spill_range(sr.lo, sr.hi)
+            if freed > 0:
+                self.spills += 1
+                self.engine.stats.add("spill_evictions")
+                return True
+        return False
 
     def _choose(self):
         if self.policy == POLICY_LRU:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..store.batch import WriteBatch
+from ..store.batch import WriteBatch, as_ops
 from ..store.keys import key_successor, prefix_upper_bound
 from ..store.stats import StoreStats
 from ..store.store import OrderedStore
@@ -46,10 +46,18 @@ class PequodServer:
       least-recently-used ranges (§2.5).
     * ``clock`` — injectable time source for snapshot joins.
     * ``store_impl`` — the ordered map backing the data plane
-      (``"rbtree"`` or ``"sortedarray"``; None picks the default).
+      (``"rbtree"``, ``"sortedarray"``, or ``"disk"`` for the
+      value-spilling tier; None picks the default).
     * ``overload_policy`` — optional :class:`OverloadPolicy`; when set,
       every operation passes admission control (shed with
       ``OverloadError``, or degrade to bounded-staleness reads).
+    * ``data_dir`` — when set, client writes are journaled to a WAL and
+      checkpointed into segment files under this directory, and the
+      server recovers prior durable state on startup.  Joins installed
+      afterwards recompute from the recovered base data on demand —
+      computed output is never persisted.
+    * ``wal_fsync`` — the WAL durability policy (``"always"``,
+      ``"batch"``, or ``"off"``; see :mod:`repro.persist.wal`).
     """
 
     def __init__(
@@ -64,10 +72,27 @@ class PequodServer:
         name: str = "pequod",
         store_impl=None,
         overload_policy: Optional[OverloadPolicy] = None,
+        data_dir: Optional[str] = None,
+        wal_fsync: str = "batch",
     ) -> None:
         self.name = name
         self.stats = stats if stats is not None else StoreStats()
         self.clock = clock if clock is not None else SystemClock()
+        self.data_dir = data_dir
+        if store_impl == "disk":
+            # Construct the factory here rather than via resolve_map_impl
+            # so the spill tier lands under the data dir (or a temp dir)
+            # and shares the server's stats.
+            import os
+
+            from ..store.diskmap import DiskMapFactory
+
+            store_impl = DiskMapFactory(
+                directory=(
+                    os.path.join(data_dir, "spill") if data_dir else None
+                ),
+                stats=self.stats,
+            )
         self.store = OrderedStore(
             subtable_config, stats=self.stats, map_impl=store_impl
         )
@@ -79,13 +104,28 @@ class PequodServer:
             enable_hints=enable_hints,
         )
         self.eviction = EvictionManager(
-            self.engine, memory_limit, policy=eviction_policy
+            self.engine,
+            memory_limit,
+            policy=eviction_policy,
+            spill=self.store.supports_spill(),
         )
         self.load: Optional[AdmissionController] = (
             AdmissionController(self.engine, overload_policy)
             if overload_policy is not None
             else None
         )
+        if data_dir is not None:
+            from ..persist import PersistenceManager
+
+            self.persist: Optional[PersistenceManager] = PersistenceManager(
+                data_dir, fsync=wal_fsync, stats=self.stats
+            )
+            # Recovery runs before any join is installed, so only base
+            # data is rebuilt; computed ranges start untracked and
+            # recompute on first demand.
+            self.persist.recover_into(self.store)
+        else:
+            self.persist = None
         self._hub: Optional[ChangeHub] = None
         self._metrics = None
 
@@ -148,14 +188,20 @@ class PequodServer:
         if self.load is not None:
             self.load.admit_write()
         self.stats.add("op_put")
+        if self.persist is not None:
+            self.persist.log_put(key, value)
         self.engine.apply_put(key, value)
         self.eviction.maybe_evict()
+        if self.persist is not None:
+            self.persist.maybe_checkpoint()
 
     def remove(self, key: str) -> bool:
         """Remove ``key``; returns True if it was present."""
         if self.load is not None:
             self.load.admit_write()
         self.stats.add("op_remove")
+        if self.persist is not None:
+            self.persist.log_remove(key)
         return self.engine.apply_remove(key)
 
     def write_batch(self) -> WriteBatch:
@@ -179,8 +225,14 @@ class PequodServer:
         if self.load is not None:
             self.load.admit_write()
         self.stats.add("op_batch")
+        if self.persist is not None:
+            ops = as_ops(batch)
+            self.persist.log_ops(ops)
+            batch = ops
         applied = self.engine.apply_batch(batch)
         self.eviction.maybe_evict()
+        if self.persist is not None:
+            self.persist.maybe_checkpoint()
         return applied
 
     def put_many(self, pairs: Sequence[Tuple[str, str]]) -> int:
@@ -246,6 +298,31 @@ class PequodServer:
 
     def key_count(self) -> int:
         return len(self.store)
+
+    # ------------------------------------------------------------------
+    # Durability lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Force all acknowledged writes to durable storage (no-op
+        without a ``data_dir``)."""
+        if self.persist is not None:
+            self.persist.flush()
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into a checkpoint segment now (no-op without a
+        ``data_dir``); startup recovery gets cheaper, the WAL empties."""
+        if self.persist is not None:
+            self.persist.checkpoint()
+
+    def close(self) -> None:
+        """Flush and release durable state — the graceful-shutdown path
+        (``repro serve`` calls this on SIGTERM/SIGINT).  Safe to call
+        twice; the server must not be written to afterwards."""
+        if self.persist is not None:
+            self.persist.close()
+        factory = self.store._map_factory
+        if getattr(factory, "spill_store", None) is not None:
+            factory.close()
 
     # ------------------------------------------------------------------
     # Observability

@@ -119,6 +119,7 @@ class StatusRange:
         "compute_cost",
         "attached",
         "validated_at",
+        "spilled",
         "_pending_index",
     )
 
@@ -163,6 +164,11 @@ class StatusRange:
         #: younger than the staleness bound without re-validation; None
         #: (never validated) always re-validates.
         self.validated_at: Optional[float] = None
+        #: Were this range's values moved to the disk spill tier?  Set
+        #: by spill-before-evict (the disk store's gentler first stage
+        #: of §2.5) so memory pressure does not re-spill the same cold
+        #: range; cleared when the range is recomputed from scratch.
+        self.spilled = False
 
     def is_valid_at(self, now: float) -> bool:
         if self.state is not RangeState.VALID:
@@ -200,6 +206,7 @@ class StatusRange:
         self.pending.clear()
         self.hint = None
         self.expires_at = None
+        self.spilled = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tag = self.state.value

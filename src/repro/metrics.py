@@ -145,9 +145,21 @@ def merge_snapshots(snapshots: Iterable[Dict[str, float]]) -> Dict[str, float]:
 
 #: Unlabeled, unsuffixed derived gauges that must render as their own
 #: families (not fold into the generic ``stat`` family): the load and
-#: watch state the README's catalog documents by name.
+#: watch state the README's catalog documents by name, plus the
+#: persistence tier's gauges and probe counters.
 _STANDALONE_GAUGES = frozenset(
-    {"overloaded", "overload_queue_depth", "watch_watchers"}
+    {
+        "overloaded",
+        "overload_queue_depth",
+        "watch_watchers",
+        "persist_segments",
+        "persist_recovery_ms",
+        "persist_segment_probes",
+        "persist_bloom_negatives",
+        "persist_bloom_false_positives",
+        "persist_spilled_values",
+        "persist_spill_segments",
+    }
 )
 
 
@@ -274,6 +286,37 @@ class ServerMetrics:
         if load is not None:
             yield "overloaded", 1.0 if load.overloaded else 0.0
             yield "overload_queue_depth", float(load.queue_depth)
+        # Persistence: always-present families (zeros before first use)
+        # whenever the server has a durable or spill tier, so dashboards
+        # need no existence checks.
+        persist = getattr(server, "persist", None)
+        spill = getattr(server.store._map_factory, "spill_store", None)
+        if persist is not None:
+            yield "persist_wal_bytes", float(persist.wal.size)
+            yield "persist_wal_synced_bytes", float(persist.wal.synced_size)
+            yield "persist_segments", float(len(persist.segments))
+            yield "persist_segment_file_bytes", float(persist.segments.file_bytes())
+            yield "persist_checkpoints_total", float(persist.checkpoints)
+            yield "persist_recovered_ops_total", float(persist.recovered_ops)
+            yield "persist_recovery_ms", float(persist.recovery_ms)
+            yield from persist.flush_seconds.samples("persist_flush_seconds")
+            yield from persist.segments.compaction_seconds.samples(
+                "persist_compaction_seconds", tier="checkpoint"
+            )
+        if persist is not None or spill is not None:
+            stats = server.stats
+            yield "persist_segment_probes", stats.get("persist_segment_probes")
+            yield "persist_bloom_negatives", stats.get("persist_bloom_negatives")
+            yield "persist_bloom_false_positives", stats.get(
+                "persist_bloom_false_positives"
+            )
+            yield "persist_spilled_values", stats.get("persist_spilled_values")
+        if spill is not None:
+            yield "persist_spill_segments", float(spill.segment_count())
+            yield "persist_spill_file_bytes", float(spill.file_bytes())
+            yield from spill.stack.compaction_seconds.samples(
+                "persist_compaction_seconds", tier="spill"
+            )
         for source in self._sources:
             yield from source()
 

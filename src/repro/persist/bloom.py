@@ -1,0 +1,96 @@
+"""A bloom filter for negative segment lookups.
+
+Segment files are immutable and sorted, so a missing key costs a sparse
+index bisect plus one block parse — cheap, but a disk seek.  Keys are
+checked against many segments on the read path (newest first), and most
+segments do not hold the key at all; the bloom filter answers "definitely
+not here" from memory so negative probes skip the file entirely.
+
+Hashing must be *stable across processes* (the filter is serialized
+into the segment footer and consulted by later runs), so Python's
+randomized ``hash()`` is out.  Each key is hashed once with blake2b and
+the 128-bit digest split into two 64-bit halves; the ``k`` probe
+positions come from double hashing (``h1 + i*h2``), the standard
+Kirsch–Mitzenmacher construction.
+"""
+
+from __future__ import annotations
+
+import math
+from hashlib import blake2b
+
+
+def _hash_pair(key: bytes) -> tuple:
+    digest = blake2b(key, digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:], "big") | 1  # odd: full period mod m
+    return h1, h2
+
+
+class BloomFilter:
+    """A fixed-size bloom filter over byte strings.
+
+    ``m`` is the bit count, ``k`` the probe count.  Use
+    :meth:`for_items` to size one for an expected item count and false
+    positive rate.
+    """
+
+    __slots__ = ("m", "k", "bits")
+
+    def __init__(self, m: int, k: int, bits: bytearray = None) -> None:
+        if m <= 0 or k <= 0:
+            raise ValueError("bloom filter needs m > 0 and k > 0")
+        self.m = m
+        self.k = k
+        nbytes = (m + 7) // 8
+        if bits is None:
+            bits = bytearray(nbytes)
+        elif len(bits) != nbytes:
+            raise ValueError(f"bit array holds {len(bits)} bytes, need {nbytes}")
+        self.bits = bits
+
+    @classmethod
+    def for_items(cls, n: int, fp_rate: float = 0.01) -> "BloomFilter":
+        """Size a filter for ``n`` items at roughly ``fp_rate``."""
+        n = max(1, n)
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        m = max(8, int(math.ceil(-n * math.log(fp_rate) / (math.log(2) ** 2))))
+        k = max(1, int(round(m / n * math.log(2))))
+        return cls(m, k)
+
+    def add(self, key: bytes) -> None:
+        h1, h2 = _hash_pair(key)
+        m = self.m
+        bits = self.bits
+        for i in range(self.k):
+            pos = (h1 + i * h2) % m
+            bits[pos >> 3] |= 1 << (pos & 7)
+
+    def __contains__(self, key: bytes) -> bool:
+        h1, h2 = _hash_pair(key)
+        m = self.m
+        bits = self.bits
+        for i in range(self.k):
+            pos = (h1 + i * h2) % m
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Serialization (embedded in the segment footer)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        head = self.m.to_bytes(4, "big") + self.k.to_bytes(2, "big")
+        return head + bytes(self.bits)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "BloomFilter":
+        if len(raw) < 6:
+            raise ValueError("truncated bloom filter")
+        m = int.from_bytes(raw[:4], "big")
+        k = int.from_bytes(raw[4:6], "big")
+        return cls(m, k, bytearray(raw[6:]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BloomFilter m={self.m} k={self.k}>"

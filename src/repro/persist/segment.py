@@ -1,0 +1,281 @@
+"""Immutable sorted segment files: the on-disk ordered tier.
+
+A segment holds a sorted run of ``(key, value-or-tombstone)`` records,
+written once and never modified (compaction writes replacements).  The
+layout borrows the classic SSTable shape:
+
+* **records region** — key-ordered records with shared-prefix key
+  compression (the same ``<varint shared> <varint len> <suffix>``
+  scheme as the wire codec's ``KeyList``), resetting at *restart
+  points* every :data:`RESTART_EVERY` records so a reader can start
+  parsing mid-file;
+* **footer** — a codec-encoded block carrying the record count, the
+  restart keys (a sparse key index, one entry per restart), their
+  absolute file offsets, the records region's CRC, and a serialized
+  :class:`~repro.persist.bloom.BloomFilter` over every key;
+* **trailer** — the footer's offset and CRC32, fixed-width, so a
+  reader finds the footer from the end of the file and detects
+  truncation before trusting anything.
+
+Point reads cost one bloom check (memory), one bisect of the restart
+keys (memory), then a bounded parse of at most one restart run from
+disk.  Negative reads usually stop at the bloom.
+
+Record grammar::
+
+    <varint shared> <varint suffix_len> <suffix bytes>
+    <tag: 0x00 tombstone | 0x01 value> [<varint value_len> <value bytes>]
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from bisect import bisect_right
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..net.codec import (
+    CodecError,
+    KeyList,
+    decode,
+    encode,
+    encode_varint,
+    decode_varint,
+)
+from .bloom import BloomFilter
+
+MAGIC = b"PQSG1\n"
+#: Prefix compression resets (and the sparse index gains an entry)
+#: every this many records.
+RESTART_EVERY = 32
+
+_TRAILER = struct.Struct(">II")  # footer offset, footer crc32
+
+
+class CorruptSegment(ValueError):
+    """Raised when a segment file fails structural validation."""
+
+
+def write_segment(
+    path: str,
+    pairs: Sequence[Tuple[str, Optional[str]]],
+    fp_rate: float = 0.01,
+) -> int:
+    """Write ``pairs`` (sorted by key; None value = tombstone) to ``path``.
+
+    Writes to a temp file and renames into place so a crash mid-write
+    never leaves a half-segment under the final name.  Returns the
+    record count.
+    """
+    restart_keys: List[str] = []
+    restart_offsets: List[int] = []
+    tmp = path + ".tmp"
+    count = 0
+    bloom = BloomFilter.for_items(len(pairs), fp_rate)
+    with open(tmp, "wb") as fh:
+        fh.write(MAGIC)
+        offset = len(MAGIC)
+        prev = b""
+        buf = bytearray()
+        for key, value in pairs:
+            raw = key.encode("utf-8")
+            if count % RESTART_EVERY == 0:
+                restart_keys.append(key)
+                restart_offsets.append(offset + len(buf))
+                prev = b""
+            shared = 0
+            limit = min(len(prev), len(raw))
+            while shared < limit and prev[shared] == raw[shared]:
+                shared += 1
+            suffix = raw[shared:]
+            buf.extend(encode_varint(shared))
+            buf.extend(encode_varint(len(suffix)))
+            buf.extend(suffix)
+            if value is None:
+                buf.append(0)
+            else:
+                vraw = value.encode("utf-8")
+                buf.append(1)
+                buf.extend(encode_varint(len(vraw)))
+                buf.extend(vraw)
+            prev = raw
+            bloom.add(raw)
+            count += 1
+            if len(buf) >= 1 << 20:
+                fh.write(buf)
+                offset += len(buf)
+                buf = bytearray()
+        fh.write(buf)
+        offset += len(buf)
+        footer = encode(
+            [
+                count,
+                KeyList(restart_keys),
+                restart_offsets,
+                bloom.to_bytes(),
+            ]
+        )
+        footer_offset = offset
+        fh.write(footer)
+        fh.write(_TRAILER.pack(footer_offset, zlib.crc32(footer)))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return count
+
+
+class SegmentReader:
+    """Read-side handle for one segment file.
+
+    Loads the footer (restart index + bloom) into memory at open; record
+    reads seek into the file on demand, so resident cost is the sparse
+    index, not the data.
+    """
+
+    __slots__ = (
+        "path",
+        "count",
+        "restart_keys",
+        "restart_offsets",
+        "bloom",
+        "_fh",
+        "_records_end",
+    )
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "rb")
+        try:
+            self._load_footer()
+        except BaseException:
+            self._fh.close()
+            raise
+
+    def _load_footer(self) -> None:
+        fh = self._fh
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size < len(MAGIC) + _TRAILER.size:
+            raise CorruptSegment(f"{self.path}: too short ({size} bytes)")
+        fh.seek(0)
+        if fh.read(len(MAGIC)) != MAGIC:
+            raise CorruptSegment(f"{self.path}: bad magic")
+        fh.seek(size - _TRAILER.size)
+        footer_offset, footer_crc = _TRAILER.unpack(fh.read(_TRAILER.size))
+        if not len(MAGIC) <= footer_offset <= size - _TRAILER.size:
+            raise CorruptSegment(f"{self.path}: footer offset out of range")
+        fh.seek(footer_offset)
+        footer = fh.read(size - _TRAILER.size - footer_offset)
+        if zlib.crc32(footer) != footer_crc:
+            raise CorruptSegment(f"{self.path}: footer CRC mismatch")
+        try:
+            count, restart_keys, restart_offsets, bloom_raw = decode(footer)
+        except (CodecError, ValueError) as exc:
+            raise CorruptSegment(f"{self.path}: bad footer: {exc}") from exc
+        self.count = count
+        self.restart_keys = restart_keys
+        self.restart_offsets = restart_offsets
+        self.bloom = BloomFilter.from_bytes(bloom_raw)
+        self._records_end = footer_offset
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.count
+
+    def may_contain(self, key: str) -> bool:
+        """Bloom check: False means definitely absent (no disk read)."""
+        return key.encode("utf-8") in self.bloom
+
+    def file_bytes(self) -> int:
+        return os.path.getsize(self.path)
+
+    def _run_bounds(self, idx: int) -> Tuple[int, int]:
+        """Byte range [start, end) of restart run ``idx``."""
+        start = self.restart_offsets[idx]
+        if idx + 1 < len(self.restart_offsets):
+            end = self.restart_offsets[idx + 1]
+        else:
+            end = self._records_end
+        return start, end
+
+    def _parse_run(self, raw: bytes, base: str = "") -> Iterator[Tuple[str, Optional[str]]]:
+        """Decode one restart run (prefix compression restarts at 0)."""
+        offset = 0
+        prev = b""
+        n = len(raw)
+        while offset < n:
+            try:
+                shared, offset = decode_varint(raw, offset)
+                slen, offset = decode_varint(raw, offset)
+                if shared > len(prev) or offset + slen > n:
+                    raise CorruptSegment(f"{self.path}: bad record")
+                kraw = prev[:shared] + raw[offset : offset + slen]
+                offset += slen
+                if offset >= n:
+                    raise CorruptSegment(f"{self.path}: truncated record")
+                tag = raw[offset]
+                offset += 1
+                if tag == 1:
+                    vlen, offset = decode_varint(raw, offset)
+                    if offset + vlen > n:
+                        raise CorruptSegment(f"{self.path}: truncated value")
+                    value: Optional[str] = raw[offset : offset + vlen].decode("utf-8")
+                    offset += vlen
+                elif tag == 0:
+                    value = None
+                else:
+                    raise CorruptSegment(f"{self.path}: bad record tag {tag:#x}")
+            except CodecError as exc:
+                raise CorruptSegment(f"{self.path}: {exc}") from exc
+            prev = kraw
+            yield kraw.decode("utf-8"), value
+
+    def get(self, key: str) -> Tuple[bool, Optional[str]]:
+        """Look ``key`` up: ``(present, value_or_None_for_tombstone)``.
+
+        Callers consult :meth:`may_contain` first; this method always
+        reads the candidate restart run.
+        """
+        if not self.restart_keys or key < self.restart_keys[0]:
+            return False, None
+        idx = bisect_right(self.restart_keys, key) - 1
+        start, end = self._run_bounds(idx)
+        self._fh.seek(start)
+        raw = self._fh.read(end - start)
+        for found, value in self._parse_run(raw):
+            if found == key:
+                return True, value
+            if found > key:
+                break
+        return False, None
+
+    def scan(
+        self, lo: Optional[str] = None, hi: Optional[str] = None
+    ) -> Iterator[Tuple[str, Optional[str]]]:
+        """Records with ``lo <= key < hi`` in key order (None = open)."""
+        if not self.restart_keys:
+            return
+        if lo is None:
+            idx = 0
+        else:
+            idx = max(0, bisect_right(self.restart_keys, lo) - 1)
+        fh = self._fh
+        for run in range(idx, len(self.restart_offsets)):
+            if hi is not None and self.restart_keys[run] >= hi:
+                return
+            start, end = self._run_bounds(run)
+            fh.seek(start)
+            raw = fh.read(end - start)
+            for key, value in self._parse_run(raw):
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key >= hi:
+                    return
+                yield key, value
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SegmentReader {os.path.basename(self.path)} records={self.count}>"

@@ -1,0 +1,168 @@
+"""The disk-backed ordered map: value spill over segment files.
+
+``DiskMap`` keeps the Pequod store's *structure* — keys, node handles,
+subtable trees, status ranges — fully resident, and moves cold *values*
+to immutable sorted segment files (:mod:`repro.persist.segment`).  This
+is the anti-caching split: the navigational state the join engine needs
+on every operation stays in RAM, while the payload bytes, which dominate
+memory on timeline workloads, can live on disk until someone reads them.
+
+The mechanism rides the existing value protocol
+(:mod:`repro.store.values`): a spilled node's value becomes a
+:class:`SpilledValue`, an object whose ``payload`` property faults the
+bytes back in from the segment stack and whose ``memory_size()`` is the
+stub's resident cost.  ``materialize`` and the accounting helpers already
+handle payload-bearing objects, so scans, gets, and overwrites need no
+changes — a spilled value is just a value that is slow the first time.
+
+All maps created by one :class:`DiskMapFactory` share a single
+:class:`SpillStore` (one segment stack, one bloom-filtered read path),
+so spilling a computed range writes one segment no matter how many
+subtable trees it straddles.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import weakref
+from typing import List, Optional, Tuple
+
+from .sortedarray import SortedArrayMap
+
+#: Resident bytes charged for a spilled value stub (object header plus
+#: the store/key references).  Only values longer than this are worth
+#: spilling.
+SPILLED_VALUE_SIZE = 32
+
+
+class SpilledValue:
+    """A value whose payload lives in the spill segment stack.
+
+    Reading ``payload`` faults the bytes in from disk (bloom-guarded,
+    newest segment first).  The stub compares equal to whatever its
+    payload compares equal to, so join maintenance that diffs old
+    against new values keeps working on spilled ranges.
+    """
+
+    __slots__ = ("store", "key")
+
+    def __init__(self, store: "SpillStore", key: str) -> None:
+        self.store = store
+        self.key = key
+
+    @property
+    def payload(self) -> str:
+        return self.store.read_value(self.key)
+
+    def memory_size(self) -> int:
+        return SPILLED_VALUE_SIZE
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SpilledValue):
+            return self.payload == other.payload
+        if isinstance(other, str):
+            return self.payload == other
+        payload = getattr(other, "payload", None)
+        if payload is not None:
+            return self.payload == payload
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SpilledValue {self.key!r}>"
+
+
+class SpillStore:
+    """The shared on-disk value tier behind every map of one factory."""
+
+    def __init__(self, directory: str, stats=None, compact_threshold: int = 8):
+        from ..persist.manager import SegmentStack
+
+        self.stats = stats
+        self.stack = SegmentStack(
+            directory,
+            stats=stats,
+            compact_threshold=compact_threshold,
+            label="spill",
+        )
+
+    def spill(self, pairs: List[Tuple[str, str]]) -> None:
+        """Write ``pairs`` (key-sorted) as the newest spill segment."""
+        self.stack.push(pairs)
+        self.stack.maybe_compact()
+        if self.stats is not None:
+            self.stats.add("persist_spilled_values", len(pairs))
+
+    def read_value(self, key: str) -> str:
+        if self.stats is not None:
+            self.stats.add("persist_spill_reads")
+        present, value = self.stack.read(key)
+        if not present or value is None:
+            raise KeyError(f"spilled value for {key!r} not found on disk")
+        return value
+
+    def segment_count(self) -> int:
+        return len(self.stack)
+
+    def file_bytes(self) -> int:
+        return self.stack.file_bytes()
+
+    def close(self) -> None:
+        self.stack.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SpillStore segments={len(self.stack)}>"
+
+
+class DiskMap(SortedArrayMap):
+    """A :class:`SortedArrayMap` whose values may spill to segments.
+
+    Structurally identical to its parent — the difference is the
+    ``spill`` handle, which :meth:`repro.store.table.Table.spill_range`
+    discovers on the tree to move cold values out of RAM.
+    """
+
+    __slots__ = ("spill",)
+
+    def __init__(self, spill: Optional[SpillStore] = None) -> None:
+        super().__init__()
+        self.spill = spill
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DiskMap keys={len(self)} blocks={len(self._maxes)}>"
+
+
+class DiskMapFactory:
+    """Factory registered as the ``"disk"`` ordered-map implementation.
+
+    Every map it creates shares one :class:`SpillStore`.  With no
+    ``directory`` the spill tier lives in a private temp dir, removed
+    when the factory is garbage collected — durability for spilled
+    values is the WAL/checkpoint tier's job, not the spill tier's
+    (spilled bytes are re-derivable from the durable client writes).
+    """
+
+    def __init__(self, directory: Optional[str] = None, stats=None) -> None:
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="pequod-spill-")
+            self._cleanup = weakref.finalize(
+                self, shutil.rmtree, directory, ignore_errors=True
+            )
+        else:
+            os.makedirs(directory, exist_ok=True)
+            self._cleanup = None
+        self.directory = directory
+        self.spill_store = SpillStore(directory, stats=stats)
+
+    def __call__(self) -> DiskMap:
+        return DiskMap(self.spill_store)
+
+    def close(self) -> None:
+        self.spill_store.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DiskMapFactory {self.directory!r}>"

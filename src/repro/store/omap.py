@@ -38,7 +38,7 @@ from typing import Callable
 
 #: Names accepted by ``OrderedStore(map_impl=...)`` and the CLI's
 #: ``--store-impl`` flag.
-MAP_IMPLS = ("rbtree", "sortedarray")
+MAP_IMPLS = ("rbtree", "sortedarray", "disk")
 
 #: The default data-plane map.  The blocked sorted array wins on the
 #: read-heavy Twip workload (see ``repro bench read_path`` and
@@ -66,6 +66,14 @@ def resolve_map_impl(impl) -> Callable[[], object]:
         from .sortedarray import SortedArrayMap
 
         return SortedArrayMap
+    if impl == "disk":
+        # A fresh factory per resolution: all maps of one store share
+        # one spill tier (in a private temp dir here — callers wanting
+        # a specific directory or stats construct DiskMapFactory
+        # themselves and pass it as the impl).
+        from .diskmap import DiskMapFactory
+
+        return DiskMapFactory()
     raise ValueError(
         f"unknown ordered-map implementation {impl!r}; "
         f"expected one of {MAP_IMPLS} or a factory callable"

@@ -293,6 +293,36 @@ class OrderedStore:
             tbl.count_range(lo, hi) for tbl in self._relevant_tables(lo, hi)
         )
 
+    # ------------------------------------------------------------------
+    # Value spill (disk-backed maps only)
+    # ------------------------------------------------------------------
+    def supports_spill(self) -> bool:
+        """Can this store move values to disk?  True when the map
+        factory carries a shared spill tier (the ``"disk"`` impl)."""
+        return getattr(self._map_factory, "spill_store", None) is not None
+
+    def spill_range(self, lo: str, hi: str) -> int:
+        """Spill cold values in ``[lo, hi)`` to disk; returns resident
+        bytes freed (0 when the store is not disk-backed)."""
+        if not lo < hi:
+            return 0
+        freed = 0
+        for tbl in self._relevant_tables(lo, hi):
+            freed += tbl.spill_range(lo, hi)
+        if freed:
+            self.stats.add("spill_freed_bytes", freed)
+        return freed
+
+    def spill_all(self) -> int:
+        """Spill every table's cold values; returns bytes freed."""
+        freed = 0
+        for name in sorted(self.tables):
+            tbl = self.tables[name]
+            freed += tbl.spill_range(name + SEP, name + SEP_SUCCESSOR)
+        if freed:
+            self.stats.add("spill_freed_bytes", freed)
+        return freed
+
     def remove_range(self, lo: str, hi: str) -> int:
         """Remove every key in ``[lo, hi)``; returns how many were removed.
 

@@ -241,6 +241,54 @@ class Table:
         node.value = value
         return old
 
+    def spill_range(self, lo: str, hi: str) -> int:
+        """Move cold string payloads in ``[lo, hi)`` to the disk spill
+        tier; returns resident bytes freed.
+
+        Only works when the table's trees are disk-backed (they expose
+        a ``spill`` store); otherwise this is a no-op returning 0.  Keys
+        and node handles stay resident — eviction of *structure* remains
+        :meth:`remove`/range eviction — and only payloads longer than
+        the stub cost move: plain strings, and shared values whose last
+        holder this node is (``refs == 1`` — once dependents are gone
+        the SharedValue wrapper is just a private string with a
+        refcount).  Multi-holder shared values and aggregate
+        accumulators are pointer-shaped already, and tiny values would
+        cost more as stubs than they free.
+        """
+        from .diskmap import SPILLED_VALUE_SIZE, SpilledValue
+        from .values import SharedValue
+
+        def spillable(value) -> Optional[str]:
+            if type(value) is str:
+                payload = value
+            elif isinstance(value, SharedValue) and value.refs == 1:
+                payload = value.payload
+            else:
+                return None
+            return payload if len(payload) > SPILLED_VALUE_SIZE else None
+
+        if not lo < hi:
+            return 0
+        freed = 0
+        for tree in self._overlapping_trees(lo, hi):
+            spill = getattr(tree, "spill", None)
+            if spill is None:
+                continue
+            victims = [
+                (node, payload)
+                for node in tree.nodes(lo, hi)
+                if (payload := spillable(node.value)) is not None
+            ]
+            if not victims:
+                continue
+            spill.spill([(node.key, payload) for node, payload in victims])
+            for node, _ in victims:
+                before = self.memory_bytes
+                self.replace_node_value(node, SpilledValue(spill, node.key))
+                freed += before - self.memory_bytes
+        return freed
+
     def remove(self, key: str) -> Optional[Value]:
         """Remove ``key``; returns the removed value or None."""
         self.stats.add("removes")

@@ -12,6 +12,10 @@ staleness is normalized by ``settle()`` (a no-op off-cluster), the one
 deliberate difference the API admits (§2.4).
 """
 
+import shutil
+import tempfile
+import weakref
+
 import pytest
 
 from repro.client import (
@@ -35,12 +39,33 @@ KARMA = "karma|<author> = count vote|<author>|<id>|<voter>"
 #: backends ignore this).
 BASE_TABLES = ("p", "s", "vote", "article", "comment")
 
-BACKENDS = ("local", "rpc", "cluster")
+#: "disk" is the local backend on the durable disk-backed store (WAL +
+#: value spill under a per-test data dir) — the whole suite doubles as
+#: the persistence tier's semantic oracle.
+BACKENDS = ("local", "rpc", "cluster", "disk")
+
+
+def _sync_client(backend, **extra):
+    """make_client for one conformance backend; "disk" maps to the
+    local backend on the durable store, rooted in a throwaway data
+    dir that outlives the client and is reaped behind it."""
+    if backend == "disk":
+        data_dir = tempfile.mkdtemp(prefix="pequod-disk-")
+        c = make_client(
+            "local",
+            base_tables=BASE_TABLES,
+            store_impl="disk",
+            data_dir=data_dir,
+            **extra,
+        )
+        weakref.finalize(c, shutil.rmtree, data_dir, ignore_errors=True)
+        return c
+    return make_client(backend, base_tables=BASE_TABLES, **extra)
 
 
 @pytest.fixture(params=BACKENDS)
 def client(request):
-    c = make_client(request.param, base_tables=BASE_TABLES)
+    c = _sync_client(request.param)
     yield c
     c.close()
 
@@ -363,9 +388,19 @@ class TestBackendReporting:
 # ======================================================================
 # Async conformance: the same semantics through the async-native API
 # ======================================================================
-def _async_client(backend):
+async def _async_client(backend):
     """Build an async client for one backend (awaitable)."""
-    return make_async_client(backend, base_tables=BASE_TABLES)
+    if backend == "disk":
+        data_dir = tempfile.mkdtemp(prefix="pequod-disk-")
+        client = await make_async_client(
+            "local",
+            base_tables=BASE_TABLES,
+            store_impl="disk",
+            data_dir=data_dir,
+        )
+        weakref.finalize(client, shutil.rmtree, data_dir, ignore_errors=True)
+        return client
+    return await make_async_client(backend, base_tables=BASE_TABLES)
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -535,7 +570,7 @@ class TestSyncAsyncParity:
 
         states = {}
         for backend in BACKENDS:
-            with make_client(backend, base_tables=BASE_TABLES) as client:
+            with _sync_client(backend) as client:
                 states[f"sync-{backend}"] = _drive_sync(client)
             states[f"async-{backend}"] = asyncio.run(drive(backend))
         reference = states["sync-local"]
@@ -701,9 +736,8 @@ def shed_client(request):
     """Every backend with a shed policy whose soft memory limit (one
     byte) trips on the first stored value — deterministic overload
     without reaching into server internals."""
-    c = make_client(
+    c = _sync_client(
         request.param,
-        base_tables=BASE_TABLES,
         overload_policy=OverloadPolicy(mode="shed", soft_memory_limit=1),
     )
     yield c

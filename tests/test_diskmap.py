@@ -1,0 +1,183 @@
+"""The disk-backed store: value spill, faulting reads, eviction-spill.
+
+The anti-caching contract under test: spilling moves *values* to
+segment files while keys and structure stay resident, reads through a
+spilled range fault bytes back from disk with identical results, and
+under a memory limit the eviction manager prefers spilling cold
+computed ranges over dropping them (a spilled range stays valid — no
+recomputation on the next read).
+"""
+
+import pytest
+
+from repro import PequodServer
+from repro.apps.twip import TIMELINE_JOIN
+from repro.store.diskmap import (
+    SPILLED_VALUE_SIZE,
+    DiskMap,
+    DiskMapFactory,
+    SpilledValue,
+    SpillStore,
+)
+from repro.store.omap import resolve_map_impl
+from repro.store.stats import StoreStats
+
+LONG = "x" * 100  # comfortably past the spill threshold
+SHORT = "tiny"  # under SPILLED_VALUE_SIZE: never worth spilling
+
+
+def disk_server(tmp_path, **kwargs):
+    srv = PequodServer(
+        subtable_config={"t": 2, "p": 2, "s": 2},
+        store_impl="disk",
+        data_dir=str(tmp_path / "data"),
+        **kwargs,
+    )
+    srv.add_join(TIMELINE_JOIN)
+    return srv
+
+
+class TestSpillStore:
+    def test_spill_and_fault_back(self, tmp_path):
+        stats = StoreStats()
+        store = SpillStore(str(tmp_path / "spill"), stats=stats)
+        store.spill([("k|1", "alpha"), ("k|2", "beta")])
+        assert store.read_value("k|1") == "alpha"
+        assert store.read_value("k|2") == "beta"
+        assert stats.get("persist_spilled_values") == 2
+        assert stats.get("persist_spill_reads") == 2
+        with pytest.raises(KeyError):
+            store.read_value("k|missing")
+        store.close()
+
+    def test_respill_newest_wins(self, tmp_path):
+        store = SpillStore(str(tmp_path / "spill"))
+        store.spill([("k|1", "old")])
+        store.spill([("k|1", "new")])
+        assert store.read_value("k|1") == "new"
+        store.close()
+
+
+class TestSpilledValue:
+    def test_compares_like_its_payload(self, tmp_path):
+        store = SpillStore(str(tmp_path / "spill"))
+        store.spill([("k|1", "hello"), ("k|2", "hello")])
+        a = SpilledValue(store, "k|1")
+        b = SpilledValue(store, "k|2")
+        assert a == "hello" and a == b
+        assert a != "goodbye"
+        assert hash(a) == hash("hello")
+        assert a.memory_size() == SPILLED_VALUE_SIZE
+        store.close()
+
+
+class TestDiskMapFactory:
+    def test_registered_as_disk_impl(self):
+        factory = resolve_map_impl("disk")
+        assert isinstance(factory, DiskMapFactory)
+        tree = factory()
+        assert isinstance(tree, DiskMap)
+        assert tree.spill is factory.spill_store
+
+    def test_maps_share_one_spill_store(self, tmp_path):
+        factory = DiskMapFactory(str(tmp_path / "spill"))
+        assert factory().spill is factory().spill
+        factory.close()
+
+
+class TestTableSpill:
+    def test_spill_frees_memory_and_reads_survive(self, tmp_path):
+        srv = disk_server(tmp_path)
+        for i in range(50):
+            srv.put(f"p|bob|{i:04d}", LONG)
+        before = srv.store.memory_bytes()
+        freed = srv.store.spill_all()
+        assert freed > 0
+        assert srv.store.memory_bytes() == before - freed
+        # Structure intact, payloads fault back from disk.
+        got = srv.scan("p|bob|", "p|bob}")
+        assert len(got) == 50
+        assert all(v == LONG for _, v in got)
+        srv.close()
+
+    def test_small_values_stay_resident(self, tmp_path):
+        srv = disk_server(tmp_path)
+        for i in range(20):
+            srv.put(f"p|bob|{i:04d}", SHORT)
+        assert srv.store.spill_all() == 0
+        assert srv.get("p|bob|0003") == SHORT
+        srv.close()
+
+    def test_overwrite_after_spill(self, tmp_path):
+        srv = disk_server(tmp_path)
+        srv.put("p|bob|0001", LONG)
+        srv.store.spill_all()
+        srv.put("p|bob|0001", "fresh")
+        assert srv.get("p|bob|0001") == "fresh"
+        srv.close()
+
+    def test_spilled_base_keeps_computed_ranges_valid(self, tmp_path):
+        srv = disk_server(tmp_path)
+        srv.engine.enable_sharing = False  # plain-string outputs
+        srv.put("s|ann|bob", "1")
+        for i in range(10):
+            srv.put(f"p|bob|{i:04d}", LONG)
+        reference = srv.scan("t|ann|", "t|ann}")
+        assert len(reference) == 10
+        recomputes = srv.stats.get("recomputations")
+        assert srv.store.spill_range("p|", "p}") > 0
+        assert srv.scan("t|ann|", "t|ann}") == reference
+        # Spilling did not invalidate: the range re-read without a
+        # recomputation (the whole point of spill-over-evict).
+        assert srv.stats.get("recomputations") == recomputes
+        srv.close()
+
+    def test_shared_values_spill_only_when_sole_holder(self, tmp_path):
+        srv = disk_server(tmp_path)
+        srv.put("s|ann|bob", "1")
+        for i in range(10):
+            srv.put(f"p|bob|{i:04d}", LONG)
+        reference = srv.scan("t|ann|", "t|ann}")
+        # Value sharing (§4.3): base posts are SharedValues with two
+        # holders (base node + timeline copy) — protected from spill.
+        assert srv.store.spill_range("p|", "p}") == 0
+        # Evicting the timeline drops the copies; the base node is the
+        # sole holder left and the payloads become spillable.
+        assert srv.eviction.evict_one()
+        assert srv.store.spill_range("p|", "p}") > 0
+        # Demand recomputation faults the spilled sources back in.
+        assert srv.scan("t|ann|", "t|ann}") == reference
+        srv.close()
+
+
+class TestEvictionSpill:
+    def test_pressure_spills_before_evicting(self, tmp_path):
+        srv = disk_server(tmp_path, memory_limit=6000)
+        srv.engine.enable_sharing = False  # plain-string outputs
+        srv.put("s|ann|bob", "1")
+        for i in range(60):
+            srv.put(f"p|bob|{i:04d}", LONG)
+            srv.scan("t|ann|", "t|ann}")
+        assert srv.eviction.spills > 0
+        assert srv.stats.get("spill_evictions") > 0
+        # Everything is still readable, faulting from disk as needed.
+        got = srv.scan("t|ann|", "t|ann}")
+        assert [v for _, v in got] == [LONG] * 60
+        srv.close()
+
+    def test_plain_store_never_spills(self):
+        srv = PequodServer(memory_limit=1)
+        assert not srv.eviction.spill
+        srv.put("p|a|1", LONG)
+        assert srv.store.supports_spill() is False
+        assert srv.store.spill_all() == 0
+
+    def test_invalidation_resets_spilled_flag(self, tmp_path):
+        srv = disk_server(tmp_path)
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0001", LONG)
+        srv.scan("t|ann|", "t|ann}")
+        srv.store.spill_range("t|", "t}")
+        srv.remove("s|ann|bob")  # invalidates the computed range
+        assert srv.scan("t|ann|", "t|ann}") == []
+        srv.close()

@@ -1,0 +1,307 @@
+"""Durability end to end: recovery, crash injection, the oracle.
+
+The subsystem's contract, tested at the server boundary: every
+acknowledged client write survives what the fsync policy promises it
+survives — process death for ``always``, graceful shutdown for the
+rest — and a recovered server is observationally identical to one that
+never stopped.  Computed join output is deliberately *not* persisted;
+recovery must recompute it on demand and arrive at the same answer.
+
+The hypothesis property at the bottom is the conformance oracle from
+the issue: a random write workload, a crash (or clean shutdown, per the
+policy's promise), and a recovery must land byte-identical to an
+uninterrupted run — across every ordered-map implementation and every
+fsync mode.
+"""
+
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import PequodServer
+from repro.chaos import crash_server, torn_wal_tail
+from repro.persist.wal import FSYNC_MODES
+from repro.store.omap import MAP_IMPLS
+
+TIMELINE = (
+    "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"
+)
+
+
+def durable(data_dir, **kwargs) -> PequodServer:
+    srv = PequodServer(
+        subtable_config={"t": 2, "p": 2, "s": 2},
+        data_dir=str(data_dir),
+        **kwargs,
+    )
+    srv.add_join(TIMELINE)
+    return srv
+
+
+def observable(srv) -> dict:
+    """Every table's scan — base data plus demand-computed output."""
+    return {t: srv.scan(f"{t}|", f"{t}}}") for t in ("p", "s", "t")}
+
+
+class TestRecovery:
+    def test_reopen_restores_state(self, tmp_path):
+        srv = durable(tmp_path / "d")
+        srv.put("s|ann|bob", "1")
+        for i in range(20):
+            srv.put(f"p|bob|{i:04d}", f"tweet {i}")
+        expected = observable(srv)
+        srv.close()
+        again = durable(tmp_path / "d")
+        assert again.stats.get("persist_recovered_ops") == 21
+        assert again.stats.get("persist_recovery_ms") >= 0
+        assert observable(again) == expected
+        again.close()
+
+    def test_checkpoint_folds_wal_into_segments(self, tmp_path):
+        srv = durable(tmp_path / "d")
+        for i in range(50):
+            srv.put(f"p|bob|{i:04d}", f"v{i}")
+        srv.checkpoint()
+        assert srv.persist.wal.size == 0
+        assert len(srv.persist.segments) == 1
+        srv.put("p|bob|9999", "after the checkpoint")
+        expected = observable(srv)
+        srv.close()
+        again = durable(tmp_path / "d")
+        assert observable(again) == expected
+        assert again.get("p|bob|9999") == "after the checkpoint"
+        again.close()
+
+    def test_remove_survives_recovery(self, tmp_path):
+        srv = durable(tmp_path / "d")
+        srv.put("p|bob|0001", "keep")
+        srv.put("p|bob|0002", "drop")
+        srv.checkpoint()  # both land in a segment...
+        srv.remove("p|bob|0002")  # ...then the WAL tombstones one
+        srv.close()
+        again = durable(tmp_path / "d")
+        assert again.get("p|bob|0001") == "keep"
+        assert again.scan("p|", "p}") == [("p|bob|0001", "keep")]
+        again.close()
+
+    def test_batches_are_journaled(self, tmp_path):
+        srv = durable(tmp_path / "d")
+        srv.apply_batch(
+            [("p|bob|0001", "one"), ("p|bob|0002", "two")]
+        )
+        srv.apply_batch([("p|bob|0001", None)])  # batched remove
+        srv.close()
+        again = durable(tmp_path / "d")
+        assert again.scan("p|", "p}") == [("p|bob|0002", "two")]
+        again.close()
+
+    def test_computed_output_recomputes_not_recovers(self, tmp_path):
+        srv = durable(tmp_path / "d")
+        srv.put("s|ann|bob", "1")
+        srv.put("p|bob|0100", "hello")
+        expected = srv.scan("t|ann|", "t|ann}")
+        assert expected  # the join produced output
+        srv.close()
+        again = durable(tmp_path / "d")
+        # Only the 2 client writes came back — never the join output.
+        assert again.stats.get("persist_recovered_ops") == 2
+        executed = again.stats.get("joins_executed")
+        assert again.scan("t|ann|", "t|ann}") == expected
+        assert again.stats.get("joins_executed") > executed
+        again.close()
+
+    def test_fresh_data_dir_recovers_nothing(self, tmp_path):
+        srv = durable(tmp_path / "new")
+        assert srv.stats.get("persist_recovered_ops") == 0
+        srv.close()
+
+
+class TestCrashInjection:
+    def test_fsync_always_survives_hard_crash(self, tmp_path):
+        srv = durable(tmp_path / "d", wal_fsync="always")
+        srv.put("s|ann|bob", "1")
+        for i in range(10):
+            srv.put(f"p|bob|{i:04d}", f"v{i}")
+        expected = observable(srv)
+        assert crash_server(srv) == 0  # every record hit the platter
+        again = durable(tmp_path / "d", wal_fsync="always")
+        assert observable(again) == expected
+        again.close()
+
+    def test_batch_mode_crash_recovers_synced_prefix(self, tmp_path):
+        srv = durable(tmp_path / "d", wal_fsync="batch")
+        for i in range(10):
+            srv.put(f"p|bob|{i:04d}", f"v{i}")
+        srv.flush()  # sync point: everything so far is promised
+        srv.put("p|bob|9999", "maybe lost")
+        crash_server(srv)
+        again = durable(tmp_path / "d", wal_fsync="batch")
+        # Everything before the sync point is there; the unsynced tail
+        # is pessimistically gone (never acknowledged as durable).
+        for i in range(10):
+            assert again.get(f"p|bob|{i:04d}") == f"v{i}"
+        again.close()
+
+    def test_torn_tail_truncates_to_last_intact_record(self, tmp_path):
+        srv = durable(tmp_path / "d", wal_fsync="always")
+        for i in range(8):
+            srv.put(f"p|bob|{i:04d}", f"v{i}")
+        srv.close()
+        torn = torn_wal_tail(str(tmp_path / "d"), random.Random(42))
+        assert torn > 0
+        again = durable(tmp_path / "d", wal_fsync="always")
+        # The final record was torn mid-frame: its write is lost, every
+        # earlier one survives, and the tail was truncated (stat bumps).
+        assert again.stats.get("persist_recovered_ops") == 7
+        assert again.stats.get("persist_wal_torn_tails") == 1
+        for i in range(7):
+            assert again.get(f"p|bob|{i:04d}") == f"v{i}"
+        # The truncated WAL reopens clean: writes append, close, reopen.
+        again.put("p|bob|0007", "rewritten")
+        again.close()
+        final = durable(tmp_path / "d")
+        assert final.get("p|bob|0007") == "rewritten"
+        final.close()
+
+
+# Small key space so puts, overwrites, and removes collide often.
+_KEYS = [f"p|bob|{i:02d}" for i in range(6)] + [
+    f"s|ann|{u}" for u in ("bob", "liz")
+]
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            st.sampled_from(_KEYS),
+            st.text(alphabet="abcxyz", max_size=40),
+        ),
+        st.tuples(st.just("remove"), st.sampled_from(_KEYS)),
+        st.tuples(st.just("checkpoint")),
+    ),
+    max_size=30,
+)
+
+
+class TestDurabilityOracle:
+    """write -> crash -> recover == an uninterrupted run, for every
+    ordered-map implementation and every fsync mode."""
+
+    @pytest.mark.parametrize("fsync", FSYNC_MODES)
+    @pytest.mark.parametrize("impl", MAP_IMPLS)
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(ops=_OPS)
+    def test_crash_recover_matches_uninterrupted(self, impl, fsync, ops):
+        data_dir = tempfile.mkdtemp(prefix="pequod-oracle-")
+        try:
+            srv = durable(data_dir, store_impl=impl, wal_fsync=fsync)
+            ref = PequodServer(
+                subtable_config={"t": 2, "p": 2, "s": 2}, store_impl=impl
+            )
+            ref.add_join(TIMELINE)
+            for op in ops:
+                if op[0] == "put":
+                    srv.put(op[1], op[2])
+                    ref.put(op[1], op[2])
+                elif op[0] == "remove":
+                    srv.remove(op[1])
+                    ref.remove(op[1])
+                else:
+                    srv.checkpoint()  # durable-only; a semantic no-op
+            expected = observable(ref)
+            # Kill the server as hard as the policy promises to survive:
+            # `always` dies mid-flight, `batch` after an explicit sync
+            # point, `off` only promises a graceful shutdown.
+            if fsync == "always":
+                crash_server(srv)
+            elif fsync == "batch":
+                srv.flush()
+                crash_server(srv)
+            else:
+                srv.close()
+            recovered = durable(data_dir, store_impl=impl, wal_fsync=fsync)
+            assert observable(recovered) == expected
+            recovered.close()
+            ref.close()
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+
+
+class TestGracefulShutdown:
+    def test_sigterm_flushes_and_closes_the_wal(self, tmp_path):
+        """`repro serve` + SIGTERM: the handler flushes the WAL before
+        exit, so acknowledged writes survive even under fsync=off."""
+        data_dir = str(tmp_path / "data")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro", "serve",
+                "--port", "0", "--data-dir", data_dir,
+                "--wal-fsync", "off",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner
+            port = int(banner.rsplit(":", 1)[1])
+
+            from repro.net.rpc_client import SyncRpcClient
+
+            client = SyncRpcClient("127.0.0.1", port)
+            try:
+                for i in range(5):
+                    client.put(f"p|bob|{i:04d}", f"durable {i}")
+            finally:
+                client.close()
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=15)
+        except BaseException:
+            proc.kill()
+            raise
+        assert "shut down cleanly (WAL flushed)" in out
+        srv = durable(data_dir)
+        assert srv.stats.get("persist_recovered_ops") == 5
+        for i in range(5):
+            assert srv.get(f"p|bob|{i:04d}") == f"durable {i}"
+        srv.close()
+
+
+class TestPersistMetrics:
+    def test_families_render_for_a_durable_server(self, tmp_path):
+        srv = durable(tmp_path / "d", store_impl="disk", wal_fsync="batch")
+        srv.put("s|ann|bob", "1")
+        for i in range(20):
+            srv.put(f"p|bob|{i:04d}", "x" * 100)
+        srv.checkpoint()
+        srv.store.spill_all()
+        srv.persist.segments.read("absent|key")  # a bloom negative
+        text = srv.metrics_text()
+        for family in (
+            "repro_persist_wal_bytes",
+            "repro_persist_segments",
+            "repro_persist_checkpoints_total",
+            "repro_persist_recovery_ms",
+            "repro_persist_bloom_negatives",
+            "repro_persist_segment_probes",
+            "repro_persist_spilled_values",
+            "repro_persist_spill_segments",
+            "repro_persist_flush_seconds_bucket",
+        ):
+            assert family in text, family
+        srv.close()
+
+    def test_plain_server_renders_no_persist_families(self):
+        srv = PequodServer()
+        assert "persist_" not in srv.metrics_text()

@@ -143,10 +143,16 @@ class TestPluggableStore:
 
     @pytest.mark.parametrize("impl", MAP_IMPLS)
     def test_client_factory_threads_store_impl(self, impl):
+        from repro.store.diskmap import DiskMap
+
         with make_client("local", store_impl=impl) as client:
             client.put("k|a", "1")
             assert client.get("k|a") == "1"
-            expected = {"rbtree": RBTree, "sortedarray": SortedArrayMap}[impl]
+            expected = {
+                "rbtree": RBTree,
+                "sortedarray": SortedArrayMap,
+                "disk": DiskMap,
+            }[impl]
             tree = client.server.store.tables["k"]._tree
             assert isinstance(tree, expected)
 
