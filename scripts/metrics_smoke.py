@@ -48,6 +48,13 @@ REQUIRED_FAMILIES = (
     "repro_rpc_window_occupancy_bucket",
     "repro_overloaded",
     "repro_stat",
+    # The compiled write path (the server drives a materialize-then-post
+    # sequence, so the plan counters must be live, not just present).
+    "repro_write_plan_compiles_total",
+    "repro_write_plan_fires_total",
+    "repro_write_batched_installs_total",
+    "repro_write_whole_table_fastpath_hits_total",
+    "repro_write_fanout_max",
     # The persistence tier (the server below runs with a data dir and
     # the disk-backed store, so every family must be present).
     "repro_persist_wal_bytes",
@@ -155,6 +162,11 @@ def main() -> int:
                 fail(f"unexpected content type {ctype!r}")
             text = resp.read().decode()
         samples = check_exposition(text)
+        fires = re.search(
+            r"^repro_write_plan_fires_total (\S+)$", text, re.M
+        )
+        if fires is None or float(fires.group(1)) <= 0:
+            fail("compiled write path never fired during the drive")
         try:
             with urllib.request.urlopen(
                 f"http://127.0.0.1:{metrics.port}/other", timeout=5

@@ -791,6 +791,172 @@ def run_write_batching(
 
 
 # ======================================================================
+# Write path: compiled execution plans at celebrity fan-out
+# ======================================================================
+WRITE_PATH_CONFIGS = (
+    ("reference", {}),
+    ("+exec-plans", {"plans": True}),
+    ("+whole-table-validity", {"plans": True, "fastpath": True}),
+)
+
+
+def run_write_path(
+    fan_out: int = 10000,
+    rounds: int = 8,
+    batch_size: int = 8,
+    pre_posts: int = 4,
+    repeats: int = 2,
+    seed: int = 17,
+    model: CostModel = DEFAULT_MODEL,
+    configs: Sequence[Tuple[str, Dict[str, object]]] = WRITE_PATH_CONFIGS,
+) -> Dict[str, object]:
+    """The celebrity problem: write-side maintenance at high fan-out.
+
+    One celebrity with ``fan_out`` followers, every follower timeline
+    materialized, so each celebrity post fires one eager updater per
+    follower — the per-fire interpretation cost the compiled write path
+    (``core.plan``) removes.  Each measured round writes one single
+    post (the per-key fire path), one ``batch_size`` post batch (the
+    grouped fire path with batched ``install_many`` output runs), and
+    two cross-timeline scans over a ~100-timeline window (the
+    validation cost the whole-table fast path removes once the cover
+    is quiescent).
+
+    Configurations layer the tentpole: the interpreted reference
+    (``set_plan_compilation(False)``), compiled execution plans, and
+    plans plus the whole-table validity fast path.  CPU time is
+    measured best-of-``repeats`` on fresh servers; the final store
+    state (every timeline plus base tables) must be byte-identical —
+    the benchmark doubles as the plan-vs-interpreter equivalence
+    oracle, and the JSON records the sha256 of the state each config
+    produced.
+    """
+    import gc as _gc
+    import hashlib as _hashlib
+
+    from ..core.plan import set_plan_compilation
+
+    celebrity = "celeb"
+    followers = [f"u{i:05d}" for i in range(fan_out)]
+    scan_lo = "t|u000"
+    scan_hi = prefix_upper_bound(scan_lo)
+    posts_per_round = 1 + batch_size
+    total_posts = rounds * posts_per_round
+
+    def build_server() -> PequodServer:
+        server = PequodServer(subtable_config={"t": 2, "p": 2, "s": 2})
+        server.add_join(TIMELINE_JOIN)
+        for follower in followers:
+            server.put(f"s|{follower}|{celebrity}", "1")
+        for i in range(pre_posts):
+            server.put(
+                f"p|{celebrity}|{format_time(i)}", f"warm tweet {i}"
+            )
+        for follower in followers:
+            server.scan(f"t|{follower}|", prefix_upper_bound(f"t|{follower}|"))
+        # One warm cross-timeline scan tiles the gaps between follower
+        # timelines, so the timed scans see a contiguous cover (the
+        # precondition for whole-table validity) in every config.
+        server.scan("t|", "t}")
+        server.stats.reset()
+        return server
+
+    def drive(server: PequodServer) -> None:
+        tick = pre_posts
+        for _ in range(rounds):
+            server.put(
+                f"p|{celebrity}|{format_time(tick)}", f"tweet {tick}"
+            )
+            tick += 1
+            batch = server.write_batch()
+            batch.update(
+                [
+                    (f"p|{celebrity}|{format_time(tick + j)}", f"tweet {tick + j}")
+                    for j in range(batch_size)
+                ]
+            )
+            batch.apply()
+            tick += batch_size
+            server.scan(scan_lo, scan_hi)
+            server.scan(scan_lo, scan_hi)
+
+    def snapshot(server: PequodServer) -> str:
+        state = (
+            server.scan("t|", "t}")
+            + server.scan("p|", "p}")
+            + server.scan("s|", "s}")
+        )
+        return _hashlib.sha256(repr(state).encode()).hexdigest()
+
+    points: List[Dict[str, object]] = []
+    baseline_digest: Optional[str] = None
+    baseline_rate: Optional[float] = None
+    state_identical = True
+    for name, cfg in configs:
+        previous = set_plan_compilation(bool(cfg.get("plans", False)))
+        try:
+            cpu = None
+            for _ in range(max(1, repeats)):
+                server = build_server()
+                server.engine.enable_whole_table_fastpath = bool(
+                    cfg.get("fastpath", False)
+                )
+                _gc.collect()
+                cpu_start = time.process_time()
+                drive(server)
+                elapsed = time.process_time() - cpu_start
+                cpu = elapsed if cpu is None else min(cpu, elapsed)
+            counters = server.stats.snapshot()
+            digest = snapshot(server)
+        finally:
+            set_plan_compilation(previous)
+        if baseline_digest is None:
+            baseline_digest = digest
+        elif digest != baseline_digest:
+            state_identical = False
+        rate = total_posts / max(cpu, 1e-9)
+        if baseline_rate is None:
+            baseline_rate = rate
+        points.append(
+            {
+                "config": name,
+                "cpu_s": cpu,
+                "ops_per_sec": rate,
+                "speedup": rate / baseline_rate,
+                "modeled_us": model.runtime_us(counters),
+                "state_sha256": digest,
+                "updaters_fired": counters.get("updaters_fired", 0.0),
+                "write_plan_fires": counters.get("write_plan_fires", 0.0),
+                "write_batched_installs": counters.get(
+                    "write_batched_installs", 0.0
+                ),
+                "write_whole_table_fastpath_hits": counters.get(
+                    "write_whole_table_fastpath_hits", 0.0
+                ),
+                "hint_hits": counters.get("hint_hits", 0.0),
+            }
+        )
+    return {
+        "workload": {
+            "fan_out": fan_out,
+            "rounds": rounds,
+            "batch_size": batch_size,
+            "pre_posts": pre_posts,
+            "total_posts": total_posts,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "points": points,
+        "state_identical": state_identical,
+        "speedup_plans": points[1]["speedup"] if len(points) > 1 else 0.0,
+        "speedup_full": points[-1]["speedup"] if points else 0.0,
+        "whole_table_fastpath_hits": (
+            points[-1]["write_whole_table_fastpath_hits"] if points else 0.0
+        ),
+    }
+
+
+# ======================================================================
 # Concurrency: pipelined async client vs one-outstanding-request sync
 # ======================================================================
 def run_concurrency(

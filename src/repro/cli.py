@@ -146,8 +146,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "write_batching",
-                 "read_path", "twip", "concurrency", "overload",
-                 "persistence"],
+                 "read_path", "write_path", "twip", "concurrency",
+                 "overload", "persistence"],
     )
     bench.add_argument(
         "--scale", type=float, default=1.0,
@@ -169,7 +169,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "profile", help="cProfile a bench workload (top-20 cumulative)"
     )
     profile.add_argument(
-        "workload", choices=["read_path", "write_batching", "twip"],
+        "workload", choices=["read_path", "write_path", "write_batching",
+                             "twip"],
     )
     profile.add_argument(
         "--scale", type=float, default=0.25,
@@ -212,6 +213,13 @@ def _read_path_sizes(s: float) -> dict:
         "n_users": max(50, int(400 * s)),
         "mean_follows": max(4.0, 12 * min(s, 1.0)),
         "total_ops": max(800, int(20000 * s)),
+    }
+
+
+def _write_path_sizes(s: float) -> dict:
+    return {
+        "fan_out": max(64, int(10000 * s)),
+        "rounds": max(2, int(8 * min(s, 1.0))),
     }
 
 
@@ -625,6 +633,28 @@ def _cmd_bench(args) -> int:
         if not result["state_identical"]:
             return 1
         return status
+    if args.experiment == "write_path":
+        from .bench.harness import run_write_path
+
+        result = run_write_path(**_write_path_sizes(s))
+        payload.update(result)
+        rows = [
+            (p["config"], f"{p['cpu_s']:.3f} s", f"{p['ops_per_sec']:.1f}",
+             f"{p['speedup']:.2f}x")
+            for p in result["points"]
+        ]
+        print(format_table(
+            ["Configuration", "CPU", "posts/s", "speedup"], rows,
+            title="Write-path overhaul on the celebrity fan-out workload",
+        ))
+        print("whole-table fast-path hits:",
+              int(result["whole_table_fastpath_hits"]))
+        print("output state identical across configurations:",
+              result["state_identical"])
+        status = _finish_bench(args, payload)
+        if not result["state_identical"]:
+            return 1
+        return status
     if args.experiment == "write_batching":
         result = run_write_batching(**_write_batching_sizes(s))
         payload.update(result)
@@ -721,6 +751,10 @@ def _cmd_profile(args) -> int:
             from .bench.harness import run_read_path
 
             run_read_path(repeats=1, **_read_path_sizes(s))
+        elif args.workload == "write_path":
+            from .bench.harness import run_write_path
+
+            run_write_path(repeats=1, **_write_path_sizes(s))
         elif args.workload == "write_batching":
             from .bench.harness import run_write_batching
 

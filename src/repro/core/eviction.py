@@ -65,6 +65,12 @@ class EvictionManager:
         #: spilling frees nothing.  Cold data stops costing RAM without
         #: paying recomputation on the next read.
         self.spill = spill and engine.store.supports_spill()
+        if limit_bytes is not None:
+            # The whole-table validity fast path skips the per-range
+            # validation walk — including its LRU recency touches, which
+            # this manager's coldest-first choice depends on.  A
+            # memory-limited engine keeps the walk.
+            engine.enable_whole_table_fastpath = False
         self.evictions = 0
         self.spills = 0
 

@@ -63,6 +63,8 @@ from ..store.values import SharedValue, Value, materialize
 from .clock import Clock, SystemClock
 from .joins import CacheJoin, JoinError
 from .operators import COPY, AggValue, ChangeKind, UpdateOutcome
+from .plan import ExecPlan, FireTemplate, compile_exec_plan
+from . import plan as plan_mod
 from .ranges import SlotConstraints
 from .status import (
     PendingEntry,
@@ -190,6 +192,15 @@ class JoinEngine:
         self.lru = LRUList()
         self.listeners: List[ChangeListener] = []
         self.updater_bytes = 0
+        #: Compiled write-path plans per (join, fired source), shared by
+        #: every updater of that pair.  False marks a pair outside the
+        #: compiled subset so it is probed exactly once.
+        self._plans: Dict[Tuple[int, int], object] = {}
+        #: Whole-table validity fast path (quiescent covers skip
+        #: per-range validation).  Disabled by the eviction manager:
+        #: skipping the per-range walk also skips LRU recency touches,
+        #: which a memory-limited engine relies on.
+        self.enable_whole_table_fastpath = True
 
     # ==================================================================
     # Join installation
@@ -370,9 +381,19 @@ class JoinEngine:
                 # A stale hint would otherwise pin the dead range (and
                 # its hinted node) until the cap clears; drop it now.
                 del memo[hi]
+        stable = self.status[tbl_name]
+        if self.enable_whole_table_fastpath and stable.all_valid_over(lo, hi):
+            # Whole-table fast path: the cover is quiescent (every
+            # range VALID, no pending logs, no expiries, no gaps) and
+            # spans the request, so per-range validation has nothing to
+            # do.  The answer is O(1) off the generation-stamped
+            # summary; any invalidation, split, eviction, or
+            # pending-log growth bumps the stamp and re-opens the walk.
+            self.stats.counters["write_whole_table_fastpath_hits"] += 1
+            tm.fresh_hits += 1
+            return
         now = self.clock.now()
         bound = self.staleness_bound
-        stable = self.status[tbl_name]
         # pieces() snapshots the cover; computation below may split it.
         pieces = stable.pieces(lo, hi)
         for piece_lo, piece_hi, sr in pieces:
@@ -470,6 +491,10 @@ class JoinEngine:
         sr.generation += 1  # retires updaters from the previous build
         self._fill_range(joins, sr)
         sr.validated_at = self.clock.now()
+        # The range just turned quiescent; let the whole-table summary
+        # notice (validity-improving changes need the stamp bump too,
+        # or the cached "not quiescent" answer would stick forever).
+        stable.note_mutation()
 
     def _fill_range(self, joins: List[CacheJoin], sr: StatusRange) -> None:
         expiry: Optional[float] = None
@@ -831,8 +856,11 @@ class JoinEngine:
         groups: Dict[int, List[Change]] = {}
         entries: Dict[int, object] = {}
         order: List[int] = []
+        counters = self.stats.counters
         for change in group:
+            fanout = 0
             for entry in table.updaters.stab(change[0]):
+                fanout += len(entry.payloads)
                 ident = id(entry)
                 covered = groups.get(ident)
                 if covered is None:
@@ -841,6 +869,8 @@ class JoinEngine:
                     order.append(ident)
                 else:
                     covered.append(change)
+            if fanout > counters["write_fanout_max"]:
+                counters["write_fanout_max"] = float(fanout)
         for ident in order:
             entry = entries[ident]
             covered = groups[ident]
@@ -859,8 +889,7 @@ class JoinEngine:
         stable = self.status.get(updater.join.output.table)
         if stable is None:
             return
-        overlapping = stable.overlapping(updater.output_lo, updater.output_hi)
-        if not overlapping:
+        if not stable.overlaps_any(updater.output_lo, updater.output_hi):
             # Entire output range evicted: lazily garbage-collect (§2.5).
             table.updaters.discard(entry.lo, entry.hi, updater)
             self.updater_bytes -= updater.memory_size()
@@ -873,6 +902,9 @@ class JoinEngine:
         self.stats.add("updaters_fired", len(covered))
         src = updater.join.sources[updater.source_index]
         if updater.lazy:
+            overlapping = stable.overlapping(
+                updater.output_lo, updater.output_hi
+            )
             self._fire_lazy_group(stable, updater, covered, overlapping)
         elif src.is_check or updater.join.is_aggregate:
             # echeck and aggregate updaters can invalidate or split
@@ -883,6 +915,18 @@ class JoinEngine:
                     copy_value = self._group_source_value(shared, key, new)
                 self._fire_eager(stable, updater, key, old, new, kind, copy_value)
         else:
+            if plan_mod._PLAN_COMPILED:
+                plan = self._plan_for(updater)
+                if plan is not None:
+                    template = self._plan_template(updater, plan)
+                    if template is not None and template.injective:
+                        self._fire_eager_group_plan(
+                            stable, plan, template, updater, covered, shared
+                        )
+                        return
+            overlapping = stable.overlapping(
+                updater.output_lo, updater.output_hi
+            )
             self._fire_eager_group(stable, updater, covered, shared, overlapping)
 
     def _fire_lazy_group(
@@ -980,6 +1024,99 @@ class JoinEngine:
             if applied:
                 self.stats.add("eager_updates")
 
+    def _fire_eager_group_plan(
+        self,
+        stable: StatusTable,
+        plan: ExecPlan,
+        template: FireTemplate,
+        updater: Updater,
+        covered: List[Change],
+        shared: Dict[str, Value],
+    ) -> None:
+        """Grouped eager copy maintenance through the compiled plan.
+
+        All covered changes expand their output keys first (slot tuple
+        + bound template, no dict churn); the inserts then install via
+        :meth:`Table.install_many` in contiguous per-status-range runs
+        — one tree descent per run, hint-chained — instead of one
+        ``_install_output`` per key.  Requires an *injective* template
+        (distinct source keys → distinct output keys) so regrouping
+        the covered order can never change which write wins a key; the
+        per-key order of equal keys is moot because there are none.
+        Per-run ``state``/``generation`` re-checks keep the paper's
+        staleness safety exactly as the interpreted group path does.
+        """
+        inserts: List[Tuple[str, Value]] = []
+        removes: List[str] = []
+        for key, old, new, kind in covered:
+            values = plan.extract(key)
+            if values is None:
+                continue
+            out_key = template.out_key(values)
+            if out_key is None:
+                continue
+            if not (updater.output_lo <= out_key < updater.output_hi):
+                continue
+            if kind is ChangeKind.REMOVE:
+                removes.append(out_key)
+            else:
+                inserts.append(
+                    (out_key, self._group_source_value(shared, key, new))
+                )
+        if not inserts and not removes:
+            return
+        counters = self.stats.counters
+        counters["write_plan_fires"] += len(inserts) + len(removes)
+        applied = False
+        if inserts:
+            inserts.sort(key=lambda pair: pair[0])
+            i, n = 0, len(inserts)
+            while i < n:
+                sr = stable.find(inserts[i][0])
+                if (
+                    sr is None
+                    or sr.state is not RangeState.VALID
+                    or sr.generation != updater.generation
+                ):
+                    i += 1
+                    continue
+                # Extend the run to every insert landing in this range:
+                # contiguous in the sorted order by the disjoint cover.
+                j = i + 1
+                while j < n and inserts[j][0] < sr.hi:
+                    j += 1
+                run = inserts[i:j]
+                i = j
+                applied = True
+                hint = sr.hint if self.enable_hints else None
+                results, handle = plan.table.install_many(run, hint=hint)
+                if self.enable_hints:
+                    sr.hint = handle
+                counters["write_batched_installs"] += 1
+                self.stats.add("outputs_installed", len(run))
+                for (out_key, old), (_, value) in zip(results, run):
+                    out_kind = (
+                        ChangeKind.INSERT if old is None else ChangeKind.UPDATE
+                    )
+                    self.notify_change(
+                        out_key,
+                        materialize(old) if old is not None else None,
+                        materialize(value),
+                        out_kind,
+                    )
+        for out_key in removes:
+            sr = stable.find(out_key)
+            if (
+                sr is None
+                or sr.state is not RangeState.VALID
+                or sr.generation != updater.generation
+            ):
+                continue
+            applied = True
+            self._remove_output(out_key)
+        if applied:
+            self.stats.add("eager_updates")
+
     @staticmethod
     def _lazy_match(updater: Updater, key: str) -> bool:
         """Does ``key`` concern this lazy updater's context?
@@ -1026,6 +1163,37 @@ class JoinEngine:
             shared[key] = value
         return value
 
+    # ------------------------------------------------------------------
+    # Compiled write-path plans (the write-side analogue of PR 3's
+    # compiled patterns; see ``core.plan``).
+    # ------------------------------------------------------------------
+    def _plan_for(self, updater: Updater) -> Optional[ExecPlan]:
+        """The compiled plan for this updater's (join, source) pair, or
+        None when the pair is outside the compiled subset.  Probed once
+        per pair; the result (or a negative marker) is cached."""
+        key = (id(updater.join), updater.source_index)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_exec_plan(
+                updater.join, updater.source_index, self.store
+            )
+            if plan is not None:
+                self.stats.counters["write_plan_compiles"] += 1
+            self._plans[key] = plan if plan is not None else False
+        return plan if isinstance(plan, ExecPlan) else None
+
+    @staticmethod
+    def _plan_template(
+        updater: Updater, plan: ExecPlan
+    ) -> Optional[FireTemplate]:
+        """This updater's bound output-key template, cached on the
+        updater (None = not yet bound, False = binding failed)."""
+        template = updater.template
+        if template is None:
+            template = plan.bind(updater.context)
+            updater.template = template if template is not None else False
+        return template if isinstance(template, FireTemplate) else None
+
     def notify_change(
         self,
         key: str,
@@ -1048,12 +1216,17 @@ class JoinEngine:
                     copy_value = self._shared_source_value(key, new_value or "")
                 else:
                     copy_value = new_value or ""
+            fanout = 0
             for entry in entries:
+                fanout += len(entry.payloads)
                 for updater in list(entry.payloads):
                     self._fire_updater(
                         table, entry, updater, key, old_value, new_value,
                         kind, copy_value,
                     )
+            counters = self.stats.counters
+            if fanout > counters["write_fanout_max"]:
+                counters["write_fanout_max"] = float(fanout)
         for listener in self.listeners:
             listener(key, old_value, new_value, kind)
 
@@ -1071,7 +1244,7 @@ class JoinEngine:
         stable = self.status.get(updater.join.output.table)
         if stable is None:
             return
-        if not stable.overlapping(updater.output_lo, updater.output_hi):
+        if not stable.overlaps_any(updater.output_lo, updater.output_hi):
             # Entire output range evicted: lazily garbage-collect (§2.5).
             table.updaters.discard(entry.lo, entry.hi, updater)
             self.updater_bytes -= updater.memory_size()
@@ -1138,6 +1311,7 @@ class JoinEngine:
         (already isolated) output range.
         """
         pending, sr.pending = compact_pending(sr.pending), []
+        stable.note_mutation()  # drained log may re-open the fast path
         i = 0
         n = len(pending)
         while i < n:
@@ -1249,6 +1423,16 @@ class JoinEngine:
         """Apply a value-source change to the output immediately."""
         join = updater.join
         src = join.sources[updater.source_index]
+        if not src.is_check and plan_mod._PLAN_COMPILED:
+            plan = self._plan_for(updater)
+            if plan is not None:
+                template = self._plan_template(updater, plan)
+                if template is not None:
+                    self._fire_plan(
+                        stable, plan, template, updater, key,
+                        old_value, new_value, kind, copy_value,
+                    )
+                    return
         child = self._eager_child(updater, key)
         if child is None:
             return
@@ -1287,6 +1471,67 @@ class JoinEngine:
             )
         if applied:
             self.stats.add("eager_updates")
+
+    def _fire_plan(
+        self,
+        stable: StatusTable,
+        plan: ExecPlan,
+        template: FireTemplate,
+        updater: Updater,
+        key: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: ChangeKind,
+        copy_value: Optional[Value],
+    ) -> None:
+        """One eager fire through the compiled plan.
+
+        State-equivalent to :meth:`_fire_eager`'s interpreted walk for
+        the compiled subset (value-source-last push joins): the slot
+        tuple replaces the regex match + ``child_with`` dict merge, the
+        bound template replaces ``expand``, and the containing status
+        range is found directly instead of re-checking the output key
+        against every overlapping range (only the containing range's
+        emission re-check can pass).
+        """
+        values = plan.extract(key)
+        if values is None:
+            return
+        out_key = template.out_key(values)
+        if out_key is None:
+            return  # context/source slot conflict: key not ours
+        if not (updater.output_lo <= out_key < updater.output_hi):
+            return
+        self.stats.counters["write_plan_fires"] += 1
+        if not plan.is_copy:
+            self._eager_aggregate_at(
+                stable, updater, out_key, old_value, new_value, kind
+            )
+            return
+        sr = stable.find(out_key)
+        if sr is None or sr.state is not RangeState.VALID:
+            return
+        if sr.generation != updater.generation:
+            return  # superseded by a recomputation
+        self.stats.add("eager_updates")
+        if kind is ChangeKind.REMOVE:
+            self._remove_output(out_key)
+            return
+        value: Value = (
+            copy_value if copy_value is not None else (new_value or "")
+        )
+        hint = sr.hint if self.enable_hints else None
+        handle, old = plan.table.put(out_key, value, hint=hint)
+        if self.enable_hints:
+            sr.hint = handle
+        self.stats.add("outputs_installed")
+        out_kind = ChangeKind.INSERT if old is None else ChangeKind.UPDATE
+        self.notify_change(
+            out_key,
+            materialize(old) if old is not None else None,
+            materialize(value),
+            out_kind,
+        )
 
     def _fire_eager_check(
         self,
@@ -1368,6 +1613,25 @@ class JoinEngine:
             return
         if not (updater.output_lo <= out_key < updater.output_hi):
             return
+        self._eager_aggregate_at(
+            stable, updater, out_key, old_value, new_value, kind
+        )
+
+    def _eager_aggregate_at(
+        self,
+        stable: StatusTable,
+        updater: Updater,
+        out_key: str,
+        old_value: Optional[str],
+        new_value: Optional[str],
+        kind: ChangeKind,
+    ) -> None:
+        """Adjust the aggregate accumulator at ``out_key``.
+
+        The tail of :meth:`_eager_aggregate`, split out so the compiled
+        plan path can enter with its precomputed output key.
+        """
+        join = updater.join
         sr = stable.find(out_key)
         if sr is None or sr.state is not RangeState.VALID:
             return

@@ -148,6 +148,9 @@ class Pattern:
         "_width_checks",
         "_prefix_memo",
         "_range_memo",
+        "_tuple_spans",
+        "_dup_checks",
+        "slot_index",
     )
 
     def __init__(self, text: str) -> None:
@@ -256,6 +259,30 @@ class Pattern:
             ) if width is not None
         )
 
+        # Write-side slot plan (the updater-fire analogue of the fixed
+        # slicing plan): for fixed-width patterns, the absolute
+        # extraction slice of each slot's *first* occurrence, in
+        # ``self.slots`` order, plus equality checks for repeats.
+        # ``slot_tuple`` uses it to extract slot values as a tuple —
+        # no regex, no dict — which is what compiled execution plans
+        # (``repro.core.plan``) consume on every eager updater fire.
+        self.slot_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.slots)
+        }
+        self._tuple_spans: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._dup_checks: Tuple[Tuple[int, int, int], ...] = ()
+        if self._fixed is not None:
+            _, _, slot_spans, _ = self._fixed
+            firsts: Dict[str, Tuple[int, int]] = {}
+            dups: List[Tuple[int, int, int]] = []
+            for start, end, name in slot_spans:
+                if name in firsts:
+                    dups.append((start, end, self.slot_index[name]))
+                else:
+                    firsts[name] = (start, end)
+            self._tuple_spans = tuple(firsts[name] for name in self.slots)
+            self._dup_checks = tuple(dups)
+
         self._prefix_memo = LRUMemo()
         self._range_memo = LRUMemo()
 
@@ -332,6 +359,45 @@ class Pattern:
 
     def matches(self, key: str) -> bool:
         return self.match(key) is not None
+
+    def slot_tuple(self, key: str) -> Optional[Tuple[str, ...]]:
+        """Slot values of ``key`` as a tuple in ``self.slots`` order.
+
+        The write-side slot plan: semantically ``match`` without the
+        dict — fixed-width patterns extract by absolute slices, variable
+        ones by one anchored ``fullmatch`` whose group order *is* the
+        first-appearance order of ``self.slots``.  Compiled execution
+        plans index the result by precomputed slot offsets, so an eager
+        updater fire allocates no dictionaries at all.
+        """
+        if not _COMPILED:
+            return self.slot_tuple_reference(key)
+        fixed = self._fixed
+        if fixed is not None:
+            total, runs, _, _ = fixed
+            if len(key) != total:
+                return None
+            for start, text in runs:
+                if not key.startswith(text, start):
+                    return None
+            values = tuple(key[s:e] for s, e in self._tuple_spans)
+            for value in values:
+                if SEP in value:
+                    return None
+            for start, end, slot_idx in self._dup_checks:
+                if key[start:end] != values[slot_idx]:
+                    return None
+            return values
+        m = self._regex.fullmatch(key)
+        return m.groups() if m is not None else None
+
+    def slot_tuple_reference(self, key: str) -> Optional[Tuple[str, ...]]:
+        """Uncompiled ``slot_tuple`` (specification), via the reference
+        matcher."""
+        match = self.match_reference(key)
+        if match is None:
+            return None
+        return tuple(match[name] for name in self.slots)
 
     # ------------------------------------------------------------------
     # Expansion

@@ -1,0 +1,209 @@
+"""Compiled per-join execution plans for the write path.
+
+PR 3 compiled the *read* path: patterns became slicing plans, and the
+interpreted segment walks survive only as the reference specification
+behind ``set_pattern_compilation``.  This module does the same for the
+*write* path's hot loop — eager updater fires.  The interpreted fire
+walks ``CacheJoin``/``_exec_source`` per follower per write: build a
+``SlotConstraints``, match the source key into a dict, merge dicts,
+``expand`` through ``format_map``, resolve the output table by string
+split.  At production fan-out (the celebrity problem) that per-fire
+interpretation dominates the write side.
+
+An :class:`ExecPlan` compiles one (join, fired source) pair into flat
+precomputed state:
+
+* the **write-side slot plan** — ``Pattern.slot_tuple``'s absolute
+  extraction offsets, shared across every updater of the pattern, so a
+  fanned-out post extracts its slots once per change, not once per
+  follower;
+* the **preresolved output table handle** — the join's output table is
+  fixed, so the per-install ``table_for_key`` split+lookup goes away;
+* the **fused operator step** — ``copy`` installs directly; the
+  aggregate chain (``count``/``min``/``max``/``sum``) routes the
+  precomputed output key into the accumulator adjustment;
+* the **output-key expand template** — per updater, the output pattern
+  with literals *and* that updater's context values inlined into one
+  format string, leaving only positional fields indexed into the
+  extracted slot tuple.  Repeated/conflicting slots compile to equality
+  checks, mirroring ``SlotConstraints.child_with``.
+
+Plans only compile for the shape eager maintenance makes hot — a push
+join whose fired source is its value source *and* its last source (the
+paper's common value-source-last join).  Everything else (check and
+echeck sources, deep value sources, pull joins) falls back to the
+interpreted walk, which also remains the reference implementation
+behind :func:`set_plan_compilation`, toggled exactly like PR 3's
+``set_pattern_compilation``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..store.keys import SEP
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.store import OrderedStore
+    from ..store.table import Table
+    from .joins import CacheJoin
+
+#: Global plan-compilation switch.  On by default; ``repro bench
+#: write_path`` flips it off to measure the interpreted baseline.
+_PLAN_COMPILED = True
+
+
+def set_plan_compilation(enabled: bool) -> bool:
+    """Enable or disable compiled write-path plans globally.
+
+    Returns the previous setting so callers can restore it.  Intended
+    for benchmarks and equivalence tests; production leaves it on.
+    """
+    global _PLAN_COMPILED
+    previous = _PLAN_COMPILED
+    _PLAN_COMPILED = bool(enabled)
+    return previous
+
+
+def plan_compilation_enabled() -> bool:
+    return _PLAN_COMPILED
+
+
+class FireTemplate:
+    """One updater's bound output-key template.
+
+    ``fmt`` is the output pattern with literals and the updater's
+    context values inlined; ``indexes`` are positions into the fired
+    source's slot tuple, in field order; ``checks`` are (tuple index,
+    expected value) pairs for slots pinned by both the context and the
+    source key — the compiled form of ``child_with``'s conflict test.
+    ``injective`` records whether distinct source keys always produce
+    distinct output keys (every free source slot appears in the
+    output); the batched install path requires it so reordering a
+    group can never change which write wins an output key.
+    """
+
+    __slots__ = ("fmt", "indexes", "checks", "injective")
+
+    def __init__(
+        self,
+        fmt: str,
+        indexes: Tuple[int, ...],
+        checks: Tuple[Tuple[int, str], ...],
+        injective: bool,
+    ) -> None:
+        self.fmt = fmt
+        self.indexes = indexes
+        self.checks = checks
+        self.injective = injective
+
+    def out_key(self, values: Tuple[str, ...]) -> Optional[str]:
+        """The output key for one extracted slot tuple, or None when a
+        pinned-slot equality check rejects the key."""
+        for idx, expected in self.checks:
+            if values[idx] != expected:
+                return None
+        indexes = self.indexes
+        if not indexes:
+            return self.fmt
+        return self.fmt.format(*[values[i] for i in indexes])
+
+
+def _escape_literal(text: str) -> str:
+    return text.replace("{", "{{").replace("}", "}}")
+
+
+class ExecPlan:
+    """Compiled execution state for one (join, fired source) pair.
+
+    Shared by every updater installed for that pair; per-updater state
+    (the bound :class:`FireTemplate`) is derived via :meth:`bind` and
+    cached on the updater itself.
+    """
+
+    __slots__ = ("join", "source_index", "pattern", "operator", "table")
+
+    def __init__(
+        self,
+        join: "CacheJoin",
+        source_index: int,
+        table: "Table",
+    ) -> None:
+        self.join = join
+        self.source_index = source_index
+        src = join.sources[source_index]
+        self.pattern = src.pattern
+        #: The fused operator step: ``copy`` means install-directly,
+        #: anything else is the aggregate accumulator chain.
+        self.operator = src.operator
+        #: Preresolved output table handle — table objects are stable
+        #: for the store's lifetime, so the per-install name split and
+        #: dict lookup compile away.
+        self.table = table
+
+    @property
+    def is_copy(self) -> bool:
+        from .operators import COPY
+
+        return self.operator == COPY
+
+    def extract(self, key: str) -> Optional[Tuple[str, ...]]:
+        """The fired source's slot tuple for ``key`` (write-side slot
+        plan), or None when the key doesn't fit the source pattern."""
+        return self.pattern.slot_tuple(key)
+
+    def bind(self, context: Dict[str, str]) -> Optional[FireTemplate]:
+        """Compile one updater's context into a :class:`FireTemplate`.
+
+        Returns None when the context plus the source slots cannot
+        produce the output key (the fire would fail slot resolution);
+        the caller then falls back to the interpreted path.
+        """
+        slot_index = self.pattern.slot_index
+        parts = []
+        indexes = []
+        for i, seg in enumerate(self.join.output.segments):
+            if i:
+                parts.append(SEP)
+            if not seg.is_slot:
+                parts.append(_escape_literal(seg.text))
+                continue
+            src_idx = slot_index.get(seg.slot)
+            ctx_value = context.get(seg.slot)
+            if src_idx is not None and ctx_value is None:
+                parts.append("{}")
+                indexes.append(src_idx)
+            elif ctx_value is not None:
+                parts.append(_escape_literal(ctx_value))
+            else:
+                return None  # slot unavailable: interpreted path decides
+        checks = tuple(
+            (idx, value)
+            for name, idx in slot_index.items()
+            if (value := context.get(name)) is not None
+        )
+        free = {
+            idx
+            for name, idx in slot_index.items()
+            if context.get(name) is None
+        }
+        return FireTemplate(
+            "".join(parts), tuple(indexes), checks, free <= set(indexes)
+        )
+
+
+def compile_exec_plan(
+    join: "CacheJoin", source_index: int, store: "OrderedStore"
+) -> Optional[ExecPlan]:
+    """Compile the plan for one (join, source) pair, or None when the
+    shape is outside the compiled subset (the interpreted walk remains
+    the implementation for it)."""
+    if not join.is_push:
+        return None
+    if source_index != join.value_index:
+        return None  # check/echeck sources: lazy or invalidation paths
+    if source_index != len(join.sources) - 1:
+        # A deeper value source still scans trailing sources per fire;
+        # the interpreted recursion handles that shape.
+        return None
+    return ExecPlan(join, source_index, store.table(join.output.table))

@@ -23,9 +23,9 @@ paper's "disjoint cover" is preserved by construction.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
-from ..store.rbtree import RBTree
 from ..store.table import PutHandle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -120,6 +120,7 @@ class StatusRange:
         "attached",
         "validated_at",
         "spilled",
+        "owner",
         "_pending_index",
     )
 
@@ -169,6 +170,11 @@ class StatusRange:
         #: of §2.5) so memory pressure does not re-spill the same cold
         #: range; cleared when the range is recomputed from scratch.
         self.spilled = False
+        #: The :class:`StatusTable` this range is attached to, if any.
+        #: Lets validity mutations (invalidate, pending-log growth)
+        #: bump the table's whole-table generation stamp without the
+        #: caller knowing which table the range lives in.
+        self.owner: Optional["StatusTable"] = None
 
     def is_valid_at(self, now: float) -> bool:
         if self.state is not RangeState.VALID:
@@ -196,6 +202,8 @@ class StatusRange:
         if slot is None:
             index[entry.identity()] = len(self.pending)
             self.pending.append(entry)
+            if self.owner is not None:
+                self.owner.note_mutation()
             return True
         self.pending[slot] = entry
         return False
@@ -207,6 +215,8 @@ class StatusRange:
         self.hint = None
         self.expires_at = None
         self.spilled = False
+        if self.owner is not None:
+            self.owner.note_mutation()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tag = self.state.value
@@ -218,28 +228,53 @@ class StatusRange:
 class StatusTable:
     """The disjoint cover of one output table's tracked key space.
 
-    Backed by a red-black tree keyed by range start.  Gaps between
-    ranges mean "never computed".
+    Backed by parallel sorted arrays — range starts in ``_los``, the
+    ranges themselves in ``_ranges`` — so the hot-path lookups
+    (``find``, ``pieces``, ``overlaps_any``) are one ``bisect`` plus a
+    contiguous array walk instead of a pointer-chasing tree descent.
+    Gaps between ranges mean "never computed".
+
+    The table also keeps a *generation stamp*, bumped on every mutation
+    that could change whole-table validity (add/remove/split here,
+    invalidation and pending-log growth via ``StatusRange.owner``, and
+    engine-side recompute/expiry/drain via :meth:`note_mutation`).  The
+    stamp keys a cached whole-table summary behind
+    :meth:`all_valid_over`: when the cover is quiescent — every range
+    VALID, no pending work, no expiries, no gaps — cross-timeline scans
+    and updater validity checks skip per-range validation entirely.
     """
 
-    __slots__ = ("_tree",)
+    __slots__ = ("_los", "_ranges", "_stamp", "_summary")
 
     def __init__(self) -> None:
-        self._tree = RBTree()
+        self._los: List[str] = []
+        self._ranges: List[StatusRange] = []
+        self._stamp = 0
+        #: Cached (stamp, all_quiescent, cover_lo, cover_hi); rebuilt
+        #: lazily whenever the stamp has moved past it.
+        self._summary: Optional[Tuple[int, bool, str, str]] = None
 
     def __len__(self) -> int:
-        return len(self._tree)
+        return len(self._ranges)
 
     def ranges(self) -> List[StatusRange]:
-        return [node.value for node in self._tree.nodes()]
+        return list(self._ranges)
+
+    def note_mutation(self) -> None:
+        """Record a validity-affecting mutation (bumps the stamp)."""
+        self._stamp += 1
+
+    @property
+    def stamp(self) -> int:
+        return self._stamp
 
     # ------------------------------------------------------------------
     def find(self, key: str) -> Optional[StatusRange]:
         """The status range containing ``key``, if any."""
-        node = self._tree.floor_node(key)
-        if node is None:
+        i = bisect_right(self._los, key) - 1
+        if i < 0:
             return None
-        sr: StatusRange = node.value
+        sr = self._ranges[i]
         return sr if key < sr.hi else None
 
     def pieces(
@@ -253,29 +288,76 @@ class StatusTable:
         out: List[Tuple[str, str, Optional[StatusRange]]] = []
         if not lo < hi:
             return out
+        los, ranges = self._los, self._ranges
         cursor = lo
-        node = self._tree.floor_node(lo)
-        if node is not None and node.value.hi <= lo:
-            node = self._tree.next_node(node)
-        elif node is None:
-            node = self._tree.ceiling_node(lo)
-        while cursor < hi and node is not None:
-            sr: StatusRange = node.value
+        i = bisect_right(los, lo) - 1
+        if i < 0 or ranges[i].hi <= lo:
+            i += 1
+        n = len(ranges)
+        while cursor < hi and i < n:
+            sr = ranges[i]
             if sr.lo >= hi:
                 break
             if cursor < sr.lo:
                 out.append((cursor, sr.lo, None))
                 cursor = sr.lo
-            piece_hi = min(sr.hi, hi)
+            piece_hi = sr.hi if sr.hi < hi else hi
             out.append((cursor, piece_hi, sr))
             cursor = piece_hi
-            node = self._tree.next_node(node)
+            i += 1
         if cursor < hi:
             out.append((cursor, hi, None))
         return out
 
     def overlapping(self, lo: str, hi: str) -> List[StatusRange]:
         return [sr for _, _, sr in self.pieces(lo, hi) if sr is not None]
+
+    def overlaps_any(self, lo: str, hi: str) -> bool:
+        """Does any range intersect ``[lo, hi)``?  One bisect, no list
+        materialization — the updater liveness check in a fan-out fire
+        loop runs this once per follower."""
+        if not lo < hi:
+            return False
+        los = self._los
+        i = bisect_right(los, lo) - 1
+        if i >= 0 and lo < self._ranges[i].hi:
+            return True
+        j = i + 1
+        return j < len(los) and los[j] < hi
+
+    # ------------------------------------------------------------------
+    def all_valid_over(self, lo: str, hi: str) -> bool:
+        """Whole-table fast path: is ``[lo, hi)`` covered by a fully
+        quiescent cover (every range VALID, no pending logs, no
+        expiries, no gaps)?
+
+        The answer is derived from a summary cached against the
+        generation stamp, so quiescent steady-state scans answer in
+        O(1) without walking pieces.  Any invalidation, split,
+        eviction, expiry, or pending-log growth bumps the stamp and
+        forces a re-summary on the next call.
+        """
+        summary = self._summary
+        if summary is None or summary[0] != self._stamp:
+            summary = self._summary = self._compute_summary()
+        _, quiescent, cover_lo, cover_hi = summary
+        return quiescent and cover_lo <= lo and hi <= cover_hi
+
+    def _compute_summary(self) -> Tuple[int, bool, str, str]:
+        ranges = self._ranges
+        if not ranges:
+            return (self._stamp, False, "", "")
+        prev_hi: Optional[str] = None
+        for sr in ranges:
+            if (
+                sr.state is not RangeState.VALID
+                or sr.pending
+                or sr.expires_at is not None
+                or (prev_hi is not None and prev_hi != sr.lo)
+            ):
+                return (self._stamp, False, "", "")
+            prev_hi = sr.hi
+        return (self._stamp, True, ranges[0].lo, prev_hi)
 
     # ------------------------------------------------------------------
     def add(self, sr: StatusRange) -> StatusRange:
@@ -286,15 +368,22 @@ class StatusTable:
                     f"status range [{sr.lo!r},{sr.hi!r}) overlaps "
                     f"[{existing.lo!r},{existing.hi!r})"
                 )
-        self._tree.insert(sr.lo, sr)
+        i = bisect_right(self._los, sr.lo)
+        self._los.insert(i, sr.lo)
+        self._ranges.insert(i, sr)
         sr.attached = True
+        sr.owner = self
+        self._stamp += 1
         return sr
 
     def remove(self, sr: StatusRange) -> None:
-        node = self._tree.find_node(sr.lo)
-        if node is not None and node.value is sr:
-            self._tree.remove_node(node)
+        i = bisect_left(self._los, sr.lo)
+        if i < len(self._ranges) and self._ranges[i] is sr:
+            del self._los[i]
+            del self._ranges[i]
             sr.attached = False
+            sr.owner = None
+            self._stamp += 1
 
     def split(self, sr: StatusRange, at: str) -> StatusRange:
         """Split ``sr`` at ``at``; returns the new right-hand range.
@@ -318,8 +407,12 @@ class StatusTable:
                 right.hint, sr.hint = sr.hint, None
         else:
             sr.hint = None
-        self._tree.insert(right.lo, right)
+        i = bisect_right(self._los, right.lo)
+        self._los.insert(i, right.lo)
+        self._ranges.insert(i, right)
         right.attached = True
+        right.owner = self
+        self._stamp += 1
         return right
 
     def isolate(self, lo: str, hi: str) -> List[StatusRange]:
@@ -340,9 +433,8 @@ class StatusTable:
     def check_disjoint_cover(self) -> None:
         """Test hook: verify ranges are ordered and non-overlapping."""
         prev_hi: Optional[str] = None
-        for node in self._tree.nodes():
-            sr: StatusRange = node.value
-            assert node.key == sr.lo, "tree key out of sync"
+        for key, sr in zip(self._los, self._ranges):
+            assert key == sr.lo, "array key out of sync"
             assert sr.lo < sr.hi, "empty status range"
             if prev_hi is not None:
                 assert prev_hi <= sr.lo, "overlapping status ranges"

@@ -53,6 +53,7 @@ class Updater:
         "source_lo",
         "source_hi",
         "generation",
+        "template",
     )
 
     def __init__(
@@ -79,6 +80,10 @@ class Updater:
         #: eager updater only applies to ranges still in this
         #: generation (see ``StatusRange.generation``).
         self.generation = generation
+        #: Cached compiled fire template (``core.plan.FireTemplate``),
+        #: bound lazily on first fire.  None = not yet bound; False =
+        #: binding failed, use the interpreted path.
+        self.template = None
 
     # Identity: two updaters are interchangeable when they would perform
     # identical maintenance.  Used to deduplicate on (re)installation.
@@ -104,7 +109,14 @@ class Updater:
 
     def memory_size(self) -> int:
         """Approximate bytes for accounting/ablation purposes."""
-        return 48 + sum(len(k) + len(v) for k, v in self.context.items())
+        return (
+            48
+            + sum(len(k) + len(v) for k, v in self.context.items())
+            + len(self.source_lo)
+            + len(self.source_hi)
+            + len(self.output_lo)
+            + len(self.output_hi)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "lazy" if self.lazy else "eager"
@@ -112,6 +124,20 @@ class Updater:
             f"<Updater {kind} src={self.source_index} "
             f"[{self.source_lo!r},{self.source_hi!r}) ctx={self.context!r}>"
         )
+
+
+def _identity_key(updater: Updater):
+    """Hashable form of the ``same_as`` equivalence — one dict probe
+    replaces the O(payloads) dedup scan when thousands of combined
+    updaters share an interval entry (celebrity fan-out)."""
+    return (
+        id(updater.join),
+        updater.source_index,
+        updater.lazy,
+        updater.output_lo,
+        updater.output_hi,
+        frozenset(updater.context.items()),
+    )
 
 
 def install_updater(table, updater: Updater) -> Optional[Updater]:
@@ -122,13 +148,29 @@ def install_updater(table, updater: Updater) -> Optional[Updater]:
     paper's combining optimization.  Reinstallation after a
     recomputation refreshes the surviving updater's generation instead
     of accumulating a duplicate.
+
+    Dedup is O(1) via an identity index kept on the interval entry and
+    rebuilt lazily after removals (``IntervalEntry.payload_index``).
     """
+    key = _identity_key(updater)
     entry = table.updaters.find_entry(updater.source_lo, updater.source_hi)
     if entry is not None:
-        for existing in entry.payloads:
-            if existing.same_as(updater):
-                if updater.generation > existing.generation:
-                    existing.generation = updater.generation
-                return existing
-    table.updaters.add(updater.source_lo, updater.source_hi, updater)
+        index = entry.payload_index
+        if index is None:
+            index = entry.payload_index = {
+                _identity_key(existing): existing
+                for existing in entry.payloads
+            }
+        existing = index.get(key)
+        if existing is not None:
+            if updater.generation > existing.generation:
+                existing.generation = updater.generation
+            return existing
+        entry.payloads.append(updater)
+        index[key] = updater
+        return updater
+    entry = table.updaters.add(
+        updater.source_lo, updater.source_hi, updater
+    )
+    entry.payload_index = {key: updater}
     return updater

@@ -152,6 +152,7 @@ _STANDALONE_GAUGES = frozenset(
         "overloaded",
         "overload_queue_depth",
         "watch_watchers",
+        "write_fanout_max",
         "persist_segments",
         "persist_recovery_ms",
         "persist_segment_probes",
@@ -276,6 +277,20 @@ class ServerMetrics:
             yield sample_key("table_memory_bytes", table=name), float(tbl.memory_bytes)
         yield "memory_bytes", float(engine.memory_bytes())
         yield "updater_memory_bytes", float(engine.updater_bytes)
+        # The compiled write path (per-join execution plans, batched
+        # fan-out installs, whole-table validity): how often plans
+        # compile and fire, how installs batch, and the worst fan-out
+        # one write has faced.
+        stats = engine.stats
+        yield "write_plan_compiles_total", stats.get("write_plan_compiles")
+        yield "write_plan_fires_total", stats.get("write_plan_fires")
+        yield "write_batched_installs_total", stats.get(
+            "write_batched_installs"
+        )
+        yield "write_whole_table_fastpath_hits_total", stats.get(
+            "write_whole_table_fastpath_hits"
+        )
+        yield "write_fanout_max", stats.get("write_fanout_max")
         yield "eviction_memory_limit_bytes", float(server.eviction.limit_bytes or 0)
         hub = server._hub
         if hub is not None:

@@ -31,12 +31,17 @@ class IntervalEntry:
     of attached records (updaters, in Pequod's usage).
     """
 
-    __slots__ = ("lo", "hi", "payloads")
+    __slots__ = ("lo", "hi", "payloads", "payload_index")
 
     def __init__(self, lo: str, hi: str) -> None:
         self.lo = lo
         self.hi = hi
         self.payloads: List[Any] = []
+        #: Optional identity-key → payload map maintained by callers
+        #: that need duplicate detection (updater combining installs a
+        #: dict here so dedup is O(1) instead of a payload scan).
+        #: Cleared on removal; owners rebuild lazily.
+        self.payload_index: Optional[dict] = None
 
     def contains(self, point: str) -> bool:
         return self.lo <= point < self.hi
@@ -112,6 +117,7 @@ class IntervalTree:
             entry.payloads.remove(payload)
         except ValueError:
             return False
+        entry.payload_index = None  # stale; owner rebuilds lazily
         if not entry.payloads:
             self._tree.remove_node(node)
         return True

@@ -102,6 +102,56 @@ class TestMemoryAccountingExact:
         assert len(srv.store) == 0
 
 
+def recount_updater_bytes(server: PequodServer) -> int:
+    """Recompute the engine's updater accounting from the interval
+    trees themselves."""
+    total = 0
+    for table in server.store.tables.values():
+        for entry in table.updaters.entries():
+            for updater in entry.payloads:
+                total += updater.memory_size()
+    return total
+
+
+class TestUpdaterAccounting:
+    def test_memory_size_counts_all_four_bounds(self):
+        """Source *and* output bounds are real per-updater strings; the
+        old model billed only the context and undercounted."""
+        from repro.core.grammar import parse_join
+        from repro.core.updaters import Updater
+
+        join = parse_join(TIMELINE_JOIN)
+        updater = Updater(
+            join, 1, {"user": "ann"}, "t|ann|", "t|ann}",
+            False, "p|bob|", "p|bob}",
+        )
+        expected = (
+            48
+            + len("user") + len("ann")
+            + len("p|bob|") + len("p|bob}")
+            + len("t|ann|") + len("t|ann}")
+        )
+        assert updater.memory_size() == expected
+
+    def test_engine_updater_bytes_matches_recount(self):
+        srv = TestMemoryAccountingExact().run_random_workload(
+            5, sharing=True, subtables=True
+        )
+        assert srv.engine.updater_bytes == recount_updater_bytes(srv)
+        assert srv.engine.updater_bytes > 0
+
+    def test_updater_bytes_match_after_invalidation_gc(self):
+        srv = PequodServer(subtable_config={"t": 2, "p": 2, "s": 2})
+        srv.add_join(TIMELINE_JOIN)
+        for u in ("ann", "bob"):
+            srv.put(f"s|{u}|celeb", "1")
+            srv.scan(f"t|{u}|", f"t|{u}}}")
+        srv.remove("s|ann|celeb")  # invalidates; later fires GC updaters
+        srv.put("p|celeb|0001", "x")
+        srv.scan("t|ann|", "t|ann}")
+        assert srv.engine.updater_bytes == recount_updater_bytes(srv)
+
+
 class TestCounterInvariants:
     """Work counters bill exactly the work clients cause.
 

@@ -201,6 +201,26 @@ class TestServerMetrics:
         assert snap['table_memory_bytes{table="t"}'] > 0
         assert snap["memory_bytes"] > 0
 
+    def test_write_path_series_present(self):
+        server = _traffic_server()
+        snap = server.metrics_snapshot()
+        # The second put fan-fires through a compiled plan.
+        assert snap["write_plan_compiles_total"] >= 1
+        assert snap["write_plan_fires_total"] >= 1
+        assert snap["write_fanout_max"] >= 1
+        assert "write_batched_installs_total" in snap
+        assert "write_whole_table_fastpath_hits_total" in snap
+        with server.write_batch() as batch:
+            batch.put("p|bob|0300", "3")
+            batch.put("p|bob|0400", "4")
+        assert server.metrics_snapshot()["write_batched_installs_total"] >= 1
+
+    def test_fanout_max_merges_as_max(self):
+        merged = merge_snapshots(
+            [{"write_fanout_max": 3.0}, {"write_fanout_max": 9.0}]
+        )
+        assert merged["write_fanout_max"] == 9.0
+
     def test_unscraped_server_builds_no_metrics_object(self):
         server = _traffic_server()
         assert server._metrics is None  # lazy until first scrape

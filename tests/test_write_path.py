@@ -1,0 +1,401 @@
+"""The write-path overhaul: compiled plans, batched installs, validity.
+
+Mirrors ``test_read_path.py`` for PR 8: the compiled fire path
+(``core.plan``) is property-tested against its interpreted reference,
+and an end-to-end celebrity workload must leave byte-identical store
+state with plans on and off — the same guarantee ``repro bench
+write_path`` asserts at fan-out 10k.  The whole-table validity fast
+path is exercised through the situations that must defeat it:
+invalidation, pending logs, gaps in the cover, and memory limits.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PequodServer
+from repro.apps.twip import TIMELINE_JOIN
+from repro.core.grammar import parse_join
+from repro.core.pattern import Pattern
+from repro.core.plan import (
+    compile_exec_plan,
+    plan_compilation_enabled,
+    set_plan_compilation,
+)
+from repro.core.updaters import Updater, install_updater
+from repro.store.keys import prefix_upper_bound
+from repro.store.store import OrderedStore
+
+
+def timeline_server(**kwargs) -> PequodServer:
+    srv = PequodServer(subtable_config={"t": 2, "p": 2, "s": 2}, **kwargs)
+    srv.add_join(TIMELINE_JOIN)
+    return srv
+
+
+# ----------------------------------------------------------------------
+# Write-side slot plan: ``slot_tuple`` vs its reference.
+# ----------------------------------------------------------------------
+PATTERNS = [
+    "p|<poster>|<time>",
+    "t|<user>|<time>|<poster>",
+    "f|<a:4>|<b:6>",
+    "d|<x>|mid|<x>|<y>",
+    "w|<x:3>|lit|<x:3>",
+]
+
+token = st.text(
+    alphabet=st.characters(codec="ascii", exclude_characters="|{}\n"),
+    min_size=0,
+    max_size=8,
+)
+
+
+class TestSlotTuple:
+    @pytest.mark.parametrize("text", PATTERNS)
+    @given(parts=st.lists(token, min_size=0, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_on_arbitrary_keys(self, text, parts):
+        pattern = Pattern(text)
+        key = "|".join([text.split("|")[0]] + parts)
+        assert pattern.slot_tuple(key) == pattern.slot_tuple_reference(key)
+
+    @pytest.mark.parametrize("text", PATTERNS)
+    @given(values=st.lists(token.filter(bool), min_size=6, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_on_expanded_keys(self, text, values):
+        """Keys built *from* the pattern (widths padded) must extract
+        the same tuple both ways."""
+        pattern = Pattern(text)
+        slots = {}
+        for seg in pattern.segments:
+            if seg.is_slot and seg.slot not in slots:
+                value = values[len(slots)]
+                if seg.width is not None:
+                    value = value[: seg.width].ljust(seg.width, "_")
+                slots[seg.slot] = value
+        key = pattern.expand(slots)
+        expected = pattern.slot_tuple_reference(key)
+        assert pattern.slot_tuple(key) == expected
+        if expected is not None:
+            assert expected == tuple(slots[n] for n in pattern.slots)
+
+    def test_tuple_order_is_first_appearance_order(self):
+        pattern = Pattern("t|<user>|<time>|<poster>")
+        assert pattern.slots == ("user", "time", "poster")
+        assert pattern.slot_tuple("t|ann|0001|bob") == ("ann", "0001", "bob")
+
+    def test_duplicate_slot_disagreement_rejected(self):
+        pattern = Pattern("d|<x>|mid|<x>|<y>")
+        assert pattern.slot_tuple("d|a|mid|a|b") == ("a", "b")
+        assert pattern.slot_tuple("d|a|mid|zz|b") is None
+
+
+# ----------------------------------------------------------------------
+# ExecPlan compilation subset and FireTemplate binding.
+# ----------------------------------------------------------------------
+class TestExecPlan:
+    def plan_for(self, join_text, source_index):
+        join = parse_join(join_text)
+        return join, compile_exec_plan(join, source_index, OrderedStore())
+
+    def test_value_source_of_push_join_compiles(self):
+        join, plan = self.plan_for(TIMELINE_JOIN, 1)
+        assert plan is not None
+        assert plan.is_copy
+        assert plan.table.name == "t"
+
+    def test_check_source_does_not_compile(self):
+        _, plan = self.plan_for(TIMELINE_JOIN, 0)
+        assert plan is None
+
+    def test_pull_join_does_not_compile(self):
+        _, plan = self.plan_for("o|<a> = pull copy v|<a>|<b>", 0)
+        assert plan is None
+
+    def test_bind_inlines_context_and_indexes_free_slots(self):
+        join, plan = self.plan_for(TIMELINE_JOIN, 1)
+        template = plan.bind({"user": "ann"})
+        assert template is not None
+        # poster and time come from the source key; user is inlined.
+        assert template.out_key(plan.extract("p|bob|0000000007")) == (
+            "t|ann|0000000007|bob"
+        )
+        assert template.injective  # both free slots appear in the output
+
+    def test_bind_without_required_context_fails(self):
+        join, plan = self.plan_for(TIMELINE_JOIN, 1)
+        assert plan.bind({}) is None  # user unavailable
+
+    def test_context_pinned_source_slot_becomes_check(self):
+        join, plan = self.plan_for(TIMELINE_JOIN, 1)
+        template = plan.bind({"user": "ann", "poster": "bob"})
+        assert template is not None
+        assert template.out_key(plan.extract("p|bob|0000000001")) == (
+            "t|ann|0000000001|bob"
+        )
+        # A key for another poster fails the compiled equality check —
+        # the ``child_with`` conflict, compiled.
+        assert template.out_key(plan.extract("p|liz|0000000001")) is None
+
+    def test_projection_template_is_not_injective(self):
+        join, plan = self.plan_for("o|<a> = copy v|<a>|<b>", 0)
+        template = plan.bind({})
+        assert template is not None
+        assert not template.injective  # b is free but projected away
+
+    def test_literal_braces_are_escaped(self):
+        join, plan = self.plan_for("o|x{0}y|<a> = copy v|<a>", 0)
+        template = plan.bind({})
+        assert template.out_key(plan.extract("v|k")) == "o|x{0}y|k"
+
+
+# ----------------------------------------------------------------------
+# Batched installs and O(1) updater dedup.
+# ----------------------------------------------------------------------
+class TestInstallMany:
+    def test_matches_sequential_puts(self):
+        store = OrderedStore()
+        table = store.table("k")
+        pairs = [(f"k|{i:03d}", str(i)) for i in range(20)]
+        results, handle = table.install_many(pairs)
+        assert handle is not None
+        assert [old for _, old in results] == [None] * 20
+        assert [k for k, _ in results] == [k for k, _ in pairs]
+        for key, value in pairs:
+            assert store.get(key) == value
+        assert store.stats.get("batched_installs") == 1
+
+    def test_overwrites_report_old_values(self):
+        store = OrderedStore()
+        table = store.table("k")
+        table.put("k|b", "old")
+        results, _ = table.install_many([("k|a", "1"), ("k|b", "new")])
+        assert results == [("k|a", None), ("k|b", "old")]
+        assert store.get("k|b") == "new"
+
+    def test_hint_chaining_earns_hint_hits(self):
+        store = OrderedStore()
+        table = store.table("k")
+        table.put("k|", "floor")
+        base = store.stats.get("hint_hits")
+        pairs = [(f"k|{i:03d}", "v") for i in range(50)]
+        table.install_many(pairs)
+        # Sorted contiguous installs ride the insert-after fast path.
+        assert store.stats.get("hint_hits") > base + 40
+
+
+class TestUpdaterDedupIndex:
+    def make_updater(self, join, generation=0, lo="p|b|", hi="p|b}"):
+        return Updater(
+            join=join,
+            source_index=1,
+            context={"user": "ann"},
+            output_lo="t|ann|",
+            output_hi="t|ann}",
+            lazy=False,
+            source_lo=lo,
+            source_hi=hi,
+            generation=generation,
+        )
+
+    def test_reinstall_dedupes_and_refreshes_generation(self):
+        join = parse_join(TIMELINE_JOIN)
+        store = OrderedStore()
+        table = store.table("p")
+        first = self.make_updater(join, generation=1)
+        assert install_updater(table, first) is first
+        again = self.make_updater(join, generation=3)
+        survivor = install_updater(table, again)
+        assert survivor is first
+        assert survivor.generation == 3
+        entry = table.updaters.find_entry("p|b|", "p|b}")
+        assert len(entry.payloads) == 1
+
+    def test_index_rebuilds_after_discard(self):
+        join = parse_join(TIMELINE_JOIN)
+        store = OrderedStore()
+        table = store.table("p")
+        kept = self.make_updater(join)
+        gone = Updater(
+            join, 1, {"user": "liz"}, "t|liz|", "t|liz}",
+            False, "p|b|", "p|b}",
+        )
+        install_updater(table, kept)
+        install_updater(table, gone)
+        table.updaters.discard("p|b|", "p|b}", gone)
+        entry = table.updaters.find_entry("p|b|", "p|b}")
+        assert entry.payload_index is None  # invalidated, rebuilt lazily
+        assert install_updater(table, self.make_updater(join)) is kept
+        assert len(entry.payloads) == 1
+
+    def test_distinct_contexts_accumulate(self):
+        join = parse_join(TIMELINE_JOIN)
+        store = OrderedStore()
+        table = store.table("p")
+        for i in range(5):
+            install_updater(
+                table,
+                Updater(
+                    join, 1, {"user": f"u{i}"}, f"t|u{i}|", f"t|u{i}}}",
+                    False, "p|b|", "p|b}",
+                ),
+            )
+        entry = table.updaters.find_entry("p|b|", "p|b}")
+        assert len(entry.payloads) == 5
+
+
+# ----------------------------------------------------------------------
+# End-to-end parity: compiled plans vs the interpreted reference.
+# ----------------------------------------------------------------------
+def state_digest(srv: PequodServer) -> str:
+    items = []
+    for tag in ("t", "p", "s"):
+        items.extend(srv.scan(f"{tag}|", f"{tag}}}"))
+    return hashlib.sha256(repr(items).encode()).hexdigest()
+
+
+class TestWritePathParity:
+    """The celebrity workload at unit-test scale: every config must
+    leave byte-identical store state."""
+
+    FAN_OUT = 1000
+
+    def drive(self, plans: bool, fastpath: bool = False) -> str:
+        previous = set_plan_compilation(plans)
+        try:
+            srv = timeline_server()
+            srv.engine.enable_whole_table_fastpath = fastpath
+            followers = [f"u{i:05d}" for i in range(self.FAN_OUT)]
+            for u in followers:
+                srv.put(f"s|{u}|celeb", "1")
+            srv.put("p|celeb|0000000000", "warmup")
+            for u in followers:
+                srv.scan(f"t|{u}|", prefix_upper_bound(f"t|{u}|"))
+            srv.scan("t|", "t}")  # tile the gaps: contiguous cover
+            # Single-key fan-out writes, including an overwrite and a
+            # retraction.
+            srv.put("p|celeb|0000000001", "post one")
+            srv.put("p|celeb|0000000001", "post one, edited")
+            srv.remove("p|celeb|0000000000")
+            # Batched fan-out writes: coalesced, one maintenance pass.
+            with srv.write_batch() as batch:
+                for t in range(2, 10):
+                    batch.put(f"p|celeb|{t:010d}", f"batch {t}")
+                batch.remove("p|celeb|0000000002")
+            # Interleave reads so validation runs between write rounds.
+            srv.scan("t|u00000|", prefix_upper_bound("t|u00000|"))
+            srv.scan("t|", "t}")
+            with srv.write_batch() as batch:
+                for t in range(10, 14):
+                    batch.put(f"p|celeb|{t:010d}", f"batch {t}")
+            return state_digest(srv)
+        finally:
+            set_plan_compilation(previous)
+
+    def test_compiled_matches_reference(self):
+        reference = self.drive(plans=False)
+        assert self.drive(plans=True) == reference
+        assert self.drive(plans=True, fastpath=True) == reference
+
+    def test_compiled_path_actually_fires(self):
+        previous = set_plan_compilation(True)
+        try:
+            srv = timeline_server()
+            srv.put("s|ann|bob", "1")
+            srv.scan("t|ann|", "t|ann}")
+            srv.put("p|bob|0000000001", "x")
+            with srv.write_batch() as batch:
+                batch.put("p|bob|0000000002", "y")
+                batch.put("p|bob|0000000003", "z")
+            assert srv.stats.get("write_plan_compiles") >= 1
+            assert srv.stats.get("write_plan_fires") >= 3
+            assert srv.stats.get("write_batched_installs") >= 1
+            assert srv.scan("t|ann|", "t|ann}") == [
+                ("t|ann|0000000001|bob", "x"),
+                ("t|ann|0000000002|bob", "y"),
+                ("t|ann|0000000003|bob", "z"),
+            ]
+        finally:
+            set_plan_compilation(previous)
+
+    def test_toggle_restores_previous_setting(self):
+        initial = plan_compilation_enabled()
+        previous = set_plan_compilation(False)
+        assert previous == initial
+        assert not plan_compilation_enabled()
+        set_plan_compilation(previous)
+        assert plan_compilation_enabled() == initial
+
+
+# ----------------------------------------------------------------------
+# Whole-table validity fast path.
+# ----------------------------------------------------------------------
+class TestWholeTableFastpath:
+    def quiescent_server(self) -> PequodServer:
+        srv = timeline_server()
+        for u in ("ann", "bob", "liz"):
+            srv.put(f"s|{u}|celeb", "1")
+        srv.put("p|celeb|0000000001", "x")
+        for u in ("ann", "bob", "liz"):
+            srv.scan(f"t|{u}|", prefix_upper_bound(f"t|{u}|"))
+        srv.scan("t|", "t}")  # tile gaps -> contiguous, all-valid cover
+        return srv
+
+    def test_quiescent_cross_scan_hits(self):
+        srv = self.quiescent_server()
+        before = srv.scan("t|", "t}")
+        hits = srv.stats.get("write_whole_table_fastpath_hits")
+        assert srv.scan("t|", "t}") == before
+        assert srv.stats.get("write_whole_table_fastpath_hits") > hits
+
+    def test_pending_log_defeats_it_until_drained(self):
+        srv = self.quiescent_server()
+        srv.scan("t|", "t}")
+        assert srv.stats.get("write_whole_table_fastpath_hits") > 0
+        srv.put("s|ann|dave", "1")  # partial invalidation: pending entry
+        srv.put("p|dave|0000000002", "from dave")
+        hits = srv.stats.get("write_whole_table_fastpath_hits")
+        got = srv.scan("t|", "t}")  # must walk, drain, and stay correct
+        assert ("t|ann|0000000002|dave", "from dave") in got
+        # Drained and revalidated: the fast path re-engages.
+        assert srv.scan("t|", "t}") == got
+        assert srv.stats.get("write_whole_table_fastpath_hits") > hits
+
+    def test_invalidation_defeats_it(self):
+        srv = self.quiescent_server()
+        srv.scan("t|", "t}")
+        srv.remove("s|bob|celeb")  # complete invalidation
+        got = srv.scan("t|", "t}")
+        assert not any(k.startswith("t|bob|") for k, _ in got)
+
+    def test_gap_in_cover_defeats_it(self):
+        srv = timeline_server()
+        srv.put("s|ann|celeb", "1")
+        srv.put("s|liz|celeb", "1")
+        srv.put("p|celeb|0000000001", "x")
+        srv.scan("t|ann|", prefix_upper_bound("t|ann|"))
+        srv.scan("t|liz|", prefix_upper_bound("t|liz|"))
+        # No tiling cross-scan: the cover has gaps.
+        srv.scan("t|ann|", prefix_upper_bound("t|ann|"))
+        assert srv.stats.get("write_whole_table_fastpath_hits") == 0
+
+    def test_memory_limit_disables_it(self):
+        srv = timeline_server(memory_limit=10_000_000)
+        assert not srv.engine.enable_whole_table_fastpath
+        unlimited = timeline_server()
+        assert unlimited.engine.enable_whole_table_fastpath
+
+    def test_eager_writes_keep_it_engaged(self):
+        """Copy-join maintenance keeps ranges valid, so a quiescent
+        scan after fan-out writes still takes the fast path — and sees
+        the new values."""
+        srv = self.quiescent_server()
+        srv.scan("t|", "t}")
+        srv.put("p|celeb|0000000009", "fresh")
+        hits = srv.stats.get("write_whole_table_fastpath_hits")
+        got = srv.scan("t|", "t}")
+        assert ("t|ann|0000000009|celeb", "fresh") in got
+        assert srv.stats.get("write_whole_table_fastpath_hits") > hits
