@@ -7,9 +7,16 @@ with the fleet.  Base-server memory grew 290 -> 297 GB, compute memory
 1.2 -> 1.5 TB, and subscription maintenance rose from ~10% to ~16% of
 network bytes.
 
-The reproduction runs the same roles (base tier absorbing writes,
-compute tier executing the timeline join, per-user read affinity) on
-the deterministic simulated network and reports the same four series.
+The reproduction has two modes:
+
+* **default** — the real multi-process cluster: N node processes over
+  TCP, separate load-driver processes, measured wall-clock throughput.
+  Scaling past the machine's core count is not expected (and on a
+  1-core box every extra process is pure coordination overhead); the
+  assertions are conditioned on ``os.cpu_count()`` accordingly.
+* ``--sim`` — the original deterministic simulated network with the
+  §5.5 cost model, which reproduces the paper's *shape* (sublinear
+  scaling, rising subscription traffic) independent of host hardware.
 """
 
 from __future__ import annotations
@@ -17,12 +24,67 @@ from __future__ import annotations
 import pytest
 
 from conftest import print_block
-from repro.bench.harness import run_figure10_point
 from repro.bench.report import format_table
 
 
+# ----------------------------------------------------------------------
+# Default mode: real processes, real TCP, measured throughput.
+# ----------------------------------------------------------------------
+def test_fig10_process_cluster(benchmark, real_cluster_mode):
+    import os
+
+    from repro.bench.harness import run_cluster_scaleout
+
+    counts = (1, 2) if (os.cpu_count() or 1) < 4 else (1, 2, 4)
+    result = benchmark.pedantic(
+        lambda: run_cluster_scaleout(
+            proc_counts=counts, total_ops=1600, depth=16, drivers=2,
+            n_keys=128,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            p["processes"],
+            f"{p['ops_per_sec']:.0f}",
+            f"{p['speedup']:.2f}x",
+            f"{p['p50_us'] / 1000:.2f}ms",
+            f"{p['p99_us'] / 1000:.2f}ms",
+        )
+        for p in result["points"]
+    ]
+    print_block(
+        format_table(
+            ["procs", "ops/s", "vs 1 proc", "p50", "p99"],
+            rows,
+            title=(
+                "Figure 10 — real process cluster "
+                f"(machine cores: {result['cpu_cores']})"
+            ),
+        )
+    )
+    for p in result["points"]:
+        assert p["ops"] > 0 and p["ops_per_sec"] > 0
+    # Only claim scaling the hardware can physically deliver.
+    if result["cpu_cores"] and result["cpu_cores"] >= max(counts) + 2:
+        assert result["max_speedup"] > 1.0, (
+            "adding processes on a multi-core host must help"
+        )
+    benchmark.extra_info["cpu_cores"] = result["cpu_cores"]
+    benchmark.extra_info["max_speedup"] = result["max_speedup"]
+    benchmark.extra_info["ops_per_sec"] = [
+        p["ops_per_sec"] for p in result["points"]
+    ]
+
+
+# ----------------------------------------------------------------------
+# --sim mode: the original modeled-cost simulation (paper's shape).
+# ----------------------------------------------------------------------
 @pytest.mark.parametrize("servers", (3, 12))
-def test_fig10_point(benchmark, servers):
+def test_fig10_point(benchmark, sim_mode, servers):
+    from repro.bench.harness import run_figure10_point
+
     point = benchmark.pedantic(
         lambda: run_figure10_point(servers, n_users=200, mean_follows=8,
                                    total_ops=3000),
@@ -35,7 +97,7 @@ def test_fig10_point(benchmark, servers):
     )
 
 
-def test_fig10_series(benchmark, fig10_points):
+def test_fig10_series(benchmark, sim_mode, fig10_points):
     """Regenerate the Figure 10 table."""
     points = fig10_points
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -20,6 +20,33 @@ import pytest
 _BENCH_DIR = Path(__file__).parent
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sim",
+        action="store_true",
+        default=False,
+        help=(
+            "run Figure 10 on the modeled in-process simulation instead "
+            "of the real multi-process cluster"
+        ),
+    )
+
+
+@pytest.fixture
+def sim_mode(request):
+    """Selects the modeled-simulation variant of a benchmark."""
+    if not request.config.getoption("--sim"):
+        pytest.skip("simulated variant runs under --sim; default is the "
+                    "real process cluster")
+
+
+@pytest.fixture
+def real_cluster_mode(request):
+    """Selects the real-process variant of a benchmark."""
+    if request.config.getoption("--sim"):
+        pytest.skip("--sim selects the modeled simulation")
+
+
 def pytest_collection_modifyitems(items):
     """Every test in benchmarks/ carries the registered ``bench``
     marker, so CI (and developers) can deselect them with

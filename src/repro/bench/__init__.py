@@ -5,6 +5,7 @@ from .harness import (
     ScalabilityPoint,
     SystemRun,
     figure7_backends,
+    run_cluster_scaleout,
     run_figure7,
     run_figure8,
     run_figure8_point,
@@ -27,6 +28,7 @@ __all__ = [
     "format_table",
     "modeled_runtime_us",
     "normalized",
+    "run_cluster_scaleout",
     "run_figure7",
     "run_figure8",
     "run_figure8_point",

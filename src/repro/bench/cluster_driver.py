@@ -1,0 +1,110 @@
+"""Standalone load-driver process for the cluster scale-out bench.
+
+The harness (:func:`repro.bench.harness.run_cluster_scaleout`) spawns
+several of these, one OS process each, so client-side work never
+shares a GIL with the cluster nodes or with other drivers.  Each
+driver opens one :class:`~repro.client.procs.AsyncProcClusterClient`,
+issues a deterministic put/get mix against the partitioned base table
+with ``depth`` operations outstanding (the §5.1 event-driven client
+model), measures every operation's latency, and prints one JSON
+object on stdout::
+
+    python -m repro.bench.cluster_driver \
+        --endpoints 127.0.0.1:7709,127.0.0.1:7712 \
+        --ops 2000 --depth 32 --n-keys 256 --value-size 32 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import List, Tuple
+
+from ..client.procs import AsyncProcClusterClient
+
+
+def build_ops(
+    ops: int, n_keys: int, value_size: int, seed: int
+) -> List[Tuple[str, str, str]]:
+    """A deterministic (method, key, value) schedule; value is ""
+    for gets.  Seeded per driver so drivers don't write identical
+    keys in lockstep."""
+    value = "v" * value_size
+    out: List[Tuple[str, str, str]] = []
+    for i in range(ops):
+        j = (i * 2654435761 + seed * 97) % (2**32)
+        key = f"p|u{j % n_keys:04d}|{seed:02d}{i:06d}"
+        if i % 2 == 0:
+            out.append(("put", key, f"{value}{i}"))
+        else:
+            out.append(("get", f"p|u{j % n_keys:04d}|", ""))
+    return out
+
+
+async def drive(
+    endpoints: List[Tuple[str, int]],
+    ops: int,
+    depth: int,
+    n_keys: int,
+    value_size: int,
+    seed: int,
+) -> dict:
+    client = await AsyncProcClusterClient.open(endpoints)
+    schedule = build_ops(ops, n_keys, value_size, seed)
+    latencies: List[float] = []
+    sem = asyncio.Semaphore(depth)
+
+    async def one(method: str, key: str, value: str) -> None:
+        async with sem:
+            start = time.perf_counter()
+            if method == "put":
+                await client.put(key, value)
+            else:
+                await client.scan_prefix(key)
+            latencies.append(time.perf_counter() - start)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(one(m, k, v) for m, k, v in schedule))
+    wall = time.perf_counter() - start
+    await client.aclose()
+    return {
+        "ops": ops,
+        "wall_s": wall,
+        "ops_per_sec": ops / max(wall, 1e-9),
+        "latencies_us": [round(l * 1e6, 1) for l in latencies],
+    }
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(prog="cluster_driver")
+    parser.add_argument("--endpoints", required=True)
+    parser.add_argument("--ops", type=int, default=2000)
+    parser.add_argument("--depth", type=int, default=32)
+    parser.add_argument("--n-keys", type=int, default=256)
+    parser.add_argument("--value-size", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    endpoints = []
+    for part in args.endpoints.split(","):
+        host, _, port = part.strip().rpartition(":")
+        endpoints.append((host, int(port)))
+    result = asyncio.run(
+        drive(
+            endpoints,
+            args.ops,
+            args.depth,
+            args.n_keys,
+            args.value_size,
+            args.seed,
+        )
+    )
+    json.dump(result, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

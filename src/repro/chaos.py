@@ -14,6 +14,9 @@ lane) make it prove that:
 * :func:`kill_compute` — kill a cluster compute node mid-workload (the
   node vanishes from the network, in-flight messages and all; routing
   rehashes onto survivors, which demand-recompute from base data).
+* :func:`kill_node_process` — the real-process variant: ``kill -9``
+  one node of a :class:`~repro.distrib.procs.ProcCluster`; failover
+  promotes a replica without losing acknowledged base writes.
 * :func:`net_latency` / :func:`net_drop_filter` — degrade the simulated
   network under a workload.
 * :func:`crash_server` — hard-kill a durable server: drop everything
@@ -123,6 +126,25 @@ def kill_compute(cluster, affinity: Optional[str] = None, name: Optional[str] = 
     if not live:
         raise RuntimeError("no live compute nodes to kill")
     return cluster.kill_node(live[0])
+
+
+def kill_node_process(proc_cluster, name: Optional[str] = None) -> str:
+    """``kill -9`` one node of a real multi-process cluster.
+
+    The process (or, in-process, its endpoints) dies with no WAL
+    flush and no goodbye: peers see connections drop mid-flight and
+    clients get transport errors until :meth:`ProcCluster.fail_over`
+    promotes a replica.  Returns the victim's name.
+    """
+    live = proc_cluster.live_names()
+    if name is None:
+        if not live:
+            raise RuntimeError("no live nodes to kill")
+        name = live[0]
+    elif name not in live:
+        raise RuntimeError(f"node {name!r} is not alive")
+    proc_cluster.kill(name, hard=True)
+    return name
 
 
 def crash_server(server) -> int:

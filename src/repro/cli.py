@@ -94,11 +94,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help="soft memory ceiling above which the server is overloaded",
     )
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="run a partitioned multi-process cluster (real TCP scale-out)",
+    )
+    cluster.add_argument("--nodes", type=int, default=2, metavar="N")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--tables", default="p,s,t", metavar="T1,T2,...",
+        help="tables to range-partition across the nodes",
+    )
+    cluster.add_argument(
+        "--splits", default="", metavar="S1,S2,...",
+        help="aligned segment cut points within each table "
+        "(default: one contiguous slice per table)",
+    )
+    cluster.add_argument(
+        "--replication", type=int, default=2, metavar="K",
+        help="copies of each base range (1 = no replicas; default 2)",
+    )
+    cluster.add_argument(
+        "--join", action="append", default=[],
+        help="cache join spec to install on every node (repeatable)",
+    )
+    cluster.add_argument(
+        "--join-file", default=None,
+        help="file of cache join specs (';'-separated, // comments)",
+    )
+    cluster.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="per-node WAL + checkpoints under DIR/<node>",
+    )
+    cluster.add_argument(
+        "--in-process", action="store_true",
+        help="run nodes on threads instead of subprocesses (debugging)",
+    )
+
+    # Hidden: the subprocess entry `repro cluster` spawns per node.
+    cnode = sub.add_parser("cluster-node")
+    cnode.add_argument("--name", required=True)
+    cnode.add_argument("--host", default="127.0.0.1")
+    cnode.add_argument("--port", type=int, default=0)
+    cnode.add_argument("--peer-port", type=int, default=0)
+    cnode.add_argument("--data-dir", default=None)
+    cnode.add_argument("--memory-limit", type=int, default=None)
+
     metrics = sub.add_parser(
         "metrics", help="scrape a running server's metrics"
     )
     metrics.add_argument("--host", default="127.0.0.1")
     metrics.add_argument("--port", type=int, default=7709)
+    metrics.add_argument(
+        "--cluster", default=None, metavar="HOST:PORT,HOST:PORT,...",
+        help="scrape several cluster nodes and merge their series, "
+        'each tagged with its node label (stat{node="..."})',
+    )
     metrics.add_argument(
         "--format", choices=["table", "prom"], default="table",
         help="table of series, or raw Prometheus exposition text",
@@ -147,7 +197,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "write_batching",
                  "read_path", "write_path", "twip", "concurrency",
-                 "overload", "persistence"],
+                 "overload", "persistence", "cluster_scaleout"],
     )
     bench.add_argument(
         "--scale", type=float, default=1.0,
@@ -190,6 +240,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "cluster-node":
+        from .distrib.procs import run_node
+
+        run_node(
+            args.name,
+            host=args.host,
+            port=args.port,
+            peer_port=args.peer_port,
+            data_dir=args.data_dir,
+            memory_limit=args.memory_limit,
+        )
+        return 0
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "watch":
@@ -251,6 +315,18 @@ def _overload_sizes(s: float) -> dict:
         "n_users": max(40, int(300 * s)),
         "mean_follows": max(3.0, 10 * min(s, 1.0)),
         "ops": max(600, int(6000 * s)),
+    }
+
+
+def _cluster_scaleout_sizes(s: float) -> dict:
+    # Every scale runs the full (1, 2, 4, 8) ladder so smoke results
+    # stay point-for-point comparable with the committed baseline
+    # (scripts/bench_compare.py fails on vanished points); reduced
+    # scale shrinks the op count instead.
+    return {
+        "proc_counts": (1, 2, 4, 8),
+        "total_ops": max(400, int(4000 * s)),
+        "drivers": 2,
     }
 
 
@@ -364,10 +440,89 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    """Run a real multi-process cluster until interrupted."""
+    from .distrib.procs import ProcCluster
+
+    texts = list(args.join)
+    if args.join_file:
+        with open(args.join_file) as fh:
+            texts.append(fh.read())
+    tables = [t for t in args.tables.split(",") if t]
+    splits = [s for s in args.splits.split(",") if s]
+    cluster = ProcCluster(
+        args.nodes,
+        tables=tables,
+        splits=splits,
+        replication=args.replication,
+        in_process=args.in_process,
+        host=args.host,
+        data_dir=args.data_dir,
+        joins=texts,
+    )
+    with cluster:
+        print(f"pequod {__version__} cluster: {args.nodes} node(s), "
+              f"replication {cluster.replication}, "
+              f"map v{cluster.map.version} ({len(cluster.map.ranges)} ranges)")
+        for name, (host, port, peer_port) in sorted(cluster.addresses().items()):
+            print(f"  {name}: client {host}:{port}  peer {host}:{peer_port}")
+        for text in texts:
+            print(f"  join installed on all nodes: {text.strip()}")
+        print("Ctrl-C to stop")
+        try:
+            import signal
+
+            waiter = __import__("threading").Event()
+            signal.signal(signal.SIGTERM, lambda *_: waiter.set())
+            waiter.wait()
+        except KeyboardInterrupt:
+            pass
+    print("cluster stopped")
+    return 0
+
+
+def _metrics_cluster(args) -> int:
+    """Scrape every node of a process cluster; node-label the series."""
+    from .metrics import label_by_node, render_prometheus
+    from .net.rpc_client import SyncRpcClient
+
+    per_node: dict = {}
+    for spec in args.cluster.split(","):
+        host, _, port = spec.strip().rpartition(":")
+        if not host or not port.isdigit():
+            print(f"bad --cluster endpoint {spec!r}; expected HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        try:
+            client = SyncRpcClient(host, int(port))
+        except OSError as exc:
+            print(f"cannot connect to {spec}: {exc}", file=sys.stderr)
+            return 1
+        try:
+            info = client.call("cluster_info")
+            name = info["name"] if isinstance(info, dict) else spec
+            per_node[name] = client.stats()
+        finally:
+            client.close()
+    merged = label_by_node(per_node)
+    if args.match:
+        merged = {k: v for k, v in merged.items() if args.match in k}
+    if args.format == "prom":
+        sys.stdout.write(render_prometheus(merged))
+        return 0
+    rows = sorted(merged.items())
+    width = max((len(k) for k, _ in rows), default=0)
+    for key, value in rows:
+        print(f"{key:<{width}}  {value:g}")
+    return 0
+
+
 def _cmd_metrics(args) -> int:
     """Scrape a live ``repro serve`` instance over its RPC port."""
     from .net.rpc_client import SyncRpcClient
 
+    if args.cluster is not None:
+        return _metrics_cluster(args)
     try:
         client = SyncRpcClient(args.host, args.port)
     except OSError as exc:
@@ -559,6 +714,24 @@ def _cmd_bench(args) -> int:
         ))
         print(f"sync baseline (one outstanding request): "
               f"{result['baseline']['ops_per_sec']:.0f} ops/s")
+        return _finish_bench(args, payload)
+    if args.experiment == "cluster_scaleout":
+        from .bench.harness import run_cluster_scaleout
+
+        result = run_cluster_scaleout(**_cluster_scaleout_sizes(s))
+        payload.update(result)
+        rows = [
+            (str(p["processes"]), f"{p['ops_per_sec']:.0f}",
+             f"{p['speedup']:.2f}x", f"{p['p50_us']:.0f}",
+             f"{p['p95_us']:.0f}", f"{p['p99_us']:.0f}")
+            for p in result["points"]
+        ]
+        print(format_table(
+            ["procs", "ops/s", "vs 1 proc", "p50 us", "p95 us", "p99 us"],
+            rows,
+            title="Multi-process cluster scale-out (real TCP)",
+        ))
+        print(f"machine cores: {result['cpu_cores']}")
         return _finish_bench(args, payload)
     if args.experiment == "overload":
         from .bench.harness import run_overload

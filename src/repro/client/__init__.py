@@ -71,6 +71,7 @@ from .errors import (
 )
 from .factory import BACKENDS, make_async_client, make_client
 from .local import LocalClient
+from .procs import AsyncProcClusterClient, ProcClusterClient
 from .remote import RemoteClient
 
 __all__ = [
@@ -78,6 +79,7 @@ __all__ = [
     "AsyncClusterClient",
     "AsyncLocalClient",
     "AsyncPequodClient",
+    "AsyncProcClusterClient",
     "AsyncRemoteClient",
     "AsyncWriteBatch",
     "BadRequestError",
@@ -92,6 +94,7 @@ __all__ = [
     "NotFoundError",
     "OverloadError",
     "PequodClient",
+    "ProcClusterClient",
     "RemoteClient",
     "ServerError",
     "SyncWatch",

@@ -73,6 +73,18 @@ class TransportError(ClientError):
     """The request could not be delivered or completed."""
 
 
+class WrongOwnerError(ServerError):
+    """The addressed node no longer owns the key's range.
+
+    The cluster's write fence: a migration or failover bumped the
+    partition-map version, and this node's map says the operation
+    belongs elsewhere.  Cluster clients catch this internally —
+    refresh the map, re-route, retry — so it only escapes when a
+    client keeps losing the race (or talks to the cluster with a
+    pinned stale map).
+    """
+
+
 #: RPC error code -> unified exception type.
 _CODE_TYPES = {
     protocol.ERR_CODE_JOIN: JoinSpecError,
@@ -80,6 +92,7 @@ _CODE_TYPES = {
     protocol.ERR_CODE_NOT_FOUND: NotFoundError,
     protocol.ERR_CODE_SERVER: ServerError,
     protocol.ERR_CODE_OVERLOAD: OverloadError,
+    protocol.ERR_CODE_WRONG_OWNER: WrongOwnerError,
 }
 
 

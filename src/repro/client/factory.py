@@ -23,7 +23,7 @@ is in flight and an in-loop server would be unreachable between calls.
 from __future__ import annotations
 
 import asyncio
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from ..core.server import PequodServer
 from ..distrib.cluster import Cluster
@@ -38,12 +38,18 @@ from .base import JoinLike, PequodClient
 from .cluster import ClusterClient
 from .errors import BadRequestError, TransportError
 from .local import LocalClient
+from .procs import AsyncProcClusterClient, ProcClusterClient
 from .remote import RemoteClient
 
-BACKENDS = ("local", "rpc", "cluster")
+BACKENDS = ("local", "rpc", "cluster", "procs")
 
 #: Backend tag -> the sync facade class wrapping its async core.
-_FACADES = {"local": LocalClient, "rpc": RemoteClient, "cluster": ClusterClient}
+_FACADES = {
+    "local": LocalClient,
+    "rpc": RemoteClient,
+    "cluster": ClusterClient,
+    "procs": ProcClusterClient,
+}
 
 
 class _AsyncEphemeralRemoteClient(AsyncRemoteClient):
@@ -72,6 +78,7 @@ async def make_async_client(
     base_count: int = 2,
     compute_count: int = 2,
     base_tables: Sequence[str] = (),
+    endpoints: Optional[Sequence[Tuple[str, int]]] = None,
     **server_kwargs,
 ) -> AsyncPequodClient:
     """Build an :class:`AsyncPequodClient` for the named backend.
@@ -87,6 +94,10 @@ async def make_async_client(
     * ``cluster`` — a simulated deployment of ``base_count`` home and
       ``compute_count`` compute servers; ``base_tables`` names the
       partitioned base tables (e.g. ``("p", "s")`` for Twip).
+    * ``procs`` — connect to a running multi-process cluster (see
+      ``repro cluster`` / :class:`~repro.distrib.procs.ProcCluster`):
+      ``endpoints`` is a sequence of ``(host, port)`` bootstrap
+      addresses, or give one as ``host``/``port``.
 
     ``joins`` (any :data:`~repro.client.base.JoinLike`) are installed
     before the client is returned, on whichever servers execute them.
@@ -100,14 +111,33 @@ async def make_async_client(
         raise BadRequestError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
-    if backend != "rpc" and (host is not None or port is not None):
+    if backend not in ("rpc", "procs") and (host is not None or port is not None):
         raise BadRequestError(
             f"host/port describe a server to connect to; the {backend!r} "
             "backend does not connect anywhere"
         )
+    if endpoints is not None and backend != "procs":
+        raise BadRequestError(
+            "endpoints name a process cluster; only the 'procs' backend "
+            "connects to one"
+        )
     client: AsyncPequodClient
     if backend == "local":
         client = AsyncLocalClient(**server_kwargs)
+    elif backend == "procs":
+        if endpoints is None:
+            if port is None:
+                raise BadRequestError(
+                    "the 'procs' backend needs endpoints=[(host, port), ...] "
+                    "or host/port of one cluster node"
+                )
+            endpoints = [(host or "127.0.0.1", port)]
+        if server_kwargs:
+            raise BadRequestError(
+                "server kwargs are meaningless when connecting to an "
+                "existing cluster"
+            )
+        client = await AsyncProcClusterClient.open(endpoints)
     elif backend == "rpc":
         if host is not None or port is not None:
             # Connect intent: an existing server at host:port (the
@@ -191,6 +221,7 @@ def make_client(
     base_count: int = 2,
     compute_count: int = 2,
     base_tables: Sequence[str] = (),
+    endpoints: Optional[Sequence[Tuple[str, int]]] = None,
     **server_kwargs,
 ) -> PequodClient:
     """Build a synchronous :class:`PequodClient` for the named backend.
@@ -221,6 +252,7 @@ def make_client(
                 base_count=base_count,
                 compute_count=compute_count,
                 base_tables=base_tables,
+                endpoints=endpoints,
                 **server_kwargs,
             )
         )

@@ -122,6 +122,16 @@ class ChangeHub:
     def watcher_count(self) -> int:
         return self._tree.payload_count()
 
+    def overlapping(self, lo: str, hi: str) -> bool:
+        """True when any active watcher's range intersects ``[lo, hi)``
+        — what a cluster node checks before deciding whether a
+        reconfigured computed range must be rebuilt for its watchers."""
+        for entry in self._tree.entries():
+            if entry.lo < hi and lo < entry.hi:
+                if any(handle.active for handle in entry.payloads):
+                    return True
+        return False
+
     # ------------------------------------------------------------------
     def publish(
         self,

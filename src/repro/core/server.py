@@ -279,8 +279,33 @@ class PequodServer:
         servers nobody watches pay nothing on the write path.
         """
         if self._hub is None:
-            self._hub = ChangeHub()
+            self.attach_hub()
+        return self._hub
+
+    def attach_hub(self, gate=None) -> ChangeHub:
+        """Attach the change hub now, optionally behind ``gate``.
+
+        ``gate(key, old, new, kind) -> bool`` filters which committed
+        changes become watch events.  Cluster nodes install one before
+        serving: replica and mirror applies re-play changes whose
+        events already fired at the range owner, and the gate is what
+        keeps a cluster-wide watch exactly-once.  Must be called
+        before the first ``watch``; the lazy :attr:`hub` property is
+        the ungated default.
+        """
+        if self._hub is not None:
+            raise RuntimeError("change hub is already attached")
+        self._hub = ChangeHub()
+        if gate is None:
             self.add_listener(self._hub.publish)
+        else:
+            hub = self._hub
+
+            def publish(key, old, new, kind):
+                if gate(key, old, new, kind):
+                    hub.publish(key, old, new, kind)
+
+            self.add_listener(publish)
         return self._hub
 
     def watch(self, lo: str, hi: str, sink: EventSink) -> WatchHandle:

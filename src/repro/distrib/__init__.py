@@ -13,6 +13,9 @@ from .node import (
     RemoteResolver,
 )
 from .partition import Partitioner, stable_hash
+from .partition_map import HashPartitionMap, MapRange, PartitionMap
+from .procnode import ClusterNodeRuntime
+from .procs import ClusterError, ProcCluster
 from .subscription import (
     SubscriptionRegistry,
     UpdateBuffer,
@@ -24,13 +27,19 @@ from .subscription import (
 
 __all__ = [
     "Cluster",
+    "ClusterError",
+    "ClusterNodeRuntime",
     "DistributedNode",
+    "HashPartitionMap",
+    "MapRange",
     "MSG_FETCH",
     "MSG_FETCH_REPLY",
     "MSG_SUBSCRIBE",
     "MSG_UPDATE",
     "MSG_UPDATE_BATCH",
+    "PartitionMap",
     "Partitioner",
+    "ProcCluster",
     "ROLE_BASE",
     "ROLE_COMPUTE",
     "RemoteResolver",

@@ -33,6 +33,7 @@ from .node import (
     DistributedNode,
 )
 from .partition import Partitioner, stable_hash
+from .partition_map import HashPartitionMap
 
 KIND_CLIENT_OP = "client_op"
 KIND_CLIENT_REPLY = "client_reply"
@@ -55,6 +56,10 @@ class Cluster:
         self.net = net if net is not None else SimNetwork()
         base_names = [f"base{i:02d}" for i in range(base_count)]
         self.partitioner = Partitioner(base_tables, base_names)
+        #: Versioned map-consult routing facade over the partitioner —
+        #: the same interface shape the multi-process cluster consults,
+        #: so routing code is written once against a map object.
+        self.partition_map = HashPartitionMap(self.partitioner)
         factory = server_factory or (lambda name: PequodServer(name=name))
         self.base_nodes: List[DistributedNode] = [
             DistributedNode(n, ROLE_BASE, self.net, self.partitioner, factory(n))
@@ -79,7 +84,7 @@ class Cluster:
     # Routing
     # ------------------------------------------------------------------
     def home_node(self, key: str) -> DistributedNode:
-        home = self.partitioner.home_of(key)
+        home = self.partition_map.home_of(key)
         if home is None:
             # Not partitioned base data: land it deterministically.
             index = stable_hash(key) % len(self.base_nodes)

@@ -69,6 +69,18 @@ class SubscriptionRegistry:
                     dropped += 1
         return dropped
 
+    def overlapping(self, lo: str, hi: str) -> List[Tuple[str, str, str]]:
+        """Every ``(subscriber, lo, hi)`` whose range intersects
+        ``[lo, hi)`` — what a migration source enumerates to hand its
+        subscriptions off to the target."""
+        out: List[Tuple[str, str, str]] = []
+        for tree in self._by_table.values():
+            for entry in tree.entries():
+                if entry.lo < hi and lo < entry.hi:
+                    for subscriber in entry.payloads:
+                        out.append((subscriber, entry.lo, entry.hi))
+        return out
+
     def subscription_count(self) -> int:
         return sum(t.payload_count() for t in self._by_table.values())
 

@@ -143,6 +143,26 @@ def merge_snapshots(snapshots: Iterable[Dict[str, float]]) -> Dict[str, float]:
     return out
 
 
+def label_by_node(per_node: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Tag every series in per-node snapshots with a ``node`` label.
+
+    The per-node complement to :func:`merge_snapshots`: instead of
+    collapsing the cluster into one aggregate, each node's series stay
+    distinct — ``stat{node="node0",...}`` — so a scrape of a
+    multi-process cluster can attribute load and staleness per node.
+    """
+    out: Dict[str, float] = {}
+    for node, snap in sorted(per_node.items()):
+        tag = f'node="{_escape_label(node)}"'
+        for key, value in snap.items():
+            name, labels = split_key(key)
+            if labels:
+                out[f"{name}{{{tag},{labels[1:-1]}}}"] = value
+            else:
+                out[f"{name}{{{tag}}}"] = value
+    return out
+
+
 #: Unlabeled, unsuffixed derived gauges that must render as their own
 #: families (not fold into the generic ``stat`` family): the load and
 #: watch state the README's catalog documents by name, plus the

@@ -51,15 +51,44 @@ ERR_CODE_BAD_REQUEST = "bad_request"  # invalid arguments / unknown method
 ERR_CODE_NOT_FOUND = "not_found"  # the named thing does not exist
 ERR_CODE_SERVER = "server"  # server fault executing a valid request
 ERR_CODE_OVERLOAD = "overload"  # admission control shed the request
+ERR_CODE_WRONG_OWNER = "wrong_owner"  # key's range moved; refresh the map
 ERR_CODES = (
     ERR_CODE_JOIN, ERR_CODE_BAD_REQUEST, ERR_CODE_NOT_FOUND, ERR_CODE_SERVER,
-    ERR_CODE_OVERLOAD,
+    ERR_CODE_OVERLOAD, ERR_CODE_WRONG_OWNER,
 )
 
 #: Methods a Pequod RPC server accepts, mapped to server attributes.
 METHODS = (
     "get", "put", "remove", "scan", "scan_prefix", "count", "add_join",
     "stats", "metrics", "ping", "batch", "subscribe", "unsubscribe",
+)
+
+#: Additional methods a *cluster node's* public endpoint accepts.
+#: ``put``/``remove``/``batch`` grow an optional trailing map-version
+#: argument on cluster nodes (the write fence — a node whose map says
+#: it no longer owns the key answers ERR_CODE_WRONG_OWNER); plain
+#: servers ignore the extra argument.
+CLUSTER_METHODS = (
+    "partition_map",  # -> PartitionMap wire form (or None)
+    "install_map",  # [wire, dead_node?] adopt a newer map
+    "replica_batch",  # [keys, values] replica apply, ownership-exempt
+    "migrate_range",  # [lo, hi, target, new_map_wire] source-side driver
+    "cluster_settle",  # -> per-peer sent/applied counters
+    "cluster_info",  # -> {name, map_version, ...}
+)
+
+#: Methods a cluster node's *peer* endpoint accepts (node-to-node
+#: only; these handlers never block on another node, which is what
+#: makes the two-port design deadlock-free).
+PEER_METHODS = (
+    "fetch_range",  # [subscriber, table, lo, hi] snapshot + subscribe
+    "peer_unsubscribe",  # [subscriber, lo, hi]
+    "mirror_updates",  # [src, updates] subscription pushes
+    "migrate_install",  # [lo, hi, keys, values] snapshot chunk
+    "migrate_tail",  # [lo, hi, updates] WAL-tail catch-up
+    "adopt_subscriptions",  # [[subscriber, lo, hi], ...] handoff
+    "install_map",  # [wire] activation during migration
+    "ping",
 )
 
 

@@ -103,6 +103,14 @@ class RpcClient:
             while True:
                 data = await self._reader.read(65536)
                 if not data:
+                    # Clean EOF is still a dead connection: every
+                    # outstanding request must fail, not hang, and
+                    # later calls must refuse to start (the peer may
+                    # have been killed — cluster clients retry through
+                    # a refreshed partition map on this error).
+                    self._fail_pending(
+                        ConnectionResetError("connection closed by server")
+                    )
                     self._fail_push_sinks()
                     break
                 for payload in self._buffer.feed(data):
@@ -128,11 +136,14 @@ class RpcClient:
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - fail all outstanding
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(exc)
-            self._pending.clear()
+            self._fail_pending(exc)
             self._fail_push_sinks()
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
 
     def _fail_push_sinks(self) -> None:
         """The connection is gone: tell every watch stream it ended."""
@@ -159,6 +170,8 @@ class RpcClient:
 
     def _start_call(self, method: str, args: List[Any]) -> asyncio.Future:
         assert self._writer is not None, "client is not connected"
+        if self._reader_task is not None and self._reader_task.done():
+            raise ConnectionResetError("connection lost")
         request_id = self._next_id
         self._next_id += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()

@@ -30,6 +30,7 @@ from ..core.joins import JoinError
 from ..core.load import OverloadError
 from ..core.pattern import PatternError
 from ..core.server import PequodServer
+from ..distrib.partition_map import WrongOwnerError
 from ..metrics import LATENCY_BUCKETS, WINDOW_BUCKETS, Histogram, sample_key
 from . import protocol
 from .codec import CodecError
@@ -50,6 +51,8 @@ def classify_error(exc: BaseException) -> str:
     """
     if isinstance(exc, OverloadError):
         return protocol.ERR_CODE_OVERLOAD
+    if isinstance(exc, WrongOwnerError):
+        return protocol.ERR_CODE_WRONG_OWNER
     if isinstance(exc, (JoinError, PatternError)):
         return protocol.ERR_CODE_JOIN
     if isinstance(exc, KeyError):
@@ -94,7 +97,14 @@ class _Connection:
 class RpcServer:
     """Serve a :class:`PequodServer` on a TCP host/port."""
 
-    def __init__(self, server: PequodServer, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        server: PequodServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        metrics_source: bool = True,
+    ):
         self.server = server
         self.host = host
         self.port = port
@@ -112,7 +122,11 @@ class RpcServer:
         #: Optional fault injector (``repro.chaos.RpcChaos``): applied
         #: to each chunk's encoded responses before they are written.
         self.chaos = None
-        server.metrics.add_source(self._metric_samples)
+        # A cluster node runs TWO RpcServers over one PequodServer
+        # (client + peer endpoints); only one registers the rpc_*
+        # series, the other passes metrics_source=False.
+        if metrics_source:
+            server.metrics.add_source(self._metric_samples)
 
     def _metric_samples(self):
         """RPC-layer series merged into the server's snapshot."""
@@ -195,9 +209,15 @@ class RpcServer:
                 # Dispatch the whole chunk, then write every response
                 # in ONE transport write: a pipelined window of N
                 # requests costs one send syscall, not N.
-                responses = [
-                    self._dispatch(conn, payload) for payload in payloads
-                ]
+                responses = []
+                for payload in payloads:
+                    response = self._dispatch(conn, payload)
+                    if not isinstance(response, bytes):
+                        # A subclass handler went async (cluster
+                        # migration drivers); await it in request
+                        # order so responses stay a flat byte list.
+                        response = await response
+                    responses.append(response)
                 if self.chaos is not None:
                     responses = await self.chaos.apply(responses)
                 if len(responses) == 1:
@@ -229,25 +249,42 @@ class RpcServer:
             except (OSError, asyncio.CancelledError):
                 pass
 
-    def _dispatch(self, conn: _Connection, payload: bytes) -> bytes:
+    def _dispatch(self, conn: _Connection, payload: bytes):
         request_id = -1
         started = time.perf_counter()
         try:
             message = protocol.decode_message(payload)
             request_id, method, args = protocol.parse_request(message)
             result = self._invoke(conn, method, args)
+            if asyncio.iscoroutine(result) or asyncio.isfuture(result):
+                return self._finish_async(request_id, result, started)
             self.requests_served += 1
             return protocol.encode_response(request_id, protocol.OK, result)
         except Exception as exc:  # noqa: BLE001 - faults go to the client
-            code = classify_error(exc)
-            detail = f"{type(exc).__name__}: {exc}"
-            if code == protocol.ERR_CODE_SERVER:
-                detail += "\n" + traceback.format_exc(limit=3)
-            return protocol.encode_response(
-                request_id, protocol.ERR, protocol.encode_error(code, detail)
-            )
+            return self._encode_failure(request_id, exc)
         finally:
             self.frame_latency.observe(time.perf_counter() - started)
+
+    async def _finish_async(self, request_id: int, coro, started: float) -> bytes:
+        """Await a coroutine-valued handler and encode its outcome with
+        the same success/failure envelope as the synchronous path."""
+        try:
+            result = await coro
+            self.requests_served += 1
+            return protocol.encode_response(request_id, protocol.OK, result)
+        except Exception as exc:  # noqa: BLE001 - faults go to the client
+            return self._encode_failure(request_id, exc)
+        finally:
+            self.frame_latency.observe(time.perf_counter() - started)
+
+    def _encode_failure(self, request_id: int, exc: BaseException) -> bytes:
+        code = classify_error(exc)
+        detail = f"{type(exc).__name__}: {exc}"
+        if code == protocol.ERR_CODE_SERVER:
+            detail += "\n" + traceback.format_exc(limit=3)
+        return protocol.encode_response(
+            request_id, protocol.ERR, protocol.encode_error(code, detail)
+        )
 
     # ------------------------------------------------------------------
     # Watch subscriptions (server push, §2.4)
@@ -302,14 +339,16 @@ class RpcServer:
             (key,) = args
             return srv.get(key)
         if method == "put":
-            key, value = args
+            # Writes may carry a trailing partition-map version (the
+            # cluster's write fence); a plain server ignores it.
+            key, value = args[:2]
             srv.put(key, value)
             return True
         if method == "remove":
-            (key,) = args
+            key, *_ = args
             return srv.remove(key)
         if method == "batch":
-            pairs = protocol.decode_batch_args(args)
+            pairs = protocol.decode_batch_args(args[:2])
             return srv.apply_batch(pairs)
         if method == "scan":
             first, last = args
