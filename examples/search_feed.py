@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Search/feed ranking on a write-around CDC deployment (§2).
+
+A search product keeps a ranked result feed per subscribed query:
+crawlers ingest scored articles in bursts, users subscribe to topics,
+and each user's feed materializes as a cache join ordered by rank.
+
+The deployment is **write-around** (``mode="write-around"``): the
+ingest path writes to the backing database only — durable first, no
+synchronous cache maintenance — and the database's change feed drives
+join maintenance asynchronously (see ``repro.cdc``).  Reads hit the
+cache; ``settle_cdc()`` is the convergence barrier a freshness-critical
+read (serving a results page) runs first.
+
+Run:  python examples/search_feed.py
+"""
+
+from repro.client import make_client
+
+#: Ranked feed per subscriber: if <user> subscribes to <topic>, every
+#: scored article under that topic lands in the user's feed, ordered by
+#: the score segment (lower sorts first, so score = 9999 - relevance).
+FEED_JOIN = (
+    "feed|<user>|<score>|<art> = "
+    "check sub|<user>|<topic> copy art|<topic>|<score>|<art>"
+)
+
+
+def score(relevance: int) -> str:
+    """Rank key segment: higher relevance sorts earlier."""
+    return f"{9999 - relevance:04d}"
+
+
+def main() -> None:
+    with make_client("local", mode="write-around", joins=FEED_JOIN) as client:
+        # Subscriptions: ann follows the search queries she saved.
+        client.put("sub|ann|rust", "1")
+        client.put("sub|ann|databases", "1")
+        client.put("sub|bob|databases", "1")
+
+        # Crawler ingest burst: writes land in the backing DB only —
+        # the cache hears about them through the change feed.
+        articles = [
+            ("rust", 97, "borrow-checker-deep-dive"),
+            ("rust", 61, "async-runtimes-compared"),
+            ("databases", 88, "btree-vs-lsm"),
+            ("databases", 92, "write-around-caching"),
+            ("golf", 70, "links-course-guide"),  # nobody subscribed
+        ]
+        for topic, relevance, slug in articles:
+            client.put(f"art|{topic}|{score(relevance)}|{slug}", slug)
+
+        # The async window is real: the feed may not have drained yet.
+        before = client.scan_prefix("feed|ann|")
+        consumed = client.settle_cdc()  # the freshness barrier
+        after = client.scan_prefix("feed|ann|")
+        print(f"ann's feed before the barrier: {len(before)} results")
+        print(f"settle_cdc() consumed {consumed} change records")
+        print("ann's feed, best match first:")
+        for key, _ in after:
+            _, _, rank, slug = key.split("|")
+            print(f"  {9999 - int(rank):>3}  {slug}")
+        assert [k.split("|")[3] for k, _ in after] == [
+            "borrow-checker-deep-dive",
+            "write-around-caching",
+            "btree-vs-lsm",
+            "async-runtimes-compared",
+        ]
+
+        # A re-crawl re-scores an article; the update flows the same way.
+        client.put(f"art|databases|{score(99)}|btree-vs-lsm", "btree-vs-lsm")
+        client.remove(f"art|databases|{score(88)}|btree-vs-lsm")
+        client.settle_cdc()
+        top_key, _ = client.scan_prefix("feed|bob|")[0]
+        print(f"\nbob's top result after the re-score: {top_key.split('|')[3]}")
+        assert top_key.split("|")[3] == "btree-vs-lsm"
+
+        stats = client.stats()
+        print(
+            f"\ncdc: {stats.get('cdc_records_applied_total', 0):.0f} records "
+            f"applied, feed high-water "
+            f"{stats.get('cdc_feed_high_water', 0):.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

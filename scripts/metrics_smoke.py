@@ -69,6 +69,23 @@ REQUIRED_FAMILIES = (
     "repro_persist_compaction_seconds_bucket",
 )
 
+#: Series a *write-around* deployment must additionally expose (the
+#: scrape below runs against a second, mode="write-around" server).
+CDC_FAMILIES = (
+    "repro_cdc_feed_depth",
+    "repro_cdc_feed_high_water",
+    "repro_cdc_journal_bytes",
+    "repro_cdc_consumer_lag_records",
+    "repro_cdc_consumer_lag_seconds",
+    "repro_cdc_backfill_active",
+    "repro_cdc_records_applied_total",
+    "repro_cdc_records_skipped_total",
+    "repro_cdc_batches_applied_total",
+    "repro_cdc_backfill_rows_total",
+    "repro_cdc_backfill_chunks_total",
+    "repro_cdc_propagation_lag_seconds_bucket",
+)
+
 
 def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.12 has NoReturn
     print(f"metrics smoke FAILED: {message}", file=sys.stderr)
@@ -102,7 +119,7 @@ def drive_persistence(server: PequodServer) -> None:
     server.persist.segments.read("absent|key")
 
 
-def check_exposition(text: str) -> int:
+def check_exposition(text: str, families=REQUIRED_FAMILIES) -> int:
     """Validate Prometheus text format; return the number of samples."""
     helped, typed = set(), set()
     samples = 0
@@ -129,10 +146,42 @@ def check_exposition(text: str) -> int:
             fail(f"line {lineno}: sample {name} precedes its # TYPE")
     if helped != typed:
         fail(f"HELP/TYPE mismatch: {sorted(helped ^ typed)}")
-    for family in REQUIRED_FAMILIES:
+    for family in families:
         if not re.search(rf"^{re.escape(family)}(\{{| )", text, re.M):
             fail(f"required series {family} absent from scrape")
     return samples
+
+
+def scrape_cdc(loop) -> int:
+    """Boot a write-around server, drive it, and scrape its CDC family
+    over HTTP; the records-applied counter must be live (> 0)."""
+    server = PequodServer(mode="write-around")
+    metrics = MetricsHttpServer(server.metrics_text)
+    try:
+        server.add_join(TIMELINE_JOIN)
+        server.put("s|ann|bob", "1")
+        server.put("p|bob|0001", "hello")
+        server.put("p|bob|0002", "again")
+        server.settle_cdc()
+        server.scan("t|ann|", prefix_upper_bound("t|ann|"))
+        asyncio.run_coroutine_threadsafe(metrics.start(), loop).result(
+            timeout=5
+        )
+        url = f"http://127.0.0.1:{metrics.port}/metrics"
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            text = resp.read().decode()
+        samples = check_exposition(text, families=CDC_FAMILIES)
+        applied = re.search(
+            r"^repro_cdc_records_applied_total (\S+)$", text, re.M
+        )
+        if applied is None or float(applied.group(1)) <= 0:
+            fail("write-around pump applied no records during the drive")
+        return samples
+    finally:
+        asyncio.run_coroutine_threadsafe(metrics.close(), loop).result(
+            timeout=5
+        )
+        server.close()
 
 
 def main() -> int:
@@ -175,7 +224,9 @@ def main() -> int:
         except urllib.error.HTTPError as exc:
             if exc.code != 404:
                 fail(f"GET /other -> {exc.code}, expected 404")
-        print(f"metrics smoke OK: {samples} samples at {url}")
+        cdc_samples = scrape_cdc(service._loop)  # noqa: SLF001
+        print(f"metrics smoke OK: {samples} samples at {url}, "
+              f"{cdc_samples} write-around samples")
         return 0
     finally:
         asyncio.run_coroutine_threadsafe(

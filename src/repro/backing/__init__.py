@@ -1,4 +1,13 @@
-"""Backing store substrate: the database behind the cache (paper §2)."""
+"""Backing store substrate: the database behind the cache (paper §2).
+
+:class:`BackingDatabase` is the store application writes go *around*
+the cache to reach.  The deployment wrappers here model the paper's
+three cache/DB arrangements in-process with synchronous callbacks; the
+production write-around path lives in :mod:`repro.cdc`, where the
+database's durable change feed (``BackingDatabase.attach_feed``)
+drives join maintenance asynchronously through a ``CdcPump``, with
+``settle_cdc()`` as the freshness barrier.
+"""
 
 from .database import BackingDatabase
 from .deployment import (

@@ -11,10 +11,18 @@ cache design depends on:
 * durable-looking writes with insert/update/delete semantics,
 * ordered range queries (the cache loads containing ranges in bulk),
 * change notifications on subscribed ranges (Postgres ``notify``),
+* a change-data-capture hook: attach a
+  :class:`~repro.cdc.feed.ChangeFeed` and every committed write becomes
+  a sequenced, optionally journaled record that the write-around
+  deployment's :class:`~repro.cdc.pump.CdcPump` tails (see
+  :mod:`repro.cdc`),
 * query/row accounting so benchmarks can charge database work.
 
 It deliberately reuses the ordered-store substrate: a database shard in
-the evaluation *is* a Pequod process absorbing writes (§5.5).
+the evaluation *is* a Pequod process absorbing writes (§5.5) — the
+ordered map behind it resolves through the same ``resolve_map_impl``
+registry as the cache's tables (``"rbtree"``, the blocked
+``"sortedarray"`` default, or the value-spilling ``"disk"`` tier).
 """
 
 from __future__ import annotations
@@ -22,16 +30,22 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..core.operators import ChangeKind
-from ..store.rbtree import RBTree
+from ..store.omap import resolve_map_impl
 from .notify import ChangeCallback, NotificationHub, Subscription
 
 
 class BackingDatabase:
-    """An ordered key-value database with range notifications."""
+    """An ordered key-value database with range notifications and CDC."""
 
-    def __init__(self, synchronous_notify: bool = True) -> None:
-        self._tree = RBTree()
+    def __init__(
+        self,
+        synchronous_notify: bool = True,
+        store_impl=None,
+        feed=None,
+    ) -> None:
+        self._tree = resolve_map_impl(store_impl)()
         self.hub = NotificationHub(synchronous=synchronous_notify)
+        self.feed = feed
         self.query_count = 0
         self.rows_returned = 0
         self.write_count = 0
@@ -40,21 +54,49 @@ class BackingDatabase:
         return len(self._tree)
 
     # ------------------------------------------------------------------
+    # Change data capture
+    # ------------------------------------------------------------------
+    def attach_feed(self, feed, replay: bool = False) -> None:
+        """Attach a :class:`~repro.cdc.feed.ChangeFeed`; every committed
+        write from here on is sequenced into it.
+
+        With ``replay=True`` the feed's retained records (the durable
+        journal, on a restarted deployment) are first applied to the
+        tree silently — no notifications, no re-recording — rebuilding
+        the database state the journal describes.
+        """
+        if replay:
+            for rec in feed.replay():
+                if rec.kind is ChangeKind.REMOVE:
+                    node = self._tree.find_node(rec.key)
+                    if node is not None:
+                        self._tree.remove_node(node)
+                else:
+                    node = self._tree.find_node(rec.key)
+                    if node is None:
+                        self._tree.insert(rec.key, rec.new)
+                    else:
+                        node.value = rec.new
+        self.feed = feed
+
+    # ------------------------------------------------------------------
     # Writes (the application's write path in write-around deployments)
     # ------------------------------------------------------------------
     def put(self, key: str, value: str) -> None:
-        """Insert or update ``key`` and notify subscribers."""
+        """Insert or update ``key``; record to the feed and notify."""
         if not key:
             raise ValueError("keys must be non-empty")
         self.write_count += 1
         node = self._tree.find_node(key)
         if node is None:
             self._tree.insert(key, value)
-            self.hub.publish(key, None, value, ChangeKind.INSERT)
+            old, kind = None, ChangeKind.INSERT
         else:
-            old = node.value
+            old, kind = node.value, ChangeKind.UPDATE
             node.value = value
-            self.hub.publish(key, old, value, ChangeKind.UPDATE)
+        if self.feed is not None:
+            self.feed.record(key, old, value, kind)
+        self.hub.publish(key, old, value, kind)
 
     def remove(self, key: str) -> bool:
         self.write_count += 1
@@ -63,6 +105,8 @@ class BackingDatabase:
             return False
         old = node.value
         self._tree.remove_node(node)
+        if self.feed is not None:
+            self.feed.record(key, old, None, ChangeKind.REMOVE)
         self.hub.publish(key, old, None, ChangeKind.REMOVE)
         return True
 
@@ -85,6 +129,18 @@ class BackingDatabase:
         """All pairs with ``lo <= key < hi`` in order."""
         self.query_count += 1
         rows = list(self._tree.items(lo, hi))
+        self.rows_returned += len(rows)
+        return rows
+
+    def scan_from(self, lo: str, limit: int) -> List[Tuple[str, str]]:
+        """Up to ``limit`` pairs with ``key >= lo``, in order — the
+        chunked scan the CDC pump's fenced backfill walks."""
+        self.query_count += 1
+        rows: List[Tuple[str, str]] = []
+        for key, value in self._tree.items(lo, None):
+            rows.append((key, value))
+            if len(rows) >= limit:
+                break
         self.rows_returned += len(rows)
         return rows
 

@@ -18,6 +18,13 @@ bottleneck.  All three are implemented here:
 Each deployment installs a :class:`CachedBaseResolver` so join
 execution transparently loads missing base ranges from the database
 (§3.3) and subscribes to keep them fresh.
+
+The classes here model the arrangements in-process, with synchronous
+notification callbacks.  The *deployable* write-around path is
+``PequodServer(mode="write-around")``, built on :mod:`repro.cdc`: the
+database's durable change feed replaces the synchronous callback, a
+``CdcPump`` applies it in batches (with fenced backfill for cold
+caches), and ``settle_cdc()`` bounds the asynchrony window.
 """
 
 from __future__ import annotations

@@ -1521,3 +1521,122 @@ def run_cluster_scaleout(
         "points": points,
         "max_speedup": max(p["speedup"] for p in points),
     }
+
+
+# ======================================================================
+# CDC write-around: ingest rate and propagation lag
+# ======================================================================
+def run_cdc(
+    n_users: int = 60,
+    mean_follows: float = 6.0,
+    total_ops: int = 2000,
+    settle_every: int = 100,
+    burst_posts: int = 1000,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Write-around vs write-through on the §2 Twip workload.
+
+    Two deployments of the same local server run the identical
+    deterministic workload:
+
+    * **write-through** (baseline) — every put runs incremental join
+      maintenance synchronously before returning;
+    * **write-around** — puts land in the backing database, whose
+      change feed drives maintenance asynchronously (:mod:`repro.cdc`);
+      ``settle_cdc`` is the convergence barrier before reads that need
+      a fresh view.
+
+    Each mode first drives the mixed Twip stream (with a barrier every
+    ``settle_every`` ticks), materializing the timelines, then absorbs
+    a pure-write **ingest burst** against the warm cache with no
+    barrier until the end — the measured ingest ops/s is where
+    write-around earns its keep: fan-out to materialized timelines is
+    deferred off the write path and applied in coalesced batches.  The
+    write-around run also reports propagation-lag percentiles (write
+    commit → cache apply) from the pump's histogram.  Both modes must
+    converge to byte-identical output state after the final barrier.
+    """
+    import hashlib
+    import random as _random
+
+    graph = generate_graph(n_users, mean_follows, seed=seed)
+    ops = TwipWorkload(graph, total_ops, seed=seed).generate()
+    rng = _random.Random(seed + 7)
+    burst = [
+        (f"p|{rng.choice(graph.users)}|9{i:07d}", f"burst {i}")
+        for i in range(burst_posts)
+    ]
+
+    points: List[Dict[str, object]] = []
+    states: Dict[str, List[Tuple[str, str]]] = {}
+    baseline_rate: Optional[float] = None
+    for mode in ("write-through", "write-around"):
+        with make_client(
+            "local",
+            subtable_config={"t": 2, "p": 2, "s": 2},
+            mode=mode,
+        ) as client:
+            client.add_join(TIMELINE_JOIN)
+            graph.load_into(client)
+            client.settle_cdc()
+            # Mixed workload with a bounded-staleness barrier cadence;
+            # this also materializes the users' timelines.
+            drive_twip_ops(
+                ops,
+                put=client.put,
+                scan_timeline=lambda user, since: client.scan(
+                    f"t|{user}|{since}", prefix_upper_bound(f"t|{user}|")
+                ),
+                settle=client.settle_cdc,
+                settle_every=settle_every,
+            )
+            # Ingest burst against the warm cache: pure writes, barrier
+            # only at the end.
+            start = time.perf_counter()
+            for key, value in burst:
+                client.put(key, value)
+            ingest_wall = time.perf_counter() - start
+            client.settle_cdc()
+            state: List[Tuple[str, str]] = []
+            for user in graph.users:
+                state.extend(client.scan_prefix(f"t|{user}|"))
+            state.extend(client.scan_prefix("p|"))
+            state.extend(client.scan_prefix("s|"))
+            states[mode] = state
+            server = client._async.server  # noqa: SLF001 - harness introspection
+            cdc = server.cdc
+        rate = len(burst) / max(ingest_wall, 1e-9)
+        if baseline_rate is None:
+            baseline_rate = rate
+        point: Dict[str, object] = {
+            "mode": mode,
+            "ingest_posts": len(burst),
+            "ingest_wall_s": round(ingest_wall, 4),
+            "ops_per_sec": round(rate, 1),
+            "speedup": round(rate / baseline_rate, 3),
+            "state_sha256": hashlib.sha256(
+                repr(state).encode()
+            ).hexdigest(),
+            "lag_p50_ms": None,
+            "lag_p95_ms": None,
+            "lag_p99_ms": None,
+        }
+        if cdc is not None:
+            point["lag_p50_ms"] = round(cdc.lag.percentile(50) * 1000, 4)
+            point["lag_p95_ms"] = round(cdc.lag.percentile(95) * 1000, 4)
+            point["lag_p99_ms"] = round(cdc.lag.percentile(99) * 1000, 4)
+            point["records_applied"] = cdc.records_applied
+            point["feed_high_water"] = cdc.feed.high_water
+        points.append(point)
+    return {
+        "workload": {
+            "n_users": n_users,
+            "mean_follows": mean_follows,
+            "total_ops": total_ops,
+            "settle_every": settle_every,
+            "burst_posts": burst_posts,
+            "seed": seed,
+        },
+        "points": points,
+        "state_identical": states["write-around"] == states["write-through"],
+    }

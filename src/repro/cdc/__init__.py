@@ -1,0 +1,32 @@
+"""Change data capture: the write-around deployment's freshness loop.
+
+The paper's default deployment (§2) is *write-around*: application
+writes go to the backing database, not the cache, and asynchronous
+change notifications keep cached data fresh.  This package is that
+loop, productionized:
+
+* :mod:`~repro.cdc.feed` — a durable, resumable change feed on
+  :class:`~repro.backing.database.BackingDatabase`: monotonically
+  sequenced :class:`ChangeRecord` s in a ring/journal (WAL framing +
+  wire codec from :mod:`repro.persist`), named consumer cursors with
+  persisted acks, batching, and bounded-queue backpressure.
+* :mod:`~repro.cdc.pump` — :class:`CdcPump`, the maintenance consumer:
+  tails the feed and drives the cache's join engine from change
+  records, with fenced backfill for cold-cache cut-over and a
+  ``settle()`` high-water barrier (``settle_cdc`` on every client
+  backend).
+
+``PequodServer(mode="write-around")`` assembles the pieces; see
+:mod:`repro.core.server`.
+"""
+
+from .feed import ChangeFeed, ChangeRecord, FeedCursor, FeedOverflowError
+from .pump import CdcPump
+
+__all__ = [
+    "CdcPump",
+    "ChangeFeed",
+    "ChangeRecord",
+    "FeedCursor",
+    "FeedOverflowError",
+]

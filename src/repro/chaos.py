@@ -25,6 +25,10 @@ lane) make it prove that:
 * :func:`torn_wal_tail` — tear the WAL mid-record (a crash inside a
   ``write()``): recovery must truncate to the last intact record, not
   refuse to start.
+* :class:`CdcLag` (alias ``cdc_lag``) — delay or defer change-feed
+  batches on a write-around pump (install as ``pump.chaos``): deferred
+  batches redeliver, so the test asserts the at-least-once feed still
+  converges to the fault-free oracle's digest.
 
 Every injector counts what it injected, so tests can assert the fault
 actually fired and wasn't silently bypassed.
@@ -109,6 +113,71 @@ class SlowMaintenance:
     @staticmethod
     def uninstall(engine) -> None:
         engine.fault_hook = None
+
+
+class CdcLag:
+    """Delay and defer change-feed batches on a live CDC pump.
+
+    Installed as ``CdcPump.chaos``; the pump passes each fetched batch
+    through the injector before applying it.
+
+    * ``defer_every`` — defer every Nth batch (1-indexed over the
+      injector's lifetime); the pump does not ack a deferred batch, so
+      the feed *redelivers the same records* on the next step — the
+      shape of a lost-then-retried feed delivery.  0 disables.
+    * ``delay_s`` — sleep this long (wall clock) before releasing each
+      non-deferred batch, inflating measured propagation lag.
+    * ``limit`` — stop injecting after this many faults, so a workload
+      can suffer a burst and then converge.
+
+    Because the pump's apply path is idempotent (it derives the actual
+    old/new from the cache's own store), redelivery converges to the
+    same state a fault-free run produces — the chaos convergence test
+    asserts exactly that, by digest.
+    """
+
+    def __init__(
+        self,
+        defer_every: int = 0,
+        delay_s: float = 0.0,
+        limit: Optional[int] = None,
+    ) -> None:
+        if defer_every < 0:
+            raise ValueError("defer_every must be >= 0")
+        if delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        self.defer_every = defer_every
+        self.delay_s = delay_s
+        self.limit = limit
+        self.batches_seen = 0
+        self.batches_deferred = 0
+        self.delays = 0
+
+    def __call__(self, records: List) -> Optional[List]:
+        self.batches_seen = seen = self.batches_seen + 1
+        faults = self.batches_deferred + self.delays
+        if self.limit is not None and faults >= self.limit:
+            return records
+        if self.defer_every and seen % self.defer_every == 0:
+            self.batches_deferred += 1
+            return None
+        if self.delay_s:
+            self.delays += 1
+            time.sleep(self.delay_s)
+        return records
+
+    def install(self, pump) -> "CdcLag":
+        pump.chaos = self
+        return self
+
+    @staticmethod
+    def uninstall(pump) -> None:
+        pump.chaos = None
+
+
+#: Importable alias matching the injector registry naming used by the
+#: chaos tests (``chaos.cdc_lag``).
+cdc_lag = CdcLag
 
 
 def kill_compute(cluster, affinity: Optional[str] = None, name: Optional[str] = None):

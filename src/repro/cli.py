@@ -73,6 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "and on shutdown)",
     )
     serve.add_argument(
+        "--mode", choices=["write-through", "write-around"],
+        default="write-through",
+        help="write deployment (§2): write-through applies writes to the "
+        "cache synchronously; write-around routes them to a backing "
+        "database whose durable change feed drives cache maintenance "
+        "asynchronously (see repro.cdc)",
+    )
+    serve.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
         help="also serve Prometheus text on http://HOST:PORT/metrics",
     )
@@ -129,6 +137,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--in-process", action="store_true",
         help="run nodes on threads instead of subprocesses (debugging)",
     )
+    cluster.add_argument(
+        "--mode", choices=["write-through", "write-around"],
+        default="write-through",
+        help="write deployment on every node (see `repro serve --mode`)",
+    )
 
     # Hidden: the subprocess entry `repro cluster` spawns per node.
     cnode = sub.add_parser("cluster-node")
@@ -138,6 +151,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cnode.add_argument("--peer-port", type=int, default=0)
     cnode.add_argument("--data-dir", default=None)
     cnode.add_argument("--memory-limit", type=int, default=None)
+    cnode.add_argument(
+        "--mode", choices=["write-through", "write-around"],
+        default="write-through",
+    )
 
     metrics = sub.add_parser(
         "metrics", help="scrape a running server's metrics"
@@ -197,7 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "write_batching",
                  "read_path", "write_path", "twip", "concurrency",
-                 "overload", "persistence", "cluster_scaleout"],
+                 "overload", "persistence", "cluster_scaleout", "cdc"],
     )
     bench.add_argument(
         "--scale", type=float, default=1.0,
@@ -252,6 +269,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             peer_port=args.peer_port,
             data_dir=args.data_dir,
             memory_limit=args.memory_limit,
+            mode=args.mode,
         )
         return 0
     if args.command == "metrics":
@@ -330,6 +348,14 @@ def _cluster_scaleout_sizes(s: float) -> dict:
     }
 
 
+def _cdc_sizes(s: float) -> dict:
+    return {
+        "n_users": max(20, int(60 * s)),
+        "mean_follows": max(3.0, 6 * min(s, 2.0)),
+        "total_ops": max(200, int(2000 * s)),
+    }
+
+
 def _persistence_sizes(s: float) -> dict:
     return {
         "n_keys": max(2000, int(100_000 * s)),
@@ -381,6 +407,7 @@ def _cmd_serve(args) -> int:
         overload_policy=_overload_policy_from(args),
         data_dir=args.data_dir,
         wal_fsync=args.wal_fsync,
+        mode=args.mode,
     )
     if args.data_dir is not None and server.stats.get("persist_recovered_ops"):
         print(f"recovered {server.stats.get('persist_recovered_ops'):.0f} "
@@ -459,6 +486,7 @@ def _cmd_cluster(args) -> int:
         host=args.host,
         data_dir=args.data_dir,
         joins=texts,
+        mode=args.mode,
     )
     with cluster:
         print(f"pequod {__version__} cluster: {args.nodes} node(s), "
@@ -753,6 +781,30 @@ def _cmd_bench(args) -> int:
               result["staleness_bounded"])
         status = _finish_bench(args, payload)
         if not result["staleness_bounded"]:
+            return 1
+        return status
+    if args.experiment == "cdc":
+        from .bench.harness import run_cdc
+
+        result = run_cdc(**_cdc_sizes(s))
+        payload.update(result)
+        rows = [
+            (p["mode"], f"{p['ops_per_sec']:.0f}", f"{p['speedup']:.2f}x",
+             f"{p['lag_p50_ms']:.2f}" if p.get("lag_p50_ms") is not None else "-",
+             f"{p['lag_p95_ms']:.2f}" if p.get("lag_p95_ms") is not None else "-",
+             f"{p['lag_p99_ms']:.2f}" if p.get("lag_p99_ms") is not None else "-")
+            for p in result["points"]
+        ]
+        print(format_table(
+            ["Mode", "ingest/s", "vs write-through",
+             "lag p50 ms", "p95 ms", "p99 ms"],
+            rows,
+            title="Write-around CDC: ingest rate and propagation lag",
+        ))
+        print("post-settle state identical to write-through:",
+              result["state_identical"])
+        status = _finish_bench(args, payload)
+        if not result["state_identical"]:
             return 1
         return status
     if args.experiment == "persistence":

@@ -282,6 +282,13 @@ class AsyncPequodClient:
         number of messages delivered (0 off-cluster)."""
         return 0
 
+    async def settle_cdc(self) -> int:
+        """Write-around convergence barrier: drain the change feed into
+        the cache on every server (sequence high-water-mark compare;
+        pgcache's ``wait_for_cdc``).  Returns change records consumed —
+        0 on write-through deployments, so callers need not branch."""
+        return 0
+
     async def aclose(self) -> None:
         """Release backend resources; the client is unusable after."""
 
@@ -360,6 +367,12 @@ class AsyncLocalClient(AsyncPequodClient):
 
     async def stats(self) -> Dict[str, float]:
         return self.server.metrics_snapshot()
+
+    async def settle_cdc(self) -> int:
+        try:
+            return self.server.settle_cdc()
+        except CoreOverloadError as exc:
+            raise _overload(exc) from exc
 
     async def watch(self, lo: str, hi: str) -> Watch:
         if not lo < hi:
@@ -459,6 +472,9 @@ class AsyncRemoteClient(AsyncPequodClient):
 
     async def stats(self) -> Dict[str, float]:
         return await self._call("stats")
+
+    async def settle_cdc(self) -> int:
+        return await self._call("settle_cdc")
 
     async def ping(self) -> str:
         return await self._call("ping")
@@ -761,6 +777,19 @@ class AsyncClusterClient(AsyncPequodClient):
     async def settle(self) -> int:
         """Deliver all in-flight subscription updates (§2.4)."""
         return self.cluster.settle()
+
+    async def settle_cdc(self) -> int:
+        """Drain every live node's change feed, then settle the
+        cluster's own subscription traffic (pump-driven maintenance may
+        have produced forwardable updates)."""
+        consumed = sum(
+            node.server.settle_cdc()
+            for node in self.cluster.nodes
+            if node.name not in self.cluster.dead
+        )
+        if consumed:
+            self.cluster.settle()
+        return consumed
 
     def session(self, affinity: str) -> Session:
         """A read-your-own-writes session pinned to ``S(affinity)``."""

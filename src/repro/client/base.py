@@ -291,6 +291,12 @@ class PequodClient:
         network (§2.4's eventual consistency made momentarily exact)."""
         return self._run(self._async.settle())
 
+    def settle_cdc(self) -> int:
+        """Write-around convergence barrier: drain the change feed into
+        the cache (see :mod:`repro.cdc`).  Returns records consumed; 0
+        on write-through deployments."""
+        return self._run(self._async.settle_cdc())
+
     def close(self) -> None:
         """Release backend resources; the client is unusable after."""
         loop = getattr(self, "_loop", None)

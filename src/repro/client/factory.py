@@ -85,7 +85,9 @@ async def make_async_client(
 
     * ``local`` — in-process server; ``server_kwargs`` reach
       :class:`PequodServer` (``subtable_config``, ``memory_limit``,
-      ``store_impl`` to pick the ordered-map backend, …).
+      ``store_impl`` to pick the ordered-map backend,
+      ``mode="write-around"`` for the CDC deployment of
+      :mod:`repro.cdc`, …).
     * ``rpc`` — with ``host`` and/or ``port``, connect to an existing
       server there (defaults: ``127.0.0.1``, the protocol's port
       7709); with neither, start an ephemeral loopback server (built

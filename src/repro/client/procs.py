@@ -446,6 +446,30 @@ class AsyncProcClusterClient(AsyncPequodClient):
                 await asyncio.sleep(0.01)
         return rounds
 
+    async def settle_cdc(self) -> int:
+        """Write-around convergence barrier across the cluster: drain
+        every node's change feed into its cache, then settle the
+        inter-node maintenance traffic the drained records produced.
+        Loops until a full pass consumes nothing new."""
+        total = 0
+        while True:
+
+            async def drain() -> int:
+                names = sorted(self._map().nodes)
+                counts = await asyncio.gather(
+                    *(
+                        self._call_node(name, "settle_cdc")
+                        for name in names
+                    )
+                )
+                return sum(counts)
+
+            consumed = await self._routed(drain)
+            total += consumed
+            if not consumed:
+                return total
+            await self.settle()
+
     # ------------------------------------------------------------------
     # Watch (all-node subscription; server gates make it exactly-once)
     # ------------------------------------------------------------------

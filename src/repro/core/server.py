@@ -58,6 +58,15 @@ class PequodServer:
       computed output is never persisted.
     * ``wal_fsync`` — the WAL durability policy (``"always"``,
       ``"batch"``, or ``"off"``; see :mod:`repro.persist.wal`).
+    * ``mode`` — the deployment shape (§2).  ``"write-through"`` (the
+      default) applies client writes to the cache synchronously.
+      ``"write-around"`` routes puts/removes to an internal
+      :class:`~repro.backing.database.BackingDatabase` instead; a
+      change feed + :class:`~repro.cdc.pump.CdcPump` replay them into
+      the cache asynchronously, and :meth:`settle_cdc` is the
+      convergence barrier.  With a ``data_dir`` the change feed is the
+      durable record (journaled under ``data_dir/cdc``) and the cache
+      rebuilds by fenced backfill on startup.
     """
 
     def __init__(
@@ -74,8 +83,15 @@ class PequodServer:
         overload_policy: Optional[OverloadPolicy] = None,
         data_dir: Optional[str] = None,
         wal_fsync: str = "batch",
+        mode: str = "write-through",
     ) -> None:
+        if mode not in ("write-through", "write-around"):
+            raise ValueError(
+                f"unknown deployment mode {mode!r}; expected "
+                "'write-through' or 'write-around'"
+            )
         self.name = name
+        self.mode = mode
         self.stats = stats if stats is not None else StoreStats()
         self.clock = clock if clock is not None else SystemClock()
         self.data_dir = data_dir
@@ -114,7 +130,7 @@ class PequodServer:
             if overload_policy is not None
             else None
         )
-        if data_dir is not None:
+        if data_dir is not None and mode != "write-around":
             from ..persist import PersistenceManager
 
             self.persist: Optional[PersistenceManager] = PersistenceManager(
@@ -125,7 +141,32 @@ class PequodServer:
             # recompute on first demand.
             self.persist.recover_into(self.store)
         else:
+            # Write-around durability lives in the CDC journal, not the
+            # cache WAL: the cache is rebuilt by backfill on startup.
             self.persist = None
+        self.backing = None
+        self.cdc = None
+        if mode == "write-around":
+            import os as _os
+
+            from ..backing.database import BackingDatabase
+            from ..cdc import CdcPump, ChangeFeed
+
+            feed = ChangeFeed(
+                _os.path.join(data_dir, "cdc") if data_dir else None,
+                fsync=wal_fsync,
+                stats=self.stats,
+            )
+            self.backing = BackingDatabase(store_impl=None, feed=None)
+            # Replay the journal (if any) to rebuild the DB a previous
+            # process accumulated, then start recording live writes.
+            self.backing.attach_feed(feed, replay=True)
+            self.cdc = CdcPump(self.backing, feed, self.engine)
+            # A cold cache converges via fenced backfill before tailing.
+            self.cdc.bootstrap()
+            # If writers outrun maintenance, the feed drains through the
+            # pump instead of growing without bound.
+            feed.backpressure_hook = self.cdc.step
         self._hub: Optional[ChangeHub] = None
         self._metrics = None
 
@@ -182,12 +223,18 @@ class PequodServer:
         return self.engine.get(key)
 
     def put(self, key: str, value: str) -> None:
-        """Write ``key``; incremental maintenance runs before returning."""
+        """Write ``key``; incremental maintenance runs before returning
+        (write-through) or asynchronously via the CDC pump
+        (write-around, where the write goes to the backing DB only)."""
         if not isinstance(value, str):
             raise TypeError("Pequod values are strings")
         if self.load is not None:
             self.load.admit_write()
         self.stats.add("op_put")
+        if self.backing is not None:
+            self.backing.put(key, value)
+            self._maybe_pump()
+            return
         if self.persist is not None:
             self.persist.log_put(key, value)
         self.engine.apply_put(key, value)
@@ -200,6 +247,10 @@ class PequodServer:
         if self.load is not None:
             self.load.admit_write()
         self.stats.add("op_remove")
+        if self.backing is not None:
+            present = self.backing.remove(key)
+            self._maybe_pump()
+            return present
         if self.persist is not None:
             self.persist.log_remove(key)
         return self.engine.apply_remove(key)
@@ -225,6 +276,15 @@ class PequodServer:
         if self.load is not None:
             self.load.admit_write()
         self.stats.add("op_batch")
+        if self.backing is not None:
+            ops = as_ops(batch)
+            for op in ops:
+                if op.kind == "put":
+                    self.backing.put(op.key, op.value)
+                else:
+                    self.backing.remove(op.key)
+            self._maybe_pump()
+            return len(ops)
         if self.persist is not None:
             ops = as_ops(batch)
             self.persist.log_ops(ops)
@@ -325,6 +385,29 @@ class PequodServer:
         return len(self.store)
 
     # ------------------------------------------------------------------
+    # Write-around / CDC
+    # ------------------------------------------------------------------
+    def _maybe_pump(self) -> None:
+        """Opportunistically apply a pending batch once enough change
+        records accumulate — keeps staleness bounded under sustained
+        write load without making any single write synchronous."""
+        cdc = self.cdc
+        if cdc is not None and cdc.lag_records >= cdc.batch_size:
+            cdc.step()
+
+    def settle_cdc(self) -> int:
+        """Drain the change feed into the cache — the write-around
+        convergence barrier (compare: pgcache's ``wait_for_cdc``).
+        Blocks until the pump's cursor reaches the feed's high-water
+        mark; returns records consumed.  A no-op (0) outside
+        write-around mode, so callers need not branch per deployment."""
+        if self.cdc is None:
+            return 0
+        consumed = self.cdc.settle()
+        self.eviction.maybe_evict()
+        return consumed
+
+    # ------------------------------------------------------------------
     # Durability lifecycle
     # ------------------------------------------------------------------
     def flush(self) -> None:
@@ -332,6 +415,8 @@ class PequodServer:
         without a ``data_dir``)."""
         if self.persist is not None:
             self.persist.flush()
+        if self.cdc is not None:
+            self.cdc.feed.flush()
 
     def checkpoint(self) -> None:
         """Fold the WAL into a checkpoint segment now (no-op without a
@@ -345,6 +430,8 @@ class PequodServer:
         twice; the server must not be written to afterwards."""
         if self.persist is not None:
             self.persist.close()
+        if self.cdc is not None:
+            self.cdc.feed.close()
         factory = self.store._map_factory
         if getattr(factory, "spill_store", None) is not None:
             factory.close()

@@ -370,9 +370,18 @@ class ClusterNodeRuntime:
         node is a replica, not the primary — but a FULL apply (WAL,
         admission, join maintenance), so computed ranges here that
         depend on the replicated base stay fresh without a mirror
-        subscription.  Watch events stay exactly-once because the hub
-        gate drops changes whose key this node doesn't own."""
+        subscription.  In write-around mode the apply routes to the
+        replica's own backing DB + change feed, exactly like the
+        primary's — replicated durable base writes.  Watch events stay
+        exactly-once because the hub gate drops changes whose key this
+        node doesn't own."""
         return self._locked_write(lambda: self.server.apply_batch(pairs))
+
+    def settle_cdc(self) -> int:
+        """Drain this node's change feed into its cache (write-around).
+        Runs as a locked write so pump-driven join maintenance fans out
+        through the mirror outbox like any other apply."""
+        return self._locked_write(lambda: self.server.settle_cdc())
 
     def client_get(self, key: str) -> Optional[str]:
         self._fence_write(key)
@@ -905,6 +914,8 @@ class ClusterRpcServer(RpcServer):
             return rt.settle_counters()
         if method == "cluster_info":
             return rt.cluster_info()
+        if method == "settle_cdc":
+            return rt.settle_cdc()
         return super()._invoke(conn, method, args)
 
 

@@ -139,6 +139,7 @@ class ProcCluster:
         data_dir: Optional[str] = None,
         joins: Sequence[str] = (),
         memory_limit: Optional[int] = None,
+        mode: str = "write-through",
     ) -> None:
         if count < 1:
             raise ValueError("a cluster needs at least one node")
@@ -151,6 +152,7 @@ class ProcCluster:
         self.data_dir = data_dir
         self.joins = list(joins)
         self.memory_limit = memory_limit
+        self.mode = mode
         self.nodes: Dict[str, Any] = {}
         self.map: Optional[PartitionMap] = None
         self._migrate_lock = threading.Lock()
@@ -207,6 +209,7 @@ class ProcCluster:
             server_kwargs={
                 "data_dir": self._node_data_dir(name),
                 "memory_limit": self.memory_limit,
+                "mode": self.mode,
             },
         )
         runtime.start_threaded()
@@ -222,6 +225,8 @@ class ProcCluster:
             cmd += ["--data-dir", node_dir]
         if self.memory_limit is not None:
             cmd += ["--memory-limit", str(self.memory_limit)]
+        if self.mode != "write-through":
+            cmd += ["--mode", self.mode]
         env = dict(os.environ)
         # The child must resolve the same `repro` package as the
         # parent, venv or no venv.
@@ -394,6 +399,7 @@ def run_node(
     peer_port: int = 0,
     data_dir: Optional[str] = None,
     memory_limit: Optional[int] = None,
+    mode: str = "write-through",
 ) -> None:
     """The ``repro cluster-node`` subprocess entry point: start both
     endpoints, print one READY line for the launcher's handshake, and
@@ -403,7 +409,11 @@ def run_node(
         host=host,
         port=port,
         peer_port=peer_port,
-        server_kwargs={"data_dir": data_dir, "memory_limit": memory_limit},
+        server_kwargs={
+            "data_dir": data_dir,
+            "memory_limit": memory_limit,
+            "mode": mode,
+        },
     )
     runtime.start_threaded()
     print(

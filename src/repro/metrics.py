@@ -180,6 +180,10 @@ _STANDALONE_GAUGES = frozenset(
         "persist_bloom_false_positives",
         "persist_spilled_values",
         "persist_spill_segments",
+        "cdc_feed_depth",
+        "cdc_feed_high_water",
+        "cdc_consumer_lag_records",
+        "cdc_backfill_active",
     }
 )
 
@@ -352,6 +356,24 @@ class ServerMetrics:
             yield from spill.stack.compaction_seconds.samples(
                 "persist_compaction_seconds", tier="spill"
             )
+        # CDC (write-around deployments): feed depth, consumer lag, and
+        # the propagation-lag distribution — the freshness story of the
+        # asynchronous write path, measured instead of assumed.
+        cdc = getattr(server, "cdc", None)
+        if cdc is not None:
+            feed = cdc.feed
+            yield "cdc_feed_high_water", float(feed.high_water)
+            yield "cdc_feed_depth", float(feed.pending_records())
+            yield "cdc_journal_bytes", float(feed.journal_bytes)
+            yield "cdc_consumer_lag_records", float(cdc.lag_records)
+            yield "cdc_consumer_lag_seconds", float(cdc.lag_seconds())
+            yield "cdc_backfill_active", 1.0 if cdc.backfilling else 0.0
+            yield "cdc_records_applied_total", float(cdc.records_applied)
+            yield "cdc_records_skipped_total", float(cdc.records_skipped)
+            yield "cdc_batches_applied_total", float(cdc.batches_applied)
+            yield "cdc_backfill_rows_total", float(cdc.backfill_rows)
+            yield "cdc_backfill_chunks_total", float(cdc.backfill_chunks)
+            yield from cdc.lag.samples("cdc_propagation_lag_seconds")
         for source in self._sources:
             yield from source()
 

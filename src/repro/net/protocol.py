@@ -61,6 +61,7 @@ ERR_CODES = (
 METHODS = (
     "get", "put", "remove", "scan", "scan_prefix", "count", "add_join",
     "stats", "metrics", "ping", "batch", "subscribe", "unsubscribe",
+    "settle_cdc",
 )
 
 #: Additional methods a *cluster node's* public endpoint accepts.

@@ -372,6 +372,8 @@ class RpcServer:
             return srv.metrics_snapshot()
         if method == "metrics":
             return srv.metrics_text()
+        if method == "settle_cdc":
+            return srv.settle_cdc()
         if method == "ping":
             return "pong"
         raise ValueError(f"unknown method {method!r}")

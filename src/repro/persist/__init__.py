@@ -23,7 +23,7 @@ segment format.
 from .bloom import BloomFilter
 from .manager import PersistenceManager, SegmentStack
 from .segment import SegmentReader, write_segment
-from .wal import FSYNC_MODES, WriteAheadLog, scan_wal
+from .wal import FSYNC_MODES, WriteAheadLog, frame_payload, scan_frames, scan_wal
 
 __all__ = [
     "BloomFilter",
@@ -33,5 +33,7 @@ __all__ = [
     "write_segment",
     "FSYNC_MODES",
     "WriteAheadLog",
+    "frame_payload",
+    "scan_frames",
     "scan_wal",
 ]

@@ -54,6 +54,44 @@ WAL_HEADER_SIZE = _HEADER.size
 WalRecord = Tuple[List[str], List[Optional[str]]]
 
 
+def frame_payload(payload: bytes) -> bytes:
+    """Frame one payload in the journal record format: length + crc32
+    header followed by the payload bytes.  Shared by the WAL and the
+    CDC change-feed journal (:mod:`repro.cdc.feed`)."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_frames(path: str) -> Tuple[List[bytes], int, bool]:
+    """Tolerantly parse a framed journal into raw payloads.
+
+    Returns ``(payloads, good_offset, torn)``: every intact payload in
+    order, the byte offset just past the last intact frame, and whether
+    a torn/corrupt tail was found after it.  A missing file is an empty
+    journal.  This is the framing layer only; callers decode payloads
+    themselves (and may treat an undecodable payload as a torn tail).
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return [], 0, False
+    payloads: List[bytes] = []
+    offset = 0
+    size = len(data)
+    while offset + _HEADER.size <= size:
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            return payloads, offset, True  # torn: record body cut short
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return payloads, offset, True
+        payloads.append(payload)
+        offset = end
+    return payloads, offset, offset < size
+
+
 def scan_wal(path: str) -> Tuple[List[WalRecord], int, bool]:
     """Parse a WAL file tolerantly.
 
@@ -62,30 +100,17 @@ def scan_wal(path: str) -> Tuple[List[WalRecord], int, bool]:
     whether a torn/corrupt tail was found after it.  A missing file is
     an empty log.
     """
-    try:
-        with open(path, "rb") as fh:
-            data = fh.read()
-    except FileNotFoundError:
-        return [], 0, False
+    payloads, good_offset, torn = scan_frames(path)
     records: List[WalRecord] = []
     offset = 0
-    size = len(data)
-    while offset + _HEADER.size <= size:
-        length, crc = _HEADER.unpack_from(data, offset)
-        start = offset + _HEADER.size
-        end = start + length
-        if end > size:
-            return records, offset, True  # torn: record body cut short
-        payload = data[start:end]
-        if zlib.crc32(payload) != crc:
-            return records, offset, True
+    for payload in payloads:
         try:
             keys, values = decode(payload)
         except (CodecError, ValueError):
             return records, offset, True
         records.append((keys, values))
-        offset = end
-    return records, offset, offset < size
+        offset += _HEADER.size + len(payload)
+    return records, good_offset, torn
 
 
 class WriteAheadLog:
